@@ -1,0 +1,63 @@
+// Command capture performs the paper's measurement campaign (§V):
+// sweeping every kernel of the benchmark suite across the 336-point
+// configuration space and storing the per-kernel time and power in a
+// measurement database that the policies can run against.
+//
+// Usage:
+//
+//	capture -out measurements.db          # whole Table IV suite
+//	capture -out spmv.db -app Spmv        # one benchmark
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpcdvfs/internal/hw"
+	"mpcdvfs/internal/measure"
+	"mpcdvfs/internal/workload"
+)
+
+func main() {
+	out := flag.String("out", "measurements.db", "output database file")
+	appName := flag.String("app", "", "capture only this benchmark (default: all)")
+	full := flag.Bool("fullspace", false, "capture all five DPM states (560 configs)")
+	flag.Parse()
+
+	space := hw.DefaultSpace()
+	if *full {
+		space = hw.FullSpace()
+	}
+	db := measure.NewDatabase(space)
+
+	var apps []workload.App
+	if *appName != "" {
+		a, err := workload.ByName(*appName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		apps = []workload.App{a}
+	} else {
+		apps = workload.Benchmarks()
+	}
+	for i := range apps {
+		db.CaptureApp(&apps[i])
+		fmt.Fprintf(os.Stderr, "captured %-14s -> %d distinct kernels so far\n", apps[i].Name, db.Kernels())
+	}
+	fmt.Printf("%d kernels x %d configurations = %d measurements\n",
+		db.Kernels(), space.Size(), db.Measurements())
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := db.Save(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "database written to %s\n", *out)
+}

@@ -1,0 +1,94 @@
+// Command experiments regenerates the paper's tables and figures from
+// the simulated system.
+//
+// Usage:
+//
+//	experiments            # run everything, in paper order
+//	experiments -list      # list available experiment IDs
+//	experiments -run fig8  # run one experiment (comma-separate for more)
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+
+	"mpcdvfs/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	parallel := flag.Int("parallel", 1, "experiments to run concurrently (output stays in paper order)")
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.Runners() {
+			fmt.Printf("%-16s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+
+	var selected []experiments.Runner
+	if *run == "" {
+		selected = experiments.Runners()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			id = strings.TrimSpace(id)
+			r, ok := experiments.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, r)
+		}
+	}
+
+	f := experiments.Shared()
+	if *parallel <= 1 {
+		for _, r := range selected {
+			t, err := r.Run(f)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", r.ID, err)
+				os.Exit(1)
+			}
+			t.Render(os.Stdout)
+		}
+		return
+	}
+
+	// Parallel mode: run concurrently, render in order. The fixture's
+	// caches are mutex- or once-protected.
+	type slot struct {
+		buf bytes.Buffer
+		err error
+	}
+	slots := make([]slot, len(selected))
+	sem := make(chan struct{}, *parallel)
+	var wg sync.WaitGroup
+	for i, r := range selected {
+		wg.Add(1)
+		go func(i int, r experiments.Runner) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			t, err := r.Run(f)
+			if err != nil {
+				slots[i].err = fmt.Errorf("%s: %w", r.ID, err)
+				return
+			}
+			t.Render(&slots[i].buf)
+		}(i, r)
+	}
+	wg.Wait()
+	for i := range slots {
+		if slots[i].err != nil {
+			fmt.Fprintln(os.Stderr, slots[i].err)
+			os.Exit(1)
+		}
+		_, _ = slots[i].buf.WriteTo(os.Stdout)
+	}
+}

@@ -1,0 +1,163 @@
+// Command mpcsim runs one benchmark under a power-management policy and
+// prints per-kernel decisions and the comparison against Turbo Core.
+//
+// Usage:
+//
+//	mpcsim -app Spmv -policy mpc -runs 3
+//	mpcsim -list
+//
+// Policies: turbo-core, ppk, to, mpc, mpc-full (RF predictor unless
+// -oracle is set).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mpcdvfs"
+	"mpcdvfs/internal/predict"
+	"mpcdvfs/internal/trace"
+)
+
+func main() {
+	appName := flag.String("app", "Spmv", "benchmark name (see -list)")
+	polName := flag.String("policy", "mpc", "policy: turbo-core | ppk | to | mpc | mpc-full")
+	runs := flag.Int("runs", 2, "consecutive invocations (first is the profiling run)")
+	useOracle := flag.Bool("oracle", false, "use a perfect predictor instead of the Random Forest")
+	modelPath := flag.String("model", "", "load a model trained with cmd/train instead of training in-process")
+	seed := flag.Int64("seed", 1, "Random Forest training seed")
+	list := flag.Bool("list", false, "list benchmarks and exit")
+	verbose := flag.Bool("v", false, "print per-kernel decisions")
+	traceOut := flag.String("trace", "", "write the last run's per-kernel trace to this file (.csv or .json)")
+	powerOut := flag.String("powertrace", "", "write the last run's 1ms power-controller samples to this CSV file")
+	flag.Parse()
+
+	if *list {
+		for _, a := range mpcdvfs.Benchmarks() {
+			fmt.Printf("%-14s %-12s %-40s %s (%d kernels)\n", a.Name, a.Suite, a.Category, a.Pattern, a.Len())
+		}
+		return
+	}
+
+	app, err := mpcdvfs.BenchmarkByName(*appName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	sys := mpcdvfs.NewSystem()
+	base, target, err := sys.Baseline(&app)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var model mpcdvfs.Model
+	switch {
+	case *useOracle:
+		model = sys.NewOracle(&app)
+	case *modelPath != "":
+		mf, err := os.Open(*modelPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		model, err = predict.LoadModel(mf)
+		mf.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "training Random Forest predictor (use -oracle or -model to skip)...")
+		model, err = mpcdvfs.TrainRandomForest(mpcdvfs.DefaultTrainOptions(*seed))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	var pol mpcdvfs.Policy
+	switch *polName {
+	case "turbo-core":
+		pol = sys.NewTurboCore()
+	case "ppk":
+		pol = sys.NewPPK(model)
+	case "to":
+		pol = sys.NewTheoreticallyOptimal(&app)
+	case "mpc":
+		pol = sys.NewMPC(model)
+	case "mpc-full":
+		pol = sys.NewMPC(model, mpcdvfs.WithFullHorizon())
+	default:
+		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *polName)
+		os.Exit(2)
+	}
+
+	results, err := sys.RunRepeated(&app, pol, target, *runs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("app %s, policy %s, target throughput %.3g insts/ms\n",
+		app.Name, pol.Name(), target.Throughput())
+	fmt.Printf("turbo core: %.2f ms, %.1f mJ\n\n", base.TotalTimeMS(), base.TotalEnergyMJ())
+	for r, res := range results {
+		label := "steady"
+		if r == 0 {
+			label = "profiling"
+		}
+		c := mpcdvfs.Compare(res, base)
+		fmt.Printf("run %d (%s): %.2f ms (+%.2f ms overhead), %.1f mJ -> %.1f%% energy savings, %.3fx speedup\n",
+			r+1, label, res.TotalTimeMS(), res.OverheadMS(), res.TotalEnergyMJ(),
+			c.EnergySavingsPct, c.Speedup)
+		if *verbose {
+			for _, rec := range res.Records {
+				fmt.Printf("  k%02d %-20s %-24s %8.3f ms  %6d evals\n",
+					rec.Index, rec.Kernel, rec.Config.String(), rec.TimeMS, rec.Evals)
+			}
+		}
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		last := results[len(results)-1]
+		if strings.HasSuffix(*traceOut, ".json") {
+			err = trace.WriteJSON(f, last)
+		} else {
+			err = trace.WriteCSV(f, last)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ntrace written to %s\n", *traceOut)
+	}
+
+	if *powerOut != "" {
+		samples, err := trace.PowerTrace(results[len(results)-1], sys.CostModel(), trace.DefaultSampleMS)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*powerOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := trace.WritePowerCSV(f, samples); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("power trace written to %s\n", *powerOut)
+	}
+}

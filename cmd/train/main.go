@@ -1,0 +1,66 @@
+// Command train performs the paper's offline phase: it trains the
+// Random Forest performance/power predictor on a synthetic kernel
+// population measured against the ground-truth model, reports its
+// accuracy on the evaluation benchmarks (§VI-D), and serializes the
+// model for the runtime (load it with mpcsim -model).
+//
+// Usage:
+//
+//	train -out model.bin -kernels 150 -seed 20170204
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpcdvfs/internal/hw"
+	"mpcdvfs/internal/predict"
+	"mpcdvfs/internal/workload"
+)
+
+func main() {
+	out := flag.String("out", "model.bin", "output model file")
+	kernels := flag.Int("kernels", 150, "synthetic training kernels")
+	seed := flag.Int64("seed", 20170204, "training seed")
+	noise := flag.Float64("noise", 0.08, "measurement noise fraction on training targets")
+	flag.Parse()
+
+	opt := predict.DefaultTrainOptions(*seed)
+	opt.NumKernels = *kernels
+	opt.NoiseFrac = *noise
+
+	fmt.Fprintf(os.Stderr, "training on %d kernels x %d configurations...\n", opt.NumKernels, opt.Space.Size())
+	model, err := predict.TrainRandomForest(opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// §VI-D accuracy report over the evaluation benchmarks.
+	var ks []workload.App = workload.Benchmarks()
+	var all []float64
+	_ = all
+	fmt.Printf("%-14s  %10s  %10s\n", "benchmark", "time MAPE", "power MAPE")
+	var tSum, pSum float64
+	for _, app := range ks {
+		tm, pm := predict.MAPE(model, app.Kernels, hw.DefaultSpace())
+		fmt.Printf("%-14s  %9.1f%%  %9.1f%%\n", app.Name, 100*tm, 100*pm)
+		tSum += tm
+		pSum += pm
+	}
+	fmt.Printf("%-14s  %9.1f%%  %9.1f%%   (paper: 25%% / 12%%)\n",
+		"mean", 100*tSum/float64(len(ks)), 100*pSum/float64(len(ks)))
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := predict.SaveModel(f, model); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "model written to %s\n", *out)
+}

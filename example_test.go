@@ -1,0 +1,74 @@
+package mpcdvfs_test
+
+import (
+	"fmt"
+
+	"mpcdvfs"
+)
+
+// ExampleBenchmarkByName looks up a Table IV benchmark and inspects its
+// execution pattern.
+func ExampleBenchmarkByName() {
+	app, err := mpcdvfs.BenchmarkByName("Spmv")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(app.Name, app.Suite, app.Pattern, app.Len())
+	// Output: Spmv SHOC A10B10C10 30
+}
+
+// ExampleDefaultSpace shows the configuration space the paper captured.
+func ExampleDefaultSpace() {
+	s := mpcdvfs.DefaultSpace()
+	fmt.Println(s.Size(), "configurations")
+	fmt.Println("fail-safe:", mpcdvfs.FailSafe())
+	// Output:
+	// 336 configurations
+	// fail-safe: [P7, NB2, DPM4, 8 CUs]
+}
+
+// ExampleSystem_Baseline runs Turbo Core to establish the Eq. 1
+// performance target.
+func ExampleSystem_Baseline() {
+	sys := mpcdvfs.NewSystem()
+	app, _ := mpcdvfs.BenchmarkByName("NBody")
+	base, target, err := sys.Baseline(&app)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("baseline runs %d kernels; target throughput positive: %v\n",
+		len(base.Records), target.Throughput() > 0)
+	// Output: baseline runs 10 kernels; target throughput positive: true
+}
+
+// ExampleSystem_NewMPC shows the profile-then-optimize lifecycle: the
+// first invocation runs PPK while the pattern extractor learns, the
+// second runs true MPC and saves energy without missing the target.
+func ExampleSystem_NewMPC() {
+	sys := mpcdvfs.NewSystem()
+	app, _ := mpcdvfs.BenchmarkByName("kmeans")
+	base, target, _ := sys.Baseline(&app)
+
+	mpc := sys.NewMPC(sys.NewOracle(&app))
+	runs, err := sys.RunRepeated(&app, mpc, target, 2)
+	if err != nil {
+		panic(err)
+	}
+	c := mpcdvfs.Compare(runs[1], base)
+	fmt.Printf("steady state saves energy: %v, speedup above 0.95: %v\n",
+		c.EnergySavingsPct > 0, c.Speedup > 0.95)
+	// Output: steady state saves energy: true, speedup above 0.95: true
+}
+
+// ExampleNewComputeBoundKernel builds a custom application from the
+// Fig. 2 kernel archetypes.
+func ExampleNewComputeBoundKernel() {
+	k := mpcdvfs.NewComputeBoundKernel("myKernel", 1.0)
+	app := mpcdvfs.App{
+		Name:    "custom",
+		Pattern: "A3",
+		Kernels: []mpcdvfs.Kernel{k, k, k},
+	}
+	fmt.Println(app.Len(), "invocations of", app.Kernels[0].Name())
+	// Output: 3 invocations of myKernel
+}

@@ -1,0 +1,60 @@
+// Quickstart: run one benchmark under MPC with a perfect predictor and
+// compare it against AMD Turbo Core.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpcdvfs"
+)
+
+func main() {
+	// The system bundles the paper's 336-point configuration space
+	// (Table I) with the simulation engine and overhead cost model.
+	sys := mpcdvfs.NewSystem()
+
+	// kmeans (Rodinia): one low-throughput swap kernel, then twenty
+	// iterations of the high-throughput kmeans kernel — the "low-to-high
+	// transition" that defeats history-based power managers (Fig. 3).
+	app, err := mpcdvfs.BenchmarkByName("kmeans")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s (%s): pattern %s, %d kernel invocations\n\n",
+		app.Name, app.Suite, app.Pattern, app.Len())
+
+	// Turbo Core defines the performance target: MPC must save energy
+	// without running slower than this baseline.
+	base, target, err := sys.Baseline(&app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Turbo Core baseline: %.2f ms, %.1f mJ\n", base.TotalTimeMS(), base.TotalEnergyMJ())
+
+	// MPC needs a performance/power predictor; the oracle gives perfect
+	// knowledge (swap in mpcdvfs.TrainRandomForest for the deployed,
+	// imperfect model).
+	mpc := sys.NewMPC(sys.NewOracle(&app))
+
+	// The first invocation is the profiling run (PPK while the pattern
+	// extractor learns the kernel sequence); the second runs real MPC.
+	runs, err := sys.RunRepeated(&app, mpc, target, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, r := range runs {
+		c := mpcdvfs.Compare(r, base)
+		fmt.Printf("run %d: %.2f ms, %.1f mJ  ->  %.1f%% energy savings, %.3fx speedup\n",
+			i+1, r.TotalTimeMS(), r.TotalEnergyMJ(), c.EnergySavingsPct, c.Speedup)
+	}
+
+	// Show what MPC actually decided in steady state.
+	fmt.Println("\nsteady-state decisions:")
+	for _, rec := range runs[1].Records[:5] {
+		fmt.Printf("  k%02d %-12s -> %s\n", rec.Index, rec.Kernel, rec.Config)
+	}
+	fmt.Println("  ...")
+}

@@ -1,0 +1,3 @@
+module mpcdvfs
+
+go 1.22

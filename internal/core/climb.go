@@ -1,0 +1,297 @@
+package core
+
+import (
+	"sort"
+
+	"mpcdvfs/internal/counters"
+	"mpcdvfs/internal/hw"
+	"mpcdvfs/internal/predict"
+)
+
+// Optimizer performs the greedy hill-climbing configuration search of
+// §IV-A1a over one kernel, and the windowed MPC optimization over a
+// horizon of kernels.
+type Optimizer struct {
+	Model predict.Model
+	Space hw.Space
+	// UseExhaustive replaces the greedy hill climb with a full O(M)
+	// sweep per kernel — the search-cost ablation. The result quality
+	// bound improves; the evaluation count explodes by the |S|/Σ|knob|
+	// factor the paper quotes as ~19×.
+	UseExhaustive bool
+	// failSafe is the guard configuration, clamped into Space.
+	failSafe hw.Config
+}
+
+// NewOptimizer returns an optimizer over the given model and space.
+func NewOptimizer(m predict.Model, space hw.Space) *Optimizer {
+	return &Optimizer{Model: m, Space: space, failSafe: space.Clamp(hw.FailSafe())}
+}
+
+// FailSafe returns the fail-safe configuration used on constraint
+// failure, mapped into the optimizer's space.
+func (o *Optimizer) FailSafe() hw.Config { return o.failSafe }
+
+// climbResult is the outcome of one per-kernel search.
+type climbResult struct {
+	Config   hw.Config
+	Est      predict.Estimate
+	Evals    int
+	Feasible bool
+}
+
+// evalCache memoizes predictor calls within one decision; each distinct
+// configuration costs one model evaluation, as a real runtime would
+// cache.
+type evalCache struct {
+	o     *Optimizer
+	cs    counters.Set
+	seen  map[hw.Config]cachedEval
+	evals int
+}
+
+type cachedEval struct {
+	est predict.Estimate
+	e   float64
+}
+
+func newEvalCache(o *Optimizer, cs counters.Set) *evalCache {
+	return &evalCache{o: o, cs: cs, seen: make(map[hw.Config]cachedEval, 24)}
+}
+
+func (c *evalCache) eval(cfg hw.Config) (predict.Estimate, float64) {
+	if v, ok := c.seen[cfg]; ok {
+		return v.est, v.e
+	}
+	c.evals++
+	est := c.o.Model.PredictKernel(c.cs, cfg)
+	e := predict.EnergyMJ(est, cfg)
+	c.seen[cfg] = cachedEval{est, e}
+	return est, e
+}
+
+// HillClimb finds a low-energy configuration for a kernel with counters
+// cs whose expected execution time must not exceed headroomMS.
+//
+// It starts at the fail-safe configuration, estimates each knob's energy
+// sensitivity (predicted ΔE to its neighbouring states), then walks the
+// knobs in descending sensitivity order, moving while predicted energy
+// keeps decreasing and the headroom constraint keeps holding — stopping a
+// knob as soon as energy rises (§IV-A1a). If even the fail-safe
+// configuration cannot meet the headroom, it returns the fail-safe with
+// Feasible=false, the paper's constraint-failure behaviour.
+func (o *Optimizer) HillClimb(cs counters.Set, headroomMS float64) climbResult {
+	return o.hillClimb(newEvalCache(o, cs), headroomMS, true, 0)
+}
+
+// hillClimb runs the search against an existing evaluation cache; Evals
+// in the result reports the cache's cumulative count. When recover is
+// true and the fail-safe start misses the headroom, the search first
+// descends on predicted time to regain feasibility — for peak kernels
+// the fastest configuration is NOT the largest one, so this walk can
+// both recover feasibility and reduce energy (e.g. lbm at 4 CUs). The
+// recovery walk is only worth its evaluations for the decision actually
+// being applied; speculative window kernels skip it and conservatively
+// assume the fail-safe.
+//
+// refTimeMS, when positive, is the kernel's last measured execution time;
+// the recovery walk refuses to chase predictions below half of it. An
+// imperfect model can hallucinate implausibly fast configurations, and a
+// decision built on one would blow the very constraint recovery is
+// trying to save — runtime measurements are the only trustworthy anchor
+// (the same feedback principle as §IV-A1b).
+func (o *Optimizer) hillClimb(cache *evalCache, headroomMS float64, recover bool, refTimeMS float64) climbResult {
+	cur := o.failSafe
+	curEst, curE := cache.eval(cur)
+	if curEst.TimeMS > headroomMS {
+		if !recover {
+			return climbResult{Config: cur, Est: curEst, Evals: cache.evals, Feasible: false}
+		}
+		trustFloor := refTimeMS / 2
+		for curEst.TimeMS > headroomMS {
+			next, nextEst, nextE, ok := o.fastestNeighbor(cache, cur, curEst.TimeMS, trustFloor)
+			if !ok {
+				return climbResult{Config: o.failSafe, Est: curEst, Evals: cache.evals, Feasible: false}
+			}
+			cur, curEst, curE = next, nextEst, nextE
+		}
+	}
+
+	// Energy sensitivity per knob: the best feasible single-step energy
+	// reduction in either direction.
+	type knobSens struct {
+		knob hw.Knob
+		dir  int
+		sens float64
+	}
+	var order []knobSens
+	for _, k := range hw.Knobs() {
+		best := knobSens{knob: k}
+		for _, dir := range [2]int{+1, -1} {
+			nb, ok := o.Space.Step(cur, k, dir)
+			if !ok {
+				continue
+			}
+			est, e := cache.eval(nb)
+			if est.TimeMS <= headroomMS && curE-e > best.sens {
+				best.sens = curE - e
+				best.dir = dir
+			}
+		}
+		if best.dir != 0 {
+			order = append(order, best)
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool { return order[a].sens > order[b].sens })
+
+	for _, ks := range order {
+		for {
+			nb, ok := o.Space.Step(cur, ks.knob, ks.dir)
+			if !ok {
+				break
+			}
+			est, e := cache.eval(nb)
+			// The search stops once the energy increases (or the move
+			// would violate the performance headroom).
+			if e >= curE || est.TimeMS > headroomMS {
+				break
+			}
+			cur, curEst, curE = nb, est, e
+		}
+	}
+	return climbResult{Config: cur, Est: curEst, Evals: cache.evals, Feasible: true}
+}
+
+// ExhaustiveSearch sweeps every configuration in the space for the
+// minimum predicted energy under the headroom constraint — the O(M)
+// per-kernel search PPK and the search-cost ablation use. Evals equals
+// the space size.
+func (o *Optimizer) ExhaustiveSearch(cs counters.Set, headroomMS float64) climbResult {
+	return o.exhaustive(newEvalCache(o, cs), headroomMS)
+}
+
+func (o *Optimizer) exhaustive(cache *evalCache, headroomMS float64) climbResult {
+	best := climbResult{Config: o.failSafe, Feasible: false}
+	bestE := 0.0
+	o.Space.ForEach(func(c hw.Config) {
+		est, e := cache.eval(c)
+		if est.TimeMS > headroomMS {
+			return
+		}
+		if !best.Feasible || e < bestE {
+			best = climbResult{Config: c, Est: est, Feasible: true}
+			bestE = e
+		}
+	})
+	best.Evals = cache.evals
+	if !best.Feasible {
+		est, _ := cache.eval(o.failSafe)
+		best.Config, best.Est, best.Evals = o.failSafe, est, cache.evals
+	}
+	return best
+}
+
+// fastestNeighbor returns the single-knob neighbour of cur with the
+// smallest predicted time, provided it improves on curTime and stays at
+// or above the trust floor.
+func (o *Optimizer) fastestNeighbor(cache *evalCache, cur hw.Config, curTime, floor float64) (hw.Config, predict.Estimate, float64, bool) {
+	var best hw.Config
+	var bestEst predict.Estimate
+	bestE := 0.0
+	found := false
+	for _, k := range hw.Knobs() {
+		for _, dir := range [2]int{+1, -1} {
+			nb, ok := o.Space.Step(cur, k, dir)
+			if !ok {
+				continue
+			}
+			est, e := cache.eval(nb)
+			if est.TimeMS < curTime && est.TimeMS >= floor && (!found || est.TimeMS < bestEst.TimeMS) {
+				best, bestEst, bestE, found = nb, est, e, true
+			}
+		}
+	}
+	return best, bestEst, bestE, found
+}
+
+// search dispatches to the configured per-kernel search strategy.
+func (o *Optimizer) search(cache *evalCache, headroomMS float64, recover bool, refTimeMS float64) climbResult {
+	if o.UseExhaustive {
+		return o.exhaustive(cache, headroomMS)
+	}
+	return o.hillClimb(cache, headroomMS, recover, refTimeMS)
+}
+
+// WindowKernel is one kernel of an MPC optimization window.
+type WindowKernel struct {
+	ExecIndex int             // position in execution order
+	Rec       counters.Record // expected counters (from the pattern extractor)
+	ExpInsts  float64         // expected instruction count
+	Rank      int             // position in the global search order
+}
+
+// OptimizeWindow performs one receding-horizon MPC step (Eq. 3): it
+// optimizes every kernel in the window in search-order priority, letting
+// performance headroom carry over from one kernel to the next on a
+// speculative copy of the tracker, and returns the configuration chosen
+// for the current kernel — the one with the smallest ExecIndex — along
+// with its expected estimate and the total model evaluations spent.
+//
+// While a kernel is being optimized, the fail-safe-time deficits of the
+// window kernels not yet speculated (ranked after it) are reserved from
+// its headroom: a low-throughput kernel later in the search order must
+// still find the banked time it needs when its turn comes. This is the
+// §IV-A1b tracker behaviour of adjusting headroom with the "performance
+// behavior of future kernels".
+//
+// If the window is empty, the fail-safe configuration is returned with
+// zero evaluations.
+func (o *Optimizer) OptimizeWindow(win []WindowKernel, tr *Tracker) (hw.Config, predict.Estimate, int) {
+	if len(win) == 0 {
+		est := o.Model.PredictKernel(counters.Set{}, o.failSafe)
+		return o.failSafe, est, 0
+	}
+	// Order the window by search-order rank.
+	ordered := append([]WindowKernel(nil), win...)
+	sort.SliceStable(ordered, func(a, b int) bool { return ordered[a].Rank < ordered[b].Rank })
+
+	cur := win[0]
+	for _, w := range win[1:] {
+		if w.ExecIndex < cur.ExecIndex {
+			cur = w
+		}
+	}
+
+	// Per-kernel evaluation caches and fail-safe deficits.
+	tp := tr.TargetThroughput()
+	caches := make([]*evalCache, len(ordered))
+	deficit := make([]float64, len(ordered))
+	remaining := 0.0
+	for i, w := range ordered {
+		caches[i] = newEvalCache(o, w.Rec.Counters)
+		fsEst, _ := caches[i].eval(o.failSafe)
+		if tp > 0 {
+			if d := fsEst.TimeMS - w.ExpInsts/tp; d > 0 {
+				deficit[i] = d
+			}
+		}
+		remaining += deficit[i]
+	}
+
+	spec := tr.Clone()
+	evals := 0
+	var curChoice climbResult
+	haveCur := false
+	for i, w := range ordered {
+		remaining -= deficit[i]
+		head := spec.HeadroomMS(w.ExpInsts) - remaining
+		res := o.search(caches[i], head, w.ExecIndex == cur.ExecIndex, w.Rec.TimeMS)
+		evals += res.Evals
+		spec.Add(w.ExpInsts, res.Est.TimeMS)
+		if w.ExecIndex == cur.ExecIndex && !haveCur {
+			curChoice = res
+			haveCur = true
+		}
+	}
+	return curChoice.Config, curChoice.Est, evals
+}

@@ -1,0 +1,23 @@
+// Package core implements the paper's primary contribution: the MPC
+// optimizer of §IV. It contains the four mechanisms that together make
+// model-predictive GPU power management tractable at runtime:
+//
+//   - the performance tracker (Eqs. 4–5), which converts the global
+//     throughput target into a per-decision execution-time headroom;
+//   - the search-order heuristic, which orders the kernels of an
+//     application into above-target and below-target clusters so that a
+//     window of future kernels can be optimized greedily, without
+//     backtracking, in polynomial time;
+//   - the greedy hill-climbing configuration search, which walks one
+//     hardware knob at a time in descending energy-sensitivity order,
+//     cutting per-kernel model evaluations from |cpu|·|nb|·|gpu|·|cu|
+//     to ~(|cpu|+|nb|+|gpu|+|cu|);
+//   - the adaptive horizon generator (§IV-A4), which bounds the total
+//     performance loss — MPC compute overhead included — to a factor α
+//     by shrinking the prediction horizon when kernels are short.
+//
+// The window optimizer ties these together: at kernel i it optimizes the
+// next Hᵢ kernels in search-order priority, lets performance headroom
+// carry over between them, and applies only the decision for kernel i —
+// the receding-horizon step of Fig. 5.
+package core

@@ -1,0 +1,139 @@
+// Package counters defines the GPU performance-counter set the paper's
+// runtime samples (Table III), the log-binned kernel signature used by the
+// pattern extractor to identify kernels, and the 80-byte storage record
+// the extractor keeps per dissimilar kernel (§IV-A2).
+package counters
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Index of each performance counter in a Set, in Table III order.
+const (
+	GlobalWorkSize  = iota // global work-item size of the kernel
+	MemUnitStalled         // % of GPUTime the memory unit is stalled
+	CacheHit               // % of fetch/write/atomic instructions hitting the data cache
+	VFetchInsts            // avg vector fetch instructions from video memory per work-item
+	ScratchRegs            // number of scratch registers used
+	LDSBankConflict        // % of GPUTime LDS is stalled by bank conflicts
+	VALUInsts              // avg vector ALU instructions per work-item
+	FetchSize              // total kB fetched from video memory
+	NumCounters
+)
+
+// Names holds the Table III counter names, indexed like a Set.
+var Names = [NumCounters]string{
+	"GlobalWorkSize", "MemUnitStalled", "CacheHit", "VFetchInsts",
+	"ScratchRegs", "LDSBankConflict", "VALUInsts", "FetchSize",
+}
+
+// Set is one sample of the eight Table III performance counters.
+type Set [NumCounters]float64
+
+// String renders the set as name=value pairs.
+func (s Set) String() string {
+	out := ""
+	for i, v := range s {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%.3g", Names[i], v)
+	}
+	return out
+}
+
+// Signature is the log-binned counter tuple the pattern extractor uses to
+// identify kernels: bin_i = floor(log2(u_i)) per counter (§IV-A2). Kernels
+// with similar counter magnitudes — e.g. the same kernel on slightly
+// different inputs — collapse to the same signature, while kernels whose
+// behaviour differs materially (including the same kernel on a very
+// different input, as in hybridsort's mergeSortPass) get distinct ones.
+type Signature [NumCounters]int8
+
+// Bin returns the signature bin for a single counter value:
+// floor(log2(u)) for u >= 1, and -1 for u < 1 (including zero and negative
+// values, which have no finite log).
+func Bin(u float64) int8 {
+	if u < 1 {
+		return -1
+	}
+	b := int8(math.Floor(math.Log2(u)))
+	return b
+}
+
+// SignatureOf computes the signature of a counter set.
+func SignatureOf(s Set) Signature {
+	var sig Signature
+	for i, v := range s {
+		sig[i] = Bin(v)
+	}
+	return sig
+}
+
+// String renders the signature as a compact tuple.
+func (sig Signature) String() string {
+	out := "("
+	for i, b := range sig {
+		if i > 0 {
+			out += ","
+		}
+		out += fmt.Sprintf("%d", b)
+	}
+	return out + ")"
+}
+
+// Record is what the pattern extractor stores per dissimilar kernel: the
+// eight counters plus the observed kernel time and power, all as
+// double-precision values — 80 bytes, matching the paper's storage-cost
+// claim.
+type Record struct {
+	Counters Set
+	TimeMS   float64
+	PowerW   float64
+}
+
+// RecordBytes is the serialized size of a Record.
+const RecordBytes = (NumCounters + 2) * 8
+
+// Marshal encodes the record in little-endian binary form. The result is
+// always RecordBytes (80) bytes long.
+func (r Record) Marshal() []byte {
+	buf := make([]byte, RecordBytes)
+	for i, v := range r.Counters {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+	}
+	binary.LittleEndian.PutUint64(buf[NumCounters*8:], math.Float64bits(r.TimeMS))
+	binary.LittleEndian.PutUint64(buf[(NumCounters+1)*8:], math.Float64bits(r.PowerW))
+	return buf
+}
+
+// UnmarshalRecord decodes a record previously produced by Marshal.
+func UnmarshalRecord(buf []byte) (Record, error) {
+	if len(buf) != RecordBytes {
+		return Record{}, fmt.Errorf("counters: record is %d bytes, want %d", len(buf), RecordBytes)
+	}
+	var r Record
+	for i := 0; i < NumCounters; i++ {
+		r.Counters[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+	r.TimeMS = math.Float64frombits(binary.LittleEndian.Uint64(buf[NumCounters*8:]))
+	r.PowerW = math.Float64frombits(binary.LittleEndian.Uint64(buf[(NumCounters+1)*8:]))
+	return r, nil
+}
+
+// Blend updates r's counters and measurements toward a newer observation
+// using an exponential moving average with weight w in (0,1]; w=1 replaces
+// the record outright. The extractor uses this to apply performance
+// counter feedback from the last executed kernel (§IV-A2).
+func (r *Record) Blend(obs Record, w float64) {
+	if w <= 0 || w > 1 {
+		panic("counters: blend weight must be in (0,1]")
+	}
+	for i := range r.Counters {
+		r.Counters[i] = (1-w)*r.Counters[i] + w*obs.Counters[i]
+	}
+	r.TimeMS = (1-w)*r.TimeMS + w*obs.TimeMS
+	r.PowerW = (1-w)*r.PowerW + w*obs.PowerW
+}

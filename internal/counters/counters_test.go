@@ -1,0 +1,170 @@
+package counters
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBin(t *testing.T) {
+	cases := []struct {
+		u    float64
+		want int8
+	}{
+		{0, -1}, {0.5, -1}, {-3, -1},
+		{1, 0}, {1.9, 0}, {2, 1}, {3.99, 1}, {4, 2},
+		{1023, 9}, {1024, 10}, {1 << 20, 20},
+	}
+	for _, c := range cases {
+		if got := Bin(c.u); got != c.want {
+			t.Errorf("Bin(%v) = %d, want %d", c.u, got, c.want)
+		}
+	}
+}
+
+func TestSignatureStableUnderSmallPerturbation(t *testing.T) {
+	// Same kernel, slightly different input: counters wiggle within a
+	// factor < 2 around a mid-bin value, signature must not change.
+	base := Set{1536, 48, 75, 6, 12, 3, 96, 3000}
+	sig := SignatureOf(base)
+	perturbed := base
+	for i := range perturbed {
+		perturbed[i] *= 1.2
+	}
+	if got := SignatureOf(perturbed); got != sig {
+		t.Errorf("signature changed under 1.2x perturbation: %v vs %v", got, sig)
+	}
+}
+
+func TestSignatureSeparatesDissimilarKernels(t *testing.T) {
+	a := Set{1 << 10, 10, 90, 1, 4, 0, 200, 100}
+	b := Set{1 << 16, 80, 20, 30, 64, 12, 10, 50000}
+	if SignatureOf(a) == SignatureOf(b) {
+		t.Error("dissimilar kernels share a signature")
+	}
+}
+
+func TestRecordBytesIs80(t *testing.T) {
+	if RecordBytes != 80 {
+		t.Fatalf("RecordBytes = %d, want 80 (paper §IV-A2)", RecordBytes)
+	}
+	r := Record{Counters: Set{1, 2, 3, 4, 5, 6, 7, 8}, TimeMS: 9, PowerW: 10}
+	if got := len(r.Marshal()); got != 80 {
+		t.Fatalf("Marshal length = %d, want 80", got)
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	r := Record{
+		Counters: Set{1536, 48.5, 75.1, 6.25, 12, 3.5, 96, 3000.75},
+		TimeMS:   12.345,
+		PowerW:   41.5,
+	}
+	got, err := UnmarshalRecord(r.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != r {
+		t.Errorf("round trip: got %+v, want %+v", got, r)
+	}
+}
+
+func TestUnmarshalRejectsBadLength(t *testing.T) {
+	if _, err := UnmarshalRecord(make([]byte, 79)); err == nil {
+		t.Error("UnmarshalRecord(79 bytes) should fail")
+	}
+	if _, err := UnmarshalRecord(nil); err == nil {
+		t.Error("UnmarshalRecord(nil) should fail")
+	}
+}
+
+func TestBlend(t *testing.T) {
+	r := Record{Counters: Set{10, 10, 10, 10, 10, 10, 10, 10}, TimeMS: 10, PowerW: 10}
+	obs := Record{Counters: Set{20, 20, 20, 20, 20, 20, 20, 20}, TimeMS: 20, PowerW: 20}
+	r.Blend(obs, 0.5)
+	for i, v := range r.Counters {
+		if v != 15 {
+			t.Errorf("counter %d = %v, want 15", i, v)
+		}
+	}
+	if r.TimeMS != 15 || r.PowerW != 15 {
+		t.Errorf("time/power = %v/%v, want 15/15", r.TimeMS, r.PowerW)
+	}
+	// w=1 replaces outright.
+	r.Blend(obs, 1)
+	if r != obs {
+		t.Errorf("Blend(w=1) = %+v, want %+v", r, obs)
+	}
+}
+
+func TestBlendPanicsOnBadWeight(t *testing.T) {
+	for _, w := range []float64{0, -0.1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Blend(w=%v) did not panic", w)
+				}
+			}()
+			r := Record{}
+			r.Blend(Record{}, w)
+		}()
+	}
+}
+
+func TestStrings(t *testing.T) {
+	s := Set{1, 2, 3, 4, 5, 6, 7, 8}
+	str := s.String()
+	for _, name := range Names {
+		if !strings.Contains(str, name) {
+			t.Errorf("Set.String missing %q: %s", name, str)
+		}
+	}
+	if got := SignatureOf(s).String(); !strings.HasPrefix(got, "(") || !strings.HasSuffix(got, ")") {
+		t.Errorf("Signature.String = %q", got)
+	}
+}
+
+// Property: Marshal/Unmarshal is the identity on finite records.
+func TestRecordRoundTripQuick(t *testing.T) {
+	f := func(c [NumCounters]float32, tm, pw float32) bool {
+		var r Record
+		for i, v := range c {
+			r.Counters[i] = float64(v)
+		}
+		r.TimeMS, r.PowerW = float64(tm), float64(pw)
+		got, err := UnmarshalRecord(r.Marshal())
+		return err == nil && got == r
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(9))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Bin is monotone non-decreasing and doubling a value >= 1
+// increments its bin by exactly one.
+func TestBinMonotoneQuick(t *testing.T) {
+	f := func(raw uint32) bool {
+		u := float64(raw)/16 + 1 // >= 1
+		b := Bin(u)
+		if Bin(u*2) != b+1 {
+			return false
+		}
+		return Bin(u*1.0001) >= b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(10))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlendConvergesToObservation(t *testing.T) {
+	r := Record{Counters: Set{100, 0, 0, 0, 0, 0, 0, 0}, TimeMS: 100}
+	obs := Record{Counters: Set{1, 0, 0, 0, 0, 0, 0, 0}, TimeMS: 1}
+	for i := 0; i < 200; i++ {
+		r.Blend(obs, 0.25)
+	}
+	if math.Abs(r.TimeMS-1) > 1e-6 || math.Abs(r.Counters[0]-1) > 1e-6 {
+		t.Errorf("Blend did not converge: %+v", r)
+	}
+}

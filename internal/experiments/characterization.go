@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mpcdvfs/internal/hw"
+	"mpcdvfs/internal/kernel"
+)
+
+func init() {
+	register("tableI", "Software-visible CPU, NB and GPU DVFS states (Table I)", runTableI)
+	register("fig2", "Kernel speedup vs (NB state, CUs) with energy-optimal points (Fig. 2)", runFig2)
+	register("fig3", "Normalized kernel throughput vs execution order (Fig. 3)", runFig3)
+	register("tableII", "Execution patterns of three irregular benchmarks (Table II)", runTableII)
+	register("tableIV", "Benchmarks with their execution pattern (Table IV)", runTableIV)
+}
+
+func runTableI(*Fixture) (*Table, error) {
+	t := &Table{
+		ID: "tableI", Title: "DVFS states of the AMD A10-7850K",
+		Columns: []string{"state", "voltage(V)", "freq"},
+	}
+	for p := hw.P1; p <= hw.P7; p++ {
+		t.AddRow(p.String(), p.Voltage(), p.FreqGHz())
+	}
+	for n := hw.NB0; n <= hw.NB3; n++ {
+		t.AddRow(n.String(), n.MinVoltage(), n.FreqGHz())
+		t.Note("%s memory frequency: %.0f MHz (%.1f GB/s)", n, n.MemFreqMHz(), n.MemBWGBs())
+	}
+	for g := hw.DPM0; g <= hw.DPM4; g++ {
+		t.AddRow(g.String(), g.Voltage(), g.FreqMHz())
+	}
+	t.Note("NB voltages are the shared-rail floors (not published in Table I)")
+	return t, nil
+}
+
+// fig2Kernels are the four archetypes of Fig. 2.
+func fig2Kernels() []kernel.Kernel {
+	return []kernel.Kernel{
+		kernel.NewComputeBound("MaxFlops", 1),
+		kernel.NewMemoryBound("readGlobalMemoryCoalesced", 1),
+		kernel.NewPeak("writeCandidates", 1),
+		kernel.NewUnscalable("astar", 1),
+	}
+}
+
+func runFig2(f *Fixture) (*Table, error) {
+	t := &Table{
+		ID: "fig2", Title: "Speedup over [NB3, 2 CUs] at P5/DPM4; energy-optimal marks",
+		Columns: []string{"kernel/NB", "2 CUs", "4 CUs", "6 CUs", "8 CUs"},
+	}
+	for _, k := range fig2Kernels() {
+		base := k.TimeMS(hw.Config{CPU: hw.P5, NB: hw.NB3, GPU: hw.DPM4, CUs: 2})
+		for nb := hw.NB3; nb >= hw.NB0; nb-- {
+			var vals []float64
+			for cu := int8(2); cu <= 8; cu += 2 {
+				c := hw.Config{CPU: hw.P5, NB: nb, GPU: hw.DPM4, CUs: cu}
+				vals = append(vals, base/k.TimeMS(c))
+			}
+			t.AddRow(fmt.Sprintf("%s/%s", k.Name(), nb), vals...)
+		}
+		best, m := k.OptimalConfig(f.Space, 0)
+		t.Note("%s (%s): energy-optimal at %v (%.2f ms, %.1f W)",
+			k.Name(), k.P.Class, best, m.TimeMS, m.TotalW())
+	}
+	t.Note("paper: compute-bound optimal at low NB/many CUs; memory-bound saturates from NB2; peak best below 8 CUs; unscalable at lowest config")
+	return t, nil
+}
+
+func runFig3(f *Fixture) (*Table, error) {
+	t := &Table{
+		ID: "fig3", Title: "Kernel throughput normalized to overall app throughput (Turbo Core configs)",
+		Columns: []string{"app", "k01", "k02", "k03", "k04", "k05", "k06", "k07", "k08", "k09", "k10",
+			"k11", "k12", "k13", "k14", "k15", "k16", "k17", "k18", "k19", "k20",
+			"k21", "k22", "k23", "k24", "k25", "k26", "k27", "k28", "k29", "k30"},
+	}
+	for _, name := range []string{"Spmv", "kmeans", "hybridsort"} {
+		app := f.App(name)
+		base, target := f.Baseline(app)
+		_ = base
+		var vals []float64
+		for _, k := range app.Kernels {
+			tp := k.Throughput(hw.MaxPerf())
+			vals = append(vals, tp/target.Throughput())
+		}
+		t.AddRow(name, vals...)
+	}
+	t.Note("paper: Spmv transitions high-to-low, kmeans low-to-high, hybridsort varies per kernel and input")
+	return t, nil
+}
+
+func runTableII(f *Fixture) (*Table, error) {
+	t := &Table{
+		ID: "tableII", Title: "Execution pattern of three irregular benchmarks",
+		Columns: []string{"benchmark"},
+	}
+	for _, name := range []string{"Spmv", "kmeans", "hybridsort"} {
+		app := f.App(name)
+		t.AddRow(fmt.Sprintf("%-12s %s", name, app.Pattern))
+	}
+	t.Note("paper: Spmv=A10B10C10, kmeans=AB20, hybridsort=ABCDEF1..F9G")
+	return t, nil
+}
+
+func runTableIV(f *Fixture) (*Table, error) {
+	t := &Table{
+		ID: "tableIV", Title: "Benchmarks with their execution pattern",
+		Columns: []string{"benchmark", "kernels"},
+	}
+	for i := range f.Apps {
+		app := &f.Apps[i]
+		t.AddRow(fmt.Sprintf("%-14s %-12s %-40s %s", app.Name, app.Suite, app.Category, app.Pattern),
+			float64(app.Len()))
+	}
+	return t, nil
+}

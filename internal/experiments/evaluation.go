@@ -1,0 +1,369 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"mpcdvfs/internal/kernel"
+	"mpcdvfs/internal/policy"
+	"mpcdvfs/internal/predict"
+	"mpcdvfs/internal/sim"
+	"mpcdvfs/internal/stats"
+	"mpcdvfs/internal/workload"
+)
+
+func init() {
+	register("fig4", "Limit study: PPK vs Theoretically Optimal, perfect knowledge (Fig. 4)", runFig4)
+	register("fig8", "PPK and MPC energy savings / speedup over Turbo Core (Fig. 8)", runFig8)
+	register("fig9", "MPC energy savings and speedup over PPK (Fig. 9)", runFig9)
+	register("fig10", "GPU energy savings over Turbo Core (Fig. 10)", runFig10)
+	register("fig11", "Amortization of initial losses over re-executions (Fig. 11)", runFig11)
+	register("fig12", "MPC vs Theoretically Optimal, perfect prediction (Fig. 12)", runFig12)
+	register("mape", "Random Forest prediction accuracy (§VI-D)", runMAPE)
+	register("fig13", "Ramification of prediction inaccuracy (Fig. 13)", runFig13)
+}
+
+// steadyRun executes a fresh MPC policy through its profiling run plus
+// `steady` MPC runs and returns all results.
+func steadyRun(eng *sim.Engine, app *workload.App, target sim.Target, m *policy.MPC, steady int) ([]*sim.Result, error) {
+	return eng.RunRepeated(app, m, target, steady+1)
+}
+
+// runFig4 reproduces the §II-E limit study: both schemes get perfect
+// knowledge (oracle) and no overheads; TO additionally knows the future.
+func runFig4(f *Fixture) (*Table, error) {
+	t := &Table{
+		ID: "fig4", Title: "Energy savings (%) and speedup over Turbo Core, perfect knowledge",
+		Columns: []string{"benchmark", "PPK save%", "TO save%", "PPK speedup", "TO speedup"},
+	}
+	var ps, ts, psp, tsp []float64
+	for i := range f.Apps {
+		app := &f.Apps[i]
+		base, target := f.Baseline(app)
+		oracle := f.Oracle(app)
+
+		ppk := policy.NewPPK(oracle, f.Space)
+		pres, err := f.Free.Run(app, ppk, target, true)
+		if err != nil {
+			return nil, err
+		}
+		to := policy.NewTheoreticallyOptimal(app, f.Space)
+		tres, err := f.Free.Run(app, to, target, true)
+		if err != nil {
+			return nil, err
+		}
+		pc := sim.Compare(pres, base)
+		tc := sim.Compare(tres, base)
+		t.AddRow(app.Name, pc.EnergySavingsPct, tc.EnergySavingsPct, pc.Speedup, tc.Speedup)
+		ps = append(ps, pc.EnergySavingsPct)
+		ts = append(ts, tc.EnergySavingsPct)
+		psp = append(psp, pc.Speedup)
+		tsp = append(tsp, tc.Speedup)
+	}
+	t.Note("mean: PPK %.1f%% / %.3fx, TO %.1f%% / %.3fx",
+		stats.Mean(ps), stats.GeoMean(psp), stats.Mean(ts), stats.GeoMean(tsp))
+	t.Note("paper: PPK matches TO on regular apps; on irregular apps PPK loses up to 48%% energy and 46%% performance vs TO")
+	return t, nil
+}
+
+// fig8Data computes the Fig. 8 scenario: PPK and steady-state MPC with
+// the Random Forest predictor, overheads included. Shared by Figs. 8-10.
+type fig8Entry struct {
+	app  *workload.App
+	base *sim.Result
+	ppk  *sim.Result
+	mpc  *sim.Result
+	m    *policy.MPC
+}
+
+func fig8Data(f *Fixture) ([]fig8Entry, error) {
+	rf, err := f.RF()
+	if err != nil {
+		return nil, err
+	}
+	var out []fig8Entry
+	for i := range f.Apps {
+		app := &f.Apps[i]
+		base, target := f.Baseline(app)
+
+		ppk := policy.NewPPK(rf, f.Space)
+		// PPK is stateless across runs; one run is its steady state.
+		pres, err := f.Engine.Run(app, ppk, target, true)
+		if err != nil {
+			return nil, err
+		}
+		m := policy.NewMPC(rf, f.Space)
+		rs, err := steadyRun(f.Engine, app, target, m, 1)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fig8Entry{app: app, base: base, ppk: pres, mpc: rs[1], m: m})
+	}
+	return out, nil
+}
+
+var fig8Cache struct {
+	once    sync.Once
+	entries []fig8Entry
+	err     error
+}
+
+func fig8Cached(f *Fixture) ([]fig8Entry, error) {
+	if f == Shared() {
+		fig8Cache.once.Do(func() {
+			fig8Cache.entries, fig8Cache.err = fig8Data(f)
+		})
+		return fig8Cache.entries, fig8Cache.err
+	}
+	return fig8Data(f)
+}
+
+func runFig8(f *Fixture) (*Table, error) {
+	entries, err := fig8Cached(f)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID: "fig8", Title: "PPK and MPC vs Turbo Core (RF predictor, overheads included)",
+		Columns: []string{"benchmark", "PPK save%", "MPC save%", "PPK speedup", "MPC speedup"},
+	}
+	var ms, msp, pspd []float64
+	for _, e := range entries {
+		pc := sim.Compare(e.ppk, e.base)
+		mc := sim.Compare(e.mpc, e.base)
+		t.AddRow(e.app.Name, pc.EnergySavingsPct, mc.EnergySavingsPct, pc.Speedup, mc.Speedup)
+		ms = append(ms, mc.EnergySavingsPct)
+		msp = append(msp, mc.Speedup)
+		pspd = append(pspd, pc.Speedup)
+	}
+	t.Note("mean MPC: %.1f%% energy savings, %.3fx speedup (perf loss %.1f%%)",
+		stats.Mean(ms), stats.GeoMean(msp), 100*(1-stats.GeoMean(msp)))
+	t.Note("paper: MPC saves 24.8%% energy with 1.8%% performance loss vs Turbo Core")
+	return t, nil
+}
+
+func runFig9(f *Fixture) (*Table, error) {
+	entries, err := fig8Cached(f)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID: "fig9", Title: "MPC vs PPK (RF predictor, overheads included)",
+		Columns: []string{"benchmark", "energy save% over PPK", "speedup over PPK"},
+	}
+	var es, sp []float64
+	for _, e := range entries {
+		save := 100 * (1 - e.mpc.TotalEnergyMJ()/e.ppk.TotalEnergyMJ())
+		spd := e.ppk.TotalTimeMS() / e.mpc.TotalTimeMS()
+		t.AddRow(e.app.Name, save, spd)
+		es = append(es, save)
+		sp = append(sp, spd)
+	}
+	t.Note("mean: %.1f%% energy savings, %.3fx speedup over PPK", stats.Mean(es), stats.GeoMean(sp))
+	t.Note("paper: MPC outperforms PPK by 9.6%% while reducing energy by 6.6%%")
+	return t, nil
+}
+
+func runFig10(f *Fixture) (*Table, error) {
+	entries, err := fig8Cached(f)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID: "fig10", Title: "GPU (incl. NB) energy savings over Turbo Core",
+		Columns: []string{"benchmark", "PPK GPU save%", "MPC GPU save%"},
+	}
+	var ms []float64
+	for _, e := range entries {
+		pc := sim.Compare(e.ppk, e.base)
+		mc := sim.Compare(e.mpc, e.base)
+		t.AddRow(e.app.Name, pc.GPUEnergySavingsPct, mc.GPUEnergySavingsPct)
+		ms = append(ms, mc.GPUEnergySavingsPct)
+	}
+	t.Note("mean MPC GPU energy savings: %.1f%%", stats.Mean(ms))
+	t.Note("paper: ~10%% average, max 51%% for lbm (peak kernels); CPU contributes 75%% of chip-wide savings")
+	return t, nil
+}
+
+func runFig11(f *Fixture) (*Table, error) {
+	rf, err := f.RF()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID: "fig11", Title: "MPC vs PPK cumulative over re-executions after the initial run",
+		Columns: []string{"benchmark", "1 save%", "10 save%", "100 save%", "steady save%",
+			"1 spd", "10 spd", "100 spd", "steady spd"},
+	}
+	reExecs := []int{1, 10, 100}
+	var means [][]float64 = make([][]float64, 8)
+	for i := range f.Apps {
+		app := &f.Apps[i]
+		_, target := f.Baseline(app)
+
+		ppk := policy.NewPPK(rf, f.Space)
+		pres, err := f.Engine.Run(app, ppk, target, true)
+		if err != nil {
+			return nil, err
+		}
+		m := policy.NewMPC(rf, f.Space)
+		// Run profiling + 2 steady invocations; steady-state behaviour is
+		// stable after the extractor converges, so later runs replay the
+		// third run's totals.
+		rs, err := steadyRun(f.Engine, app, target, m, 2)
+		if err != nil {
+			return nil, err
+		}
+		firstE, firstT := rs[0].TotalEnergyMJ(), rs[0].TotalTimeMS()
+		steadyE, steadyT := rs[2].TotalEnergyMJ(), rs[2].TotalTimeMS()
+		run2E, run2T := rs[1].TotalEnergyMJ(), rs[1].TotalTimeMS()
+		ppkE, ppkT := pres.TotalEnergyMJ(), pres.TotalTimeMS()
+
+		cum := func(r int) (savePct, speedup float64) {
+			// MPC: initial PPK profiling run + r re-executions.
+			mE := firstE + run2E
+			mT := firstT + run2T
+			if r > 1 {
+				mE += float64(r-1) * steadyE
+				mT += float64(r-1) * steadyT
+			}
+			pE := float64(r+1) * ppkE
+			pT := float64(r+1) * ppkT
+			return 100 * (1 - mE/pE), pT / mT
+		}
+		row := make([]float64, 0, 8)
+		for _, r := range reExecs {
+			s, _ := cum(r)
+			row = append(row, s)
+		}
+		row = append(row, 100*(1-steadyE/ppkE))
+		for _, r := range reExecs {
+			_, sp := cum(r)
+			row = append(row, sp)
+		}
+		row = append(row, ppkT/steadyT)
+		t.AddRow(app.Name, row...)
+		for j, v := range row {
+			means[j] = append(means[j], v)
+		}
+	}
+	t.Note("mean: save%% {1:%.1f 10:%.1f 100:%.1f steady:%.1f}, speedup {1:%.3f 10:%.3f 100:%.3f steady:%.3f}",
+		stats.Mean(means[0]), stats.Mean(means[1]), stats.Mean(means[2]), stats.Mean(means[3]),
+		stats.GeoMean(means[4]), stats.GeoMean(means[5]), stats.GeoMean(means[6]), stats.GeoMean(means[7]))
+	t.Note("paper: non-negligible gains after one re-execution; most of the full gains after ten")
+	return t, nil
+}
+
+func runFig12(f *Fixture) (*Table, error) {
+	t := &Table{
+		ID: "fig12", Title: "MPC (perfect prediction, full horizon, no overhead) vs Theoretically Optimal",
+		Columns: []string{"benchmark", "MPC save%", "TO save%", "MPC speedup", "TO speedup"},
+	}
+	var ms, ts, msp, tsp []float64
+	for i := range f.Apps {
+		app := &f.Apps[i]
+		base, target := f.Baseline(app)
+		oracle := f.Oracle(app)
+
+		m := policy.NewMPC(oracle, f.Space, policy.WithFullHorizon())
+		rs, err := steadyRun(f.Free, app, target, m, 1)
+		if err != nil {
+			return nil, err
+		}
+		to := policy.NewTheoreticallyOptimal(app, f.Space)
+		tres, err := f.Free.Run(app, to, target, true)
+		if err != nil {
+			return nil, err
+		}
+		mc := sim.Compare(rs[1], base)
+		tc := sim.Compare(tres, base)
+		t.AddRow(app.Name, mc.EnergySavingsPct, tc.EnergySavingsPct, mc.Speedup, tc.Speedup)
+		ms = append(ms, mc.EnergySavingsPct)
+		ts = append(ts, tc.EnergySavingsPct)
+		msp = append(msp, mc.Speedup)
+		tsp = append(tsp, tc.Speedup)
+	}
+	frac := stats.Mean(ms) / stats.Mean(ts) * 100
+	t.Note("MPC achieves %.0f%% of the theoretical energy savings (paper: 92%% of savings, 93%% of perf gain)", frac)
+	t.Note("mean: MPC %.1f%%/%.3fx, TO %.1f%%/%.3fx", stats.Mean(ms), stats.GeoMean(msp), stats.Mean(ts), stats.GeoMean(tsp))
+	return t, nil
+}
+
+func runMAPE(f *Fixture) (*Table, error) {
+	rf, err := f.RF()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID: "mape", Title: "Random Forest prediction MAPE over the 15 benchmarks",
+		Columns: []string{"benchmark", "time MAPE %", "power MAPE %"},
+	}
+	var alltm, allpm []float64
+	for i := range f.Apps {
+		app := &f.Apps[i]
+		// Deduplicate repeated invocations: accuracy is a per-kernel
+		// property.
+		seen := map[string]bool{}
+		var kernels []kernel.Kernel
+		for _, k := range app.Kernels {
+			key := fmt.Sprintf("%s@%g", k.Name(), k.InputScale)
+			if !seen[key] {
+				seen[key] = true
+				kernels = append(kernels, k)
+			}
+		}
+		tm, pm := predict.MAPE(rf, kernels, f.Space)
+		t.AddRow(app.Name, 100*tm, 100*pm)
+		alltm = append(alltm, tm)
+		allpm = append(allpm, pm)
+	}
+	t.Note("mean: time %.1f%%, power %.1f%% (paper: 25%% and 12%%)",
+		100*stats.Mean(alltm), 100*stats.Mean(allpm))
+	return t, nil
+}
+
+func runFig13(f *Fixture) (*Table, error) {
+	rf, err := f.RF()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID: "fig13", Title: "Prediction-error ablation (full horizon, no overhead)",
+		Columns: []string{"benchmark", "RF save%", "Err15/10 save%", "Err5 save%", "Err0 save%",
+			"RF spd", "Err15/10 spd", "Err5 spd", "Err0 spd"},
+	}
+	sums := make([][]float64, 8)
+	for i := range f.Apps {
+		app := &f.Apps[i]
+		base, target := f.Baseline(app)
+		oracle := f.Oracle(app)
+
+		models := []predict.Model{
+			rf,
+			predict.NewWithError(oracle, 0.15, 0.10, 77),
+			predict.NewWithError(oracle, 0.05, 0.05, 78),
+			predict.NewWithError(oracle, 0, 0, 79),
+		}
+		row := make([]float64, 8)
+		for mi, model := range models {
+			m := policy.NewMPC(model, f.Space, policy.WithFullHorizon())
+			rs, err := steadyRun(f.Free, app, target, m, 1)
+			if err != nil {
+				return nil, err
+			}
+			c := sim.Compare(rs[1], base)
+			row[mi] = c.EnergySavingsPct
+			row[4+mi] = c.Speedup
+		}
+		t.AddRow(app.Name, row...)
+		for j, v := range row {
+			sums[j] = append(sums[j], v)
+		}
+	}
+	t.Note("mean save%%: RF %.1f, Err15/10 %.1f, Err5 %.1f, Err0 %.1f",
+		stats.Mean(sums[0]), stats.Mean(sums[1]), stats.Mean(sums[2]), stats.Mean(sums[3]))
+	t.Note("mean speedup: RF %.3f, Err15/10 %.3f, Err5 %.3f, Err0 %.3f",
+		stats.GeoMean(sums[4]), stats.GeoMean(sums[5]), stats.GeoMean(sums[6]), stats.GeoMean(sums[7]))
+	t.Note("paper: results are not highly sensitive to prediction accuracy (25%% RF vs 27-28%% for better models)")
+	return t, nil
+}

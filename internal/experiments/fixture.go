@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mpcdvfs/internal/hw"
+	"mpcdvfs/internal/predict"
+	"mpcdvfs/internal/sim"
+	"mpcdvfs/internal/workload"
+)
+
+// rfSeed fixes the offline Random Forest training; every experiment is
+// bit-reproducible.
+const rfSeed = 20170204 // HPCA 2017
+
+// Fixture holds everything the experiment runners share: the engine, the
+// 15 benchmarks, their Turbo Core baselines, per-app oracles, and the
+// lazily trained Random Forest predictor.
+type Fixture struct {
+	Space  hw.Space
+	Engine *sim.Engine // default cost model (overheads charged)
+	Free   *sim.Engine // zero-cost engine for overhead-free studies
+	Apps   []workload.App
+
+	baseMu    sync.Mutex
+	baselines map[string]baselineEntry
+
+	rfOnce sync.Once
+	rf     *predict.RandomForest
+	rfErr  error
+
+	oracleMu sync.Mutex
+	oracles  map[string]*predict.Oracle
+}
+
+type baselineEntry struct {
+	res    *sim.Result
+	target sim.Target
+}
+
+var (
+	sharedOnce sync.Once
+	shared     *Fixture
+)
+
+// Shared returns the process-wide fixture.
+func Shared() *Fixture {
+	sharedOnce.Do(func() { shared = NewFixture() })
+	return shared
+}
+
+// NewFixture builds an independent fixture (tests that mutate state use
+// their own).
+func NewFixture() *Fixture {
+	space := hw.DefaultSpace()
+	free := sim.NewEngine(space)
+	free.Cost = sim.CostModel{}
+	return &Fixture{
+		Space:     space,
+		Engine:    sim.NewEngine(space),
+		Free:      free,
+		Apps:      workload.Benchmarks(),
+		baselines: map[string]baselineEntry{},
+		oracles:   map[string]*predict.Oracle{},
+	}
+}
+
+// Baseline returns the Turbo Core run and target for app (cached).
+func (f *Fixture) Baseline(app *workload.App) (*sim.Result, sim.Target) {
+	f.baseMu.Lock()
+	defer f.baseMu.Unlock()
+	if e, ok := f.baselines[app.Name]; ok {
+		return e.res, e.target
+	}
+	res, target, err := f.Engine.Baseline(app)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: baseline %s: %v", app.Name, err))
+	}
+	f.baselines[app.Name] = baselineEntry{res, target}
+	return res, target
+}
+
+// Oracle returns a perfect predictor for app (cached).
+func (f *Fixture) Oracle(app *workload.App) *predict.Oracle {
+	f.oracleMu.Lock()
+	defer f.oracleMu.Unlock()
+	if o, ok := f.oracles[app.Name]; ok {
+		return o
+	}
+	o := predict.NewOracle()
+	for _, k := range app.Kernels {
+		o.Register(k)
+	}
+	f.oracles[app.Name] = o
+	return o
+}
+
+// RF returns the offline-trained Random Forest predictor, training it on
+// first use (seeded, deterministic).
+func (f *Fixture) RF() (*predict.RandomForest, error) {
+	f.rfOnce.Do(func() {
+		opt := predict.DefaultTrainOptions(rfSeed)
+		f.rf, f.rfErr = predict.TrainRandomForest(opt)
+	})
+	return f.rf, f.rfErr
+}
+
+// App returns the named benchmark from the fixture.
+func (f *Fixture) App(name string) *workload.App {
+	for i := range f.Apps {
+		if f.Apps[i].Name == name {
+			return &f.Apps[i]
+		}
+	}
+	panic(fmt.Sprintf("experiments: unknown app %s", name))
+}
+
+// Runner regenerates one table or figure.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func(*Fixture) (*Table, error)
+}
+
+var registry []Runner
+
+func register(id, title string, run func(*Fixture) (*Table, error)) {
+	registry = append(registry, Runner{ID: id, Title: title, Run: run})
+}
+
+// Runners returns all registered experiment runners sorted by their
+// registration IDs' paper order.
+func Runners() []Runner {
+	out := append([]Runner(nil), registry...)
+	sort.SliceStable(out, func(a, b int) bool { return order(out[a].ID) < order(out[b].ID) })
+	return out
+}
+
+// order maps experiment IDs to paper presentation order.
+func order(id string) int {
+	idx := []string{
+		"tableI", "fig2", "fig3", "tableII", "fig4", "tableIV",
+		"fig8", "fig9", "fig10", "fig11", "fig12", "mape", "fig13",
+		"fig14", "fig15", "horizonablation",
+		"searchablation", "orderablation", "tosolver",
+		"overheadhiding", "backtrack", "fullspace", "predictorablation",
+		"transitionablation", "thermalstress", "governors", "population",
+		"featureimportance",
+	}
+	for i, s := range idx {
+		if s == id {
+			return i
+		}
+	}
+	return len(idx)
+}
+
+// ByID returns the runner with the given ID.
+func ByID(id string) (Runner, bool) {
+	for _, r := range registry {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}

@@ -1,0 +1,117 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§II, §VI) from the simulated system: one runner per
+// table/figure, all driven from a shared fixture so the Turbo Core
+// baselines and the offline-trained Random Forest are computed once.
+//
+// Runners return typed Tables that cmd/experiments renders as text;
+// EXPERIMENTS.md records the paper-reported values next to the measured
+// ones.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one regenerated figure or table.
+type Table struct {
+	ID      string   // e.g. "fig8"
+	Title   string   // paper caption, abbreviated
+	Columns []string // first column is the row label
+	Rows    []Row
+	Notes   []string // summary lines (averages, paper-reported values)
+}
+
+// Row is one line of a Table.
+type Row struct {
+	Name   string
+	Values []float64
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(name string, values ...float64) {
+	t.Rows = append(t.Rows, Row{Name: name, Values: values})
+}
+
+// Note appends a formatted summary line.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	if len(t.Columns) > 0 {
+		widths := make([]int, len(t.Columns))
+		for i, c := range t.Columns {
+			widths[i] = len(c)
+		}
+		cells := make([][]string, len(t.Rows))
+		for r, row := range t.Rows {
+			cells[r] = make([]string, len(t.Columns))
+			cells[r][0] = row.Name
+			if len(row.Name) > widths[0] {
+				widths[0] = len(row.Name)
+			}
+			for i, v := range row.Values {
+				if i+1 >= len(t.Columns) {
+					break
+				}
+				s := formatValue(v)
+				cells[r][i+1] = s
+				if len(s) > widths[i+1] {
+					widths[i+1] = len(s)
+				}
+			}
+		}
+		for i, c := range t.Columns {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, strings.Repeat("-", sum(widths)+2*(len(widths)-1)))
+		for _, row := range cells {
+			for i, c := range row {
+				if i > 0 {
+					fmt.Fprint(w, "  ")
+				}
+				if i == 0 {
+					fmt.Fprintf(w, "%-*s", widths[i], c)
+				} else {
+					fmt.Fprintf(w, "%*s", widths[i], c)
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func formatValue(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case av >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+func sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAlignment(t *testing.T) {
+	tab := &Table{
+		ID: "t", Title: "test",
+		Columns: []string{"name", "a", "b"},
+	}
+	tab.AddRow("short", 1, 2)
+	tab.AddRow("a-much-longer-name", 33.333, 4444)
+	tab.Note("note %d", 7)
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // header line, columns, rule, 2 rows, note
+		t.Fatalf("rendered %d lines: %q", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "== t: test ==") {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.Contains(out, "note 7") {
+		t.Error("note missing")
+	}
+	// Data rows align under the header columns (same rune width).
+	if len(lines[3]) == 0 || len(lines[4]) == 0 {
+		t.Error("empty data rows")
+	}
+}
+
+func TestTableRenderValueFormats(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{1234.5, "1234"}, // large: no decimals (rounded)
+		{33.333, "33.3"}, // medium: one decimal
+		{0.123, "0.123"}, // small: three decimals
+		{-5.5, "-5.500"},
+	}
+	for _, c := range cases {
+		if got := formatValue(c.v); !strings.HasPrefix(got, c.want[:3]) {
+			t.Errorf("formatValue(%v) = %q, want prefix of %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestTableRenderRowsWithoutValues(t *testing.T) {
+	// Rows carrying only names (tableII style) must render without
+	// panicking even with more columns declared.
+	tab := &Table{ID: "x", Title: "names only", Columns: []string{"row", "v"}}
+	tab.AddRow("just-a-name")
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	if !strings.Contains(buf.String(), "just-a-name") {
+		t.Error("row name missing")
+	}
+}
+
+// TestDeterministicRegeneration pins the reproducibility claim: two runs
+// of the same experiment render byte-identical output.
+func TestDeterministicRegeneration(t *testing.T) {
+	for _, id := range []string{"tableI", "fig2", "fig3", "fig4", "tosolver"} {
+		r, ok := ByID(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		render := func() string {
+			tab, err := r.Run(Shared())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			tab.Render(&buf)
+			return buf.String()
+		}
+		a, b := render(), render()
+		if a != b {
+			t.Errorf("%s renders differently across runs", id)
+		}
+	}
+}
+
+func TestRunnerTitlesNonEmpty(t *testing.T) {
+	for _, r := range Runners() {
+		if r.Title == "" || r.ID == "" {
+			t.Errorf("runner %q has empty metadata", r.ID)
+		}
+	}
+}

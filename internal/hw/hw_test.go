@@ -1,0 +1,309 @@
+package hw
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestTableIMatchesPaper pins the DVFS tables to the exact values
+// published in Table I of the paper.
+func TestTableIMatchesPaper(t *testing.T) {
+	cpu := []struct {
+		s    CPUPState
+		volt float64
+		freq float64
+	}{
+		{P1, 1.325, 3.9}, {P2, 1.3125, 3.8}, {P3, 1.2625, 3.7},
+		{P4, 1.225, 3.5}, {P5, 1.0625, 3.0}, {P6, 0.975, 2.4}, {P7, 0.8875, 1.7},
+	}
+	for _, c := range cpu {
+		if c.s.Voltage() != c.volt {
+			t.Errorf("%s voltage = %v, want %v", c.s, c.s.Voltage(), c.volt)
+		}
+		if c.s.FreqGHz() != c.freq {
+			t.Errorf("%s freq = %v, want %v", c.s, c.s.FreqGHz(), c.freq)
+		}
+	}
+
+	nb := []struct {
+		s      NBState
+		freq   float64
+		memMHz float64
+	}{
+		{NB0, 1.8, 800}, {NB1, 1.6, 800}, {NB2, 1.4, 800}, {NB3, 1.1, 333},
+	}
+	for _, n := range nb {
+		if n.s.FreqGHz() != n.freq {
+			t.Errorf("%s freq = %v, want %v", n.s, n.s.FreqGHz(), n.freq)
+		}
+		if n.s.MemFreqMHz() != n.memMHz {
+			t.Errorf("%s mem freq = %v, want %v", n.s, n.s.MemFreqMHz(), n.memMHz)
+		}
+	}
+
+	gpu := []struct {
+		s    GPUState
+		volt float64
+		freq float64
+	}{
+		{DPM0, 0.95, 351}, {DPM1, 1.05, 450}, {DPM2, 1.125, 553},
+		{DPM3, 1.1875, 654}, {DPM4, 1.225, 720},
+	}
+	for _, g := range gpu {
+		if g.s.Voltage() != g.volt {
+			t.Errorf("%s voltage = %v, want %v", g.s, g.s.Voltage(), g.volt)
+		}
+		if g.s.FreqMHz() != g.freq {
+			t.Errorf("%s freq = %v, want %v", g.s, g.s.FreqMHz(), g.freq)
+		}
+	}
+}
+
+func TestCPUStatesMonotonic(t *testing.T) {
+	for p := P2; p <= P7; p++ {
+		if p.Voltage() >= (p - 1).Voltage() {
+			t.Errorf("%s voltage %v not below %s voltage %v", p, p.Voltage(), p-1, (p - 1).Voltage())
+		}
+		if p.FreqGHz() >= (p - 1).FreqGHz() {
+			t.Errorf("%s freq %v not below %s freq %v", p, p.FreqGHz(), p-1, (p - 1).FreqGHz())
+		}
+	}
+}
+
+func TestGPUStatesMonotonic(t *testing.T) {
+	for g := DPM1; g <= DPM4; g++ {
+		if g.Voltage() <= (g - 1).Voltage() {
+			t.Errorf("%s voltage not above %s", g, g-1)
+		}
+		if g.FreqMHz() <= (g - 1).FreqMHz() {
+			t.Errorf("%s freq not above %s", g, g-1)
+		}
+	}
+}
+
+func TestMemBandwidthSaturation(t *testing.T) {
+	// NB0, NB1, NB2 share the same 800 MHz DRAM clock (paper §II-C): the
+	// bandwidth of memory-bound kernels saturates from NB2 onwards.
+	if NB0.MemBWGBs() != NB1.MemBWGBs() || NB1.MemBWGBs() != NB2.MemBWGBs() {
+		t.Errorf("NB0..NB2 bandwidth differ: %v %v %v", NB0.MemBWGBs(), NB1.MemBWGBs(), NB2.MemBWGBs())
+	}
+	if NB3.MemBWGBs() >= NB2.MemBWGBs() {
+		t.Errorf("NB3 bandwidth %v not below NB2 %v", NB3.MemBWGBs(), NB2.MemBWGBs())
+	}
+	if got := NB0.MemBWGBs(); got != 25.6 {
+		t.Errorf("NB0 bandwidth = %v GB/s, want 25.6", got)
+	}
+}
+
+func TestSharedRailVoltage(t *testing.T) {
+	// A high NB state prevents lowering the GPU voltage with its frequency
+	// (paper §II-A).
+	low := Config{CPU: P7, NB: NB0, GPU: DPM0, CUs: 2}
+	if v := low.RailVoltage(); v != NB0.MinVoltage() {
+		t.Errorf("DPM0+NB0 rail = %v, want NB0 floor %v", v, NB0.MinVoltage())
+	}
+	// A high GPU state dominates a low NB state.
+	hi := Config{CPU: P7, NB: NB3, GPU: DPM4, CUs: 2}
+	if v := hi.RailVoltage(); v != DPM4.Voltage() {
+		t.Errorf("DPM4+NB3 rail = %v, want DPM4 voltage %v", v, DPM4.Voltage())
+	}
+}
+
+func TestDefaultSpaceSize(t *testing.T) {
+	s := DefaultSpace()
+	if got := s.Size(); got != 336 {
+		t.Fatalf("default space size = %d, want 336 (paper §V)", got)
+	}
+	if got := FullSpace().Size(); got != 560 {
+		t.Fatalf("full space size = %d, want 560", got)
+	}
+	cpu, nb, gpu, cu := s.KnobStates()
+	if cpu+nb+gpu+cu != 18 {
+		t.Errorf("knob sum = %d, want 18", cpu+nb+gpu+cu)
+	}
+}
+
+func TestSpaceAtIndexRoundTrip(t *testing.T) {
+	for _, s := range []Space{DefaultSpace(), FullSpace()} {
+		for i := 0; i < s.Size(); i++ {
+			c := s.At(i)
+			if !c.Valid() {
+				t.Fatalf("At(%d) = %v invalid", i, c)
+			}
+			if j := s.Index(c); j != i {
+				t.Fatalf("Index(At(%d)) = %d", i, j)
+			}
+		}
+	}
+}
+
+func TestSpaceForEachMatchesAt(t *testing.T) {
+	s := DefaultSpace()
+	i := 0
+	s.ForEach(func(c Config) {
+		if c != s.At(i) {
+			t.Fatalf("ForEach[%d] = %v, At = %v", i, c, s.At(i))
+		}
+		i++
+	})
+	if i != s.Size() {
+		t.Fatalf("ForEach visited %d configs, want %d", i, s.Size())
+	}
+	if got := len(s.Configs()); got != s.Size() {
+		t.Fatalf("Configs len = %d, want %d", got, s.Size())
+	}
+}
+
+func TestSpaceIndexRejectsForeign(t *testing.T) {
+	s := DefaultSpace() // has no DPM1
+	c := Config{CPU: P1, NB: NB0, GPU: DPM1, CUs: 8}
+	if s.Index(c) != -1 || s.Contains(c) {
+		t.Errorf("default space should not contain %v", c)
+	}
+	if !FullSpace().Contains(c) {
+		t.Errorf("full space should contain %v", c)
+	}
+}
+
+func TestFailSafeInDefaultSpace(t *testing.T) {
+	fs := FailSafe()
+	want := Config{CPU: P7, NB: NB2, GPU: DPM4, CUs: 8}
+	if fs != want {
+		t.Fatalf("FailSafe = %v, want %v", fs, want)
+	}
+	if !DefaultSpace().Contains(fs) {
+		t.Errorf("fail-safe %v not in default space", fs)
+	}
+	if !DefaultSpace().Contains(MaxPerf()) {
+		t.Errorf("max-perf %v not in default space", MaxPerf())
+	}
+}
+
+func TestKnobStepWalksWholeAxis(t *testing.T) {
+	s := DefaultSpace()
+	for _, k := range Knobs() {
+		start := s.WithKnob(MaxPerf(), k, 0)
+		c := start
+		n := 1
+		for {
+			next, ok := s.Step(c, k, +1)
+			if !ok {
+				break
+			}
+			c = next
+			n++
+		}
+		if n != s.KnobLen(k) {
+			t.Errorf("knob %s walked %d states, want %d", k, n, s.KnobLen(k))
+		}
+		// Walking back down returns to the start.
+		for {
+			prev, ok := s.Step(c, k, -1)
+			if !ok {
+				break
+			}
+			c = prev
+		}
+		if c != start {
+			t.Errorf("knob %s round trip ended at %v, want %v", k, c, start)
+		}
+	}
+}
+
+func TestWithKnobPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WithKnob out of range did not panic")
+		}
+	}()
+	s := DefaultSpace()
+	s.WithKnob(MaxPerf(), KnobGPU, 99)
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At out of range did not panic")
+		}
+	}()
+	DefaultSpace().At(336)
+}
+
+func TestClampMapsForeignConfigs(t *testing.T) {
+	s := DefaultSpace()
+	c := Config{CPU: P3, NB: NB1, GPU: DPM1, CUs: 8} // DPM1 not in space
+	cl := s.Clamp(c)
+	if !s.Contains(cl) {
+		t.Fatalf("Clamp(%v) = %v not in space", c, cl)
+	}
+	if cl.GPU != DPM0 && cl.GPU != DPM2 {
+		t.Errorf("Clamp mapped DPM1 to %v, want a neighbor", cl.GPU)
+	}
+	// A config already in the space is unchanged.
+	if got := s.Clamp(FailSafe()); got != FailSafe() {
+		t.Errorf("Clamp(failsafe) = %v", got)
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	c := FailSafe()
+	if got, want := c.String(), "[P7, NB2, DPM4, 8 CUs]"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	if CPUPState(42).String() == "" || NBState(42).String() == "" || GPUState(42).String() == "" {
+		t.Error("invalid state String should be non-empty")
+	}
+	if Knob(9).String() == "" {
+		t.Error("invalid knob String should be non-empty")
+	}
+}
+
+// Property: every config produced by Clamp is in the space, for arbitrary
+// (possibly invalid) inputs.
+func TestClampAlwaysInSpaceQuick(t *testing.T) {
+	s := DefaultSpace()
+	f := func(cpu, nb, gpu, cu int8) bool {
+		c := s.Clamp(Config{CPU: CPUPState(cpu), NB: NBState(nb), GPU: GPUState(gpu), CUs: cu})
+		return s.Contains(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Step never leaves the space and is inverted by the opposite
+// step.
+func TestStepInverseQuick(t *testing.T) {
+	s := FullSpace()
+	cfgs := s.Configs()
+	f := func(idx uint16, knob uint8, up bool) bool {
+		c := cfgs[int(idx)%len(cfgs)]
+		k := Knob(knob % NumKnobs)
+		dir := 1
+		if !up {
+			dir = -1
+		}
+		next, ok := s.Step(c, k, dir)
+		if !ok {
+			return true
+		}
+		if !s.Contains(next) {
+			return false
+		}
+		back, ok := s.Step(next, k, -dir)
+		return ok && back == c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRailVoltageNeverBelowEitherDemand(t *testing.T) {
+	FullSpace().ForEach(func(c Config) {
+		v := c.RailVoltage()
+		if v < c.GPU.Voltage() || v < c.NB.MinVoltage() {
+			t.Fatalf("%v rail voltage %v below demand", c, v)
+		}
+	})
+}

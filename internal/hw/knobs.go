@@ -1,0 +1,159 @@
+package hw
+
+import "fmt"
+
+// Knob identifies one of the four adjustable hardware dimensions. The
+// greedy hill-climbing optimizer (paper §IV-A1) walks one knob at a time,
+// in descending order of predicted energy sensitivity.
+type Knob int8
+
+// The four knobs of the configuration space.
+const (
+	KnobCPU Knob = iota
+	KnobNB
+	KnobGPU
+	KnobCU
+	NumKnobs = 4
+)
+
+func (k Knob) String() string {
+	switch k {
+	case KnobCPU:
+		return "cpu"
+	case KnobNB:
+		return "nb"
+	case KnobGPU:
+		return "gpu"
+	case KnobCU:
+		return "cu"
+	}
+	return fmt.Sprintf("knob?(%d)", int8(k))
+}
+
+// Knobs returns all knobs in declaration order.
+func Knobs() [NumKnobs]Knob { return [NumKnobs]Knob{KnobCPU, KnobNB, KnobGPU, KnobCU} }
+
+// KnobIndex returns the position of c's value for knob k within the
+// space's per-knob state list, or -1 if the value is not in the space.
+func (s Space) KnobIndex(c Config, k Knob) int {
+	switch k {
+	case KnobCPU:
+		return indexCPU(s.CPUs, c.CPU)
+	case KnobNB:
+		return indexNB(s.NBs, c.NB)
+	case KnobGPU:
+		return indexGPU(s.GPUs, c.GPU)
+	case KnobCU:
+		return indexCU(s.CUs, c.CUs)
+	}
+	return -1
+}
+
+// KnobLen returns the number of states the space offers for knob k.
+func (s Space) KnobLen(k Knob) int {
+	switch k {
+	case KnobCPU:
+		return len(s.CPUs)
+	case KnobNB:
+		return len(s.NBs)
+	case KnobGPU:
+		return len(s.GPUs)
+	case KnobCU:
+		return len(s.CUs)
+	}
+	return 0
+}
+
+// WithKnob returns c with knob k set to the space's i-th state for that
+// knob. It panics if i is out of range for the knob.
+func (s Space) WithKnob(c Config, k Knob, i int) Config {
+	if i < 0 || i >= s.KnobLen(k) {
+		panic(fmt.Sprintf("hw: WithKnob(%s, %d) out of range [0,%d)", k, i, s.KnobLen(k)))
+	}
+	switch k {
+	case KnobCPU:
+		c.CPU = s.CPUs[i]
+	case KnobNB:
+		c.NB = s.NBs[i]
+	case KnobGPU:
+		c.GPU = s.GPUs[i]
+	case KnobCU:
+		c.CUs = s.CUs[i]
+	}
+	return c
+}
+
+// Step returns c with knob k moved dir positions (+1 or -1) along the
+// space's state list for that knob, and ok=false if the move would leave
+// the space.
+func (s Space) Step(c Config, k Knob, dir int) (Config, bool) {
+	i := s.KnobIndex(c, k)
+	if i < 0 {
+		return c, false
+	}
+	j := i + dir
+	if j < 0 || j >= s.KnobLen(k) {
+		return c, false
+	}
+	return s.WithKnob(c, k, j), true
+}
+
+// Clamp returns the configuration in the space nearest to c: each knob
+// value is replaced by the space's closest available state (by position in
+// the canonical full ordering). Useful for mapping arbitrary configs such
+// as FailSafe into restricted spaces.
+func (s Space) Clamp(c Config) Config {
+	c.CPU = nearestCPU(s.CPUs, c.CPU)
+	c.NB = nearestNB(s.NBs, c.NB)
+	c.GPU = nearestGPU(s.GPUs, c.GPU)
+	c.CUs = nearestCU(s.CUs, c.CUs)
+	return c
+}
+
+func nearestCPU(xs []CPUPState, x CPUPState) CPUPState {
+	best, bd := xs[0], diff8(int8(xs[0]), int8(x))
+	for _, v := range xs[1:] {
+		if d := diff8(int8(v), int8(x)); d < bd {
+			best, bd = v, d
+		}
+	}
+	return best
+}
+
+func nearestNB(xs []NBState, x NBState) NBState {
+	best, bd := xs[0], diff8(int8(xs[0]), int8(x))
+	for _, v := range xs[1:] {
+		if d := diff8(int8(v), int8(x)); d < bd {
+			best, bd = v, d
+		}
+	}
+	return best
+}
+
+func nearestGPU(xs []GPUState, x GPUState) GPUState {
+	best, bd := xs[0], diff8(int8(xs[0]), int8(x))
+	for _, v := range xs[1:] {
+		if d := diff8(int8(v), int8(x)); d < bd {
+			best, bd = v, d
+		}
+	}
+	return best
+}
+
+func nearestCU(xs []int8, x int8) int8 {
+	best, bd := xs[0], diff8(xs[0], x)
+	for _, v := range xs[1:] {
+		if d := diff8(v, x); d < bd {
+			best, bd = v, d
+		}
+	}
+	return best
+}
+
+func diff8(a, b int8) int {
+	d := int(a) - int(b)
+	if d < 0 {
+		return -d
+	}
+	return d
+}

@@ -1,0 +1,438 @@
+// Package kernel is the ground-truth performance and power model that
+// stands in for the AMD A10-7850K hardware measurements of the paper
+// (§V). Every policy decision in this repository is ultimately scored
+// against this model, exactly as the paper's policies were scored against
+// the 336-configuration measurement database captured with CodeXL.
+//
+// A kernel is characterized by its compute work, memory traffic, Amdahl
+// parallel fraction, cache-interference behaviour and fixed launch
+// overhead. From those parameters the model produces, for any hardware
+// configuration:
+//
+//   - execution time, via a roofline-style compute/memory overlap model
+//     with Amdahl CU scaling and a destructive cache-interference term;
+//   - GPU, NB and CPU power, via C·V²·f dynamic power per domain on the
+//     shared GPU/NB voltage rail, leakage with a CPU-heat coupling term,
+//     and a busy-waiting CPU;
+//   - the eight Table III performance counters.
+//
+// The model reproduces the four scaling archetypes of Fig. 2:
+// compute-bound, memory-bound, peak (slows down beyond a CU count due to
+// destructive cache interference), and unscalable kernels.
+package kernel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mpcdvfs/internal/counters"
+	"mpcdvfs/internal/hw"
+)
+
+// Class labels the scaling archetype of a kernel (paper §II-C, Fig. 2).
+type Class int8
+
+// Kernel scaling archetypes.
+const (
+	ComputeBound Class = iota // MaxFlops-like: scales with GPU freq and CUs
+	MemoryBound               // readGlobalMemoryCoalesced-like: scales with NB/memory
+	Peak                      // writeCandidates-like: best at a mid-size config
+	Unscalable                // astar-like: insensitive to hardware changes
+	Balanced                  // mixed compute/memory
+	NumClasses   = 5
+)
+
+func (c Class) String() string {
+	switch c {
+	case ComputeBound:
+		return "compute-bound"
+	case MemoryBound:
+		return "memory-bound"
+	case Peak:
+		return "peak"
+	case Unscalable:
+		return "unscalable"
+	case Balanced:
+		return "balanced"
+	}
+	return fmt.Sprintf("class?(%d)", int8(c))
+}
+
+// Model constants. Dynamic power coefficients are calibrated so that a
+// fully utilized chip at [P1, NB0, DPM4, 8 CUs] draws ~75 W, inside the
+// 95 W TDP of the A10-7850K. Absolute watts are synthetic (we have no
+// hardware); relative behaviour across the configuration space is what
+// the policies consume.
+const (
+	overlapBeta = 0.20 // fraction of the shorter phase not hidden by overlap
+	nbLatCoeff  = 0.04 // per-GHz NB slowdown of effective memory bandwidth
+
+	kGPUDyn    = 3.5  // W per CU per V² per GHz at full utilization
+	gpuIdleAct = 0.30 // floor activity of powered CUs
+	kGPULeak   = 0.50 // W per CU per V
+	kNBDyn     = 1.5  // W per V² per GHz of NB clock
+	kMemDyn    = 4.0  // W at full memory-bandwidth utilization of the 800 MHz config
+	kCPUDyn    = 11.7 // W per V² per GHz at activity 1
+	cpuBusyAct = 0.35 // busy-wait activity factor while the GPU runs
+	kCPULeak   = 3.0  // W per V
+	tempCouple = 0.12 // GPU leakage increase per unit of CPU-power/TDP (heat coupling)
+
+	refMemBW = 25.6 // GB/s of the 800 MHz memory configuration
+)
+
+// Params fully describes a kernel for the ground-truth model.
+type Params struct {
+	Name  string
+	Class Class
+
+	Insts   float64 // total executed instructions (thread-count × instructions per thread)
+	Threads float64 // global work size in work-items
+
+	ComputeWork float64 // single-CU compute time in mega-cycles (Mcycles / GHz = ms)
+	MemWork     float64 // DRAM traffic in MB (MB / (GB/s) = ms)
+
+	ParallelFrac float64 // Amdahl parallel fraction in [0,1]
+	CachePeakCUs int8    // CU count beyond which cache interference begins (0 = never)
+	CacheSlope   float64 // extra relative memory traffic per CU beyond CachePeakCUs
+	LaunchMS     float64 // fixed per-invocation launch/serial time
+
+	CacheHitPct    float64 // data-cache hit rate counter value
+	ScratchRegs    float64 // scratch registers counter value
+	LDSConflictPct float64 // LDS bank conflict counter value
+}
+
+// Kernel is an immutable kernel instance: shared Params plus a
+// per-invocation input scale (hybridsort's mergeSortPass runs nine times
+// with different inputs; each invocation scales the work).
+type Kernel struct {
+	P          Params
+	InputScale float64 // multiplier on Insts/ComputeWork/MemWork; 0 means 1
+}
+
+// New returns a Kernel over p with unit input scale. It panics if p is
+// not Valid.
+func New(p Params) Kernel {
+	k := Kernel{P: p, InputScale: 1}
+	if err := k.Validate(); err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// WithInput returns a copy of k whose work is scaled by s (> 0).
+func (k Kernel) WithInput(s float64) Kernel {
+	if s <= 0 {
+		panic("kernel: input scale must be positive")
+	}
+	k.InputScale = s
+	return k
+}
+
+// Validate reports whether the kernel's parameters are usable.
+func (k Kernel) Validate() error {
+	p := k.P
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("kernel: empty name")
+	case p.Insts <= 0 || p.Threads <= 0:
+		return fmt.Errorf("kernel %s: Insts and Threads must be positive", p.Name)
+	case p.ComputeWork < 0 || p.MemWork < 0 || p.ComputeWork+p.MemWork == 0:
+		return fmt.Errorf("kernel %s: need non-negative compute/memory work, not both zero", p.Name)
+	case p.ParallelFrac < 0 || p.ParallelFrac > 1:
+		return fmt.Errorf("kernel %s: ParallelFrac %v outside [0,1]", p.Name, p.ParallelFrac)
+	case p.CacheSlope < 0 || p.LaunchMS < 0:
+		return fmt.Errorf("kernel %s: negative CacheSlope or LaunchMS", p.Name)
+	case k.InputScale < 0:
+		return fmt.Errorf("kernel %s: negative input scale", p.Name)
+	}
+	return nil
+}
+
+// Name returns the kernel name.
+func (k Kernel) Name() string { return k.P.Name }
+
+func (k Kernel) scale() float64 {
+	if k.InputScale == 0 {
+		return 1
+	}
+	return k.InputScale
+}
+
+// Insts returns the total instruction count of one invocation, including
+// the input scale.
+func (k Kernel) Insts() float64 { return k.P.Insts * k.scale() }
+
+// amdahlSpeedup is the speedup of cu CUs over one CU for parallel
+// fraction p.
+func amdahlSpeedup(p float64, cu int8) float64 {
+	return 1 / ((1 - p) + p/float64(cu))
+}
+
+// effMemBW is the effective memory bandwidth at an NB state: the DRAM
+// peak derated by a small NB-clock latency penalty. NB0–NB2 share the
+// DRAM clock, so memory-bound performance saturates from NB2 onward with
+// only a slight NB-frequency slope — matching Fig. 2b.
+func effMemBW(nb hw.NBState) float64 {
+	raw := nb.MemBWGBs()
+	pen := 1 + nbLatCoeff*(hw.NB0.FreqGHz()-nb.FreqGHz())
+	return raw / pen
+}
+
+// phases returns the compute-phase and memory-phase times (ms) of the
+// kernel at config c, before overlap composition.
+func (k Kernel) phases(c hw.Config) (computeMS, memMS float64) {
+	s := k.scale()
+	computeMS = s * k.P.ComputeWork / (c.GPU.FreqGHz() * amdahlSpeedup(k.P.ParallelFrac, c.CUs))
+	mem := s * k.P.MemWork
+	if k.P.CachePeakCUs > 0 && c.CUs > k.P.CachePeakCUs {
+		// Destructive shared-cache interference: more active CUs thrash
+		// the cache and inflate DRAM traffic (paper §II-C "peak" kernels).
+		mem *= 1 + k.P.CacheSlope*float64(c.CUs-k.P.CachePeakCUs)
+	}
+	memMS = mem / effMemBW(c.NB)
+	return computeMS, memMS
+}
+
+// TimeMS returns the kernel execution time in milliseconds at config c.
+// The launch/serial overhead scales with the input like the parallel
+// phases do: serialization cost grows with the work it serializes.
+func (k Kernel) TimeMS(c hw.Config) float64 {
+	cms, mms := k.phases(c)
+	hi, lo := cms, mms
+	if lo > hi {
+		hi, lo = lo, hi
+	}
+	return hi + overlapBeta*lo + k.P.LaunchMS*k.scale()
+}
+
+// Throughput returns instructions per millisecond at config c — the
+// kernel instruction throughput metric of Eq. 1.
+func (k Kernel) Throughput(c hw.Config) float64 { return k.Insts() / k.TimeMS(c) }
+
+// Metrics is the full ground-truth observation for one kernel invocation
+// at one configuration: what the paper measured per 1 ms sample from the
+// APU's power controller, aggregated over the kernel.
+type Metrics struct {
+	TimeMS float64
+	GPUW   float64 // GPU domain power (CU array), W
+	NBW    float64 // northbridge + memory power, W (shares the GPU rail)
+	CPUW   float64 // CPU domain power, W
+}
+
+// TotalW returns chip power in watts.
+func (m Metrics) TotalW() float64 { return m.GPUW + m.NBW + m.CPUW }
+
+// EnergyMJ returns total chip energy in millijoules.
+func (m Metrics) EnergyMJ() float64 { return m.TotalW() * m.TimeMS }
+
+// GPUEnergyMJ returns the GPU-side energy (GPU + NB, which share a rail
+// and are reported together by the paper's power measurements).
+func (m Metrics) GPUEnergyMJ() float64 { return (m.GPUW + m.NBW) * m.TimeMS }
+
+// CPUEnergyMJ returns the CPU-side energy.
+func (m Metrics) CPUEnergyMJ() float64 { return m.CPUW * m.TimeMS }
+
+// CPUPowerW returns the CPU domain power at CPU state p with busy-wait
+// activity: the normalized V²f model the paper uses for the CPU (§IV-A3),
+// plus leakage.
+func CPUPowerW(p hw.CPUPState) float64 {
+	v := p.Voltage()
+	return kCPUDyn*v*v*p.FreqGHz()*cpuBusyAct + kCPULeak*v
+}
+
+// Evaluate returns the ground-truth metrics of one invocation of k at
+// config c.
+func (k Kernel) Evaluate(c hw.Config) Metrics {
+	if !c.Valid() {
+		panic(fmt.Sprintf("kernel: Evaluate with invalid config %v", c))
+	}
+	cms, mms := k.phases(c)
+	t := k.TimeMS(c)
+
+	// CPU busy-waits for the whole kernel (paper §II-B: little CPU/GPU
+	// overlap in these workloads).
+	cpuW := CPUPowerW(c.CPU)
+
+	// Shared GPU/NB rail voltage: a high NB state can pin the rail high
+	// even when the GPU frequency drops (§II-A).
+	v := c.RailVoltage()
+
+	// GPU dynamic power scales with busy fraction of the compute phase;
+	// powered CUs draw a floor activity even when stalled on memory.
+	util := gpuIdleAct + (1-gpuIdleAct)*math.Min(1, cms/t)
+	gpuDyn := kGPUDyn * float64(c.CUs) * v * v * c.GPU.FreqGHz() * util
+
+	// GPU leakage rises with rail voltage and with die temperature, which
+	// the busy CPU raises: lowering CPU DVFS slightly reduces GPU power
+	// (§II-A).
+	leakTemp := 1 + tempCouple*cpuW/hw.TDPWatt
+	gpuLeak := kGPULeak * float64(c.CUs) * v * leakTemp
+
+	// NB + memory power: NB clock tree plus DRAM activity proportional to
+	// achieved bandwidth utilization.
+	bwUtil := math.Min(1, mms/t) * effMemBW(c.NB) / refMemBW
+	nbW := kNBDyn*v*v*c.NB.FreqGHz() + kMemDyn*bwUtil
+
+	return Metrics{TimeMS: t, GPUW: gpuDyn + gpuLeak, NBW: nbW, CPUW: cpuW}
+}
+
+// EnergyMJ is shorthand for Evaluate(c).EnergyMJ().
+func (k Kernel) EnergyMJ(c hw.Config) float64 { return k.Evaluate(c).EnergyMJ() }
+
+// Counters synthesizes the eight Table III performance counters for one
+// invocation of k. Counters are sampled at kernel granularity and are the
+// only kernel features visible to the predictor and pattern extractor —
+// the ground-truth Params never leak to the policies.
+func (k Kernel) Counters() counters.Set {
+	s := k.scale()
+	cms, mms := k.phases(hw.FailSafe())
+	tot := cms + mms
+	var set counters.Set
+	set[counters.GlobalWorkSize] = k.P.Threads * s
+	if tot > 0 {
+		set[counters.MemUnitStalled] = 100 * mms / tot
+	}
+	set[counters.CacheHit] = k.P.CacheHitPct
+	// 64-byte vector fetches per work-item.
+	set[counters.VFetchInsts] = k.P.MemWork * s * 1e6 / 64 / (k.P.Threads * s)
+	set[counters.ScratchRegs] = k.P.ScratchRegs
+	set[counters.LDSBankConflict] = k.P.LDSConflictPct
+	set[counters.VALUInsts] = k.Insts() / (k.P.Threads * s)
+	set[counters.FetchSize] = k.P.MemWork * s * 1000 // kB
+	return set
+}
+
+// OptimalConfig exhaustively searches the space for the minimum-energy
+// configuration of k, optionally requiring throughput >= minThroughput
+// (pass 0 for unconstrained). Used by the Fig. 2 characterization and as
+// a test oracle; runtime policies never call it.
+func (k Kernel) OptimalConfig(space hw.Space, minThroughput float64) (hw.Config, Metrics) {
+	var best hw.Config
+	var bestM Metrics
+	bestE := math.Inf(1)
+	space.ForEach(func(c hw.Config) {
+		m := k.Evaluate(c)
+		if minThroughput > 0 && k.Insts()/m.TimeMS < minThroughput {
+			return
+		}
+		if e := m.EnergyMJ(); e < bestE {
+			best, bestM, bestE = c, m, e
+		}
+	})
+	if math.IsInf(bestE, 1) {
+		// Constraint unreachable anywhere: return the fastest config.
+		bestT := math.Inf(1)
+		space.ForEach(func(c hw.Config) {
+			m := k.Evaluate(c)
+			if m.TimeMS < bestT {
+				best, bestM, bestT = c, m, m.TimeMS
+			}
+		})
+	}
+	return best, bestM
+}
+
+// Archetype constructors. The magnitude argument scales the kernel's
+// size; 1.0 yields a mid-size kernel of a few milliseconds at the
+// fail-safe config.
+
+// NewComputeBound returns a MaxFlops-like kernel: heavy ALU work, little
+// memory traffic, near-perfect CU scaling.
+func NewComputeBound(name string, magnitude float64) Kernel {
+	return New(Params{
+		Name: name, Class: ComputeBound,
+		Insts: 4e9 * magnitude, Threads: 1e6 * magnitude,
+		ComputeWork: 14 * magnitude, MemWork: 2 * magnitude,
+		ParallelFrac: 0.985, LaunchMS: 0.02,
+		CacheHitPct: 92, ScratchRegs: 8, LDSConflictPct: 1,
+	})
+}
+
+// NewMemoryBound returns a readGlobalMemoryCoalesced-like kernel:
+// streaming memory traffic that saturates DRAM bandwidth.
+func NewMemoryBound(name string, magnitude float64) Kernel {
+	return New(Params{
+		Name: name, Class: MemoryBound,
+		Insts: 1.2e9 * magnitude, Threads: 2e6 * magnitude,
+		ComputeWork: 1.2 * magnitude, MemWork: 120 * magnitude,
+		ParallelFrac: 0.95, LaunchMS: 0.02,
+		CacheHitPct: 22, ScratchRegs: 4, LDSConflictPct: 0,
+	})
+}
+
+// NewPeak returns a writeCandidates-like kernel: performance and energy
+// peak at a reduced CU count because additional CUs thrash the shared
+// cache.
+func NewPeak(name string, magnitude float64) Kernel {
+	return New(Params{
+		Name: name, Class: Peak,
+		Insts: 2e9 * magnitude, Threads: 8e5 * magnitude,
+		ComputeWork: 6 * magnitude, MemWork: 30 * magnitude,
+		ParallelFrac: 0.97, CachePeakCUs: 4, CacheSlope: 0.45, LaunchMS: 0.02,
+		CacheHitPct: 65, ScratchRegs: 16, LDSConflictPct: 6,
+	})
+}
+
+// NewUnscalable returns an astar-like kernel: a large serial fraction and
+// launch overhead make it insensitive to hardware configuration.
+func NewUnscalable(name string, magnitude float64) Kernel {
+	return New(Params{
+		Name: name, Class: Unscalable,
+		Insts: 2e8 * magnitude, Threads: 2e4 * magnitude,
+		ComputeWork: 0.5 * magnitude, MemWork: 1.5 * magnitude,
+		ParallelFrac: 0.2, LaunchMS: 2.4 * magnitude,
+		CacheHitPct: 55, ScratchRegs: 32, LDSConflictPct: 10,
+	})
+}
+
+// NewBalanced returns a kernel with comparable compute and memory phases.
+func NewBalanced(name string, magnitude float64) Kernel {
+	return New(Params{
+		Name: name, Class: Balanced,
+		Insts: 2.5e9 * magnitude, Threads: 1.5e6 * magnitude,
+		ComputeWork: 8 * magnitude, MemWork: 55 * magnitude,
+		ParallelFrac: 0.95, LaunchMS: 0.05,
+		CacheHitPct: 70, ScratchRegs: 12, LDSConflictPct: 3,
+	})
+}
+
+// Random draws a kernel with a random class and jittered parameters from
+// rng. The synthetic population used to train the Random Forest predictor
+// is drawn from this distribution, which overlaps — but does not equal —
+// the evaluation benchmarks, so the predictor is imperfect in the same
+// way an offline-trained model is on unseen kernels.
+func Random(name string, rng *rand.Rand) Kernel {
+	jit := func(lo, hi float64) float64 { return lo + rng.Float64()*(hi-lo) }
+	// The magnitude range covers everything the evaluation benchmarks use
+	// (0.5 .. 14): an offline model must be trained across the sizes it
+	// will see, or its predictions saturate at the population edge.
+	mag := math.Exp(jit(math.Log(0.15), math.Log(20)))
+	var k Kernel
+	switch Class(rng.Intn(NumClasses)) {
+	case ComputeBound:
+		k = NewComputeBound(name, mag)
+	case MemoryBound:
+		k = NewMemoryBound(name, mag)
+	case Peak:
+		k = NewPeak(name, mag)
+	case Unscalable:
+		k = NewUnscalable(name, mag)
+	default:
+		k = NewBalanced(name, mag)
+	}
+	p := k.P
+	p.ComputeWork *= jit(0.6, 1.6)
+	p.MemWork *= jit(0.6, 1.6)
+	p.Insts *= jit(0.7, 1.4)
+	p.ParallelFrac = math.Min(1, math.Max(0, p.ParallelFrac*jit(0.85, 1.1)))
+	p.LaunchMS *= jit(0.5, 2)
+	p.CacheHitPct = math.Min(99, math.Max(1, p.CacheHitPct*jit(0.8, 1.2)))
+	p.ScratchRegs = math.Max(1, p.ScratchRegs*jit(0.5, 2))
+	p.LDSConflictPct = math.Max(0, p.LDSConflictPct*jit(0.5, 2))
+	if p.CachePeakCUs == 0 && rng.Float64() < 0.15 {
+		p.CachePeakCUs = int8(2 + 2*rng.Intn(3))
+		p.CacheSlope = jit(0.1, 0.5)
+	}
+	return New(p)
+}

@@ -1,0 +1,362 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mpcdvfs/internal/counters"
+	"mpcdvfs/internal/hw"
+)
+
+func cfg(p hw.CPUPState, n hw.NBState, g hw.GPUState, cu int8) hw.Config {
+	return hw.Config{CPU: p, NB: n, GPU: g, CUs: cu}
+}
+
+func TestValidation(t *testing.T) {
+	good := NewBalanced("ok", 1)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid kernel rejected: %v", err)
+	}
+	bad := []Params{
+		{},                                // empty name
+		{Name: "x"},                       // zero insts
+		{Name: "x", Insts: 1, Threads: 1}, // zero work
+		{Name: "x", Insts: 1, Threads: 1, ComputeWork: 1, ParallelFrac: 2},
+		{Name: "x", Insts: 1, Threads: 1, ComputeWork: 1, LaunchMS: -1},
+	}
+	for i, p := range bad {
+		if err := (Kernel{P: p, InputScale: 1}).Validate(); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with invalid params did not panic")
+		}
+	}()
+	New(Params{})
+}
+
+func TestComputeBoundScaling(t *testing.T) {
+	k := NewComputeBound("maxflops", 1)
+	base := k.TimeMS(cfg(hw.P5, hw.NB0, hw.DPM4, 2))
+	more := k.TimeMS(cfg(hw.P5, hw.NB0, hw.DPM4, 8))
+	if sp := base / more; sp < 2.5 {
+		t.Errorf("compute-bound CU speedup 2->8 = %.2f, want > 2.5 (Fig 2a)", sp)
+	}
+	// Insensitive to NB state.
+	nb3 := k.TimeMS(cfg(hw.P5, hw.NB3, hw.DPM4, 8))
+	nb0 := k.TimeMS(cfg(hw.P5, hw.NB0, hw.DPM4, 8))
+	if d := math.Abs(nb3-nb0) / nb0; d > 0.1 {
+		t.Errorf("compute-bound NB sensitivity = %.2f, want < 0.1", d)
+	}
+	// Scales with GPU frequency.
+	slow := k.TimeMS(cfg(hw.P5, hw.NB0, hw.DPM0, 8))
+	if sp := slow / nb0; sp < 1.6 {
+		t.Errorf("compute-bound DPM0->DPM4 speedup = %.2f, want > 1.6", sp)
+	}
+}
+
+func TestMemoryBoundSaturatesAtNB2(t *testing.T) {
+	k := NewMemoryBound("readglobal", 1)
+	c8 := func(nb hw.NBState) float64 { return k.TimeMS(cfg(hw.P5, nb, hw.DPM4, 8)) }
+	// NB3 -> NB2 is a big jump (DRAM clock changes).
+	if sp := c8(hw.NB3) / c8(hw.NB2); sp < 1.5 {
+		t.Errorf("memory-bound NB3->NB2 speedup = %.2f, want > 1.5 (Fig 2b)", sp)
+	}
+	// NB2 -> NB0 is nearly flat (same DRAM clock).
+	if sp := c8(hw.NB2) / c8(hw.NB0); sp > 1.05 {
+		t.Errorf("memory-bound NB2->NB0 speedup = %.2f, want < 1.05 (saturation)", sp)
+	}
+}
+
+func TestPeakKernelSlowsBeyondPeakCUs(t *testing.T) {
+	k := NewPeak("writeCandidates", 1)
+	t4 := k.TimeMS(cfg(hw.P5, hw.NB0, hw.DPM4, 4))
+	t8 := k.TimeMS(cfg(hw.P5, hw.NB0, hw.DPM4, 8))
+	if t8 <= t4 {
+		t.Errorf("peak kernel faster at 8 CUs (%.3f) than 4 CUs (%.3f); want interference slowdown (Fig 2c)", t8, t4)
+	}
+	// And its energy optimum is not at max CUs.
+	best, _ := k.OptimalConfig(hw.DefaultSpace(), 0)
+	if best.CUs == hw.MaxCUs {
+		t.Errorf("peak kernel energy-optimal at %v; want fewer than 8 CUs", best)
+	}
+}
+
+func TestUnscalableInsensitive(t *testing.T) {
+	k := NewUnscalable("astar", 1)
+	lo := k.TimeMS(cfg(hw.P7, hw.NB3, hw.DPM0, 2))
+	hi := k.TimeMS(cfg(hw.P1, hw.NB0, hw.DPM4, 8))
+	if sp := lo / hi; sp > 1.9 {
+		t.Errorf("unscalable kernel config sensitivity = %.2f, want < 1.9 (Fig 2d)", sp)
+	}
+	// Energy-optimal at a low configuration.
+	best, _ := k.OptimalConfig(hw.DefaultSpace(), 0)
+	if best.GPU != hw.DPM0 {
+		t.Errorf("unscalable energy-optimal GPU = %v, want DPM0", best)
+	}
+	if best.CPU != hw.P7 {
+		t.Errorf("unscalable energy-optimal CPU = %v, want P7", best.CPU)
+	}
+}
+
+func TestEnergyOptimalPointsDifferByClass(t *testing.T) {
+	// §II-C: "These kernels reach their best efficiency at different
+	// configurations" — the premise of the whole paper.
+	space := hw.DefaultSpace()
+	seen := map[hw.Config]bool{}
+	for _, k := range []Kernel{
+		NewComputeBound("c", 1), NewMemoryBound("m", 1),
+		NewPeak("p", 1), NewUnscalable("u", 1),
+	} {
+		best, _ := k.OptimalConfig(space, 0)
+		seen[best] = true
+	}
+	if len(seen) < 3 {
+		t.Errorf("energy-optimal configs collapse to %d distinct points, want >= 3", len(seen))
+	}
+}
+
+func TestComputeBoundOptimalPrefersLowNBManyCUs(t *testing.T) {
+	k := NewComputeBound("c", 1)
+	best, _ := k.OptimalConfig(hw.DefaultSpace(), 0)
+	if best.NB != hw.NB3 {
+		t.Errorf("compute-bound optimal NB = %v, want NB3 (lower NB state, Fig 2a)", best.NB)
+	}
+	if best.CUs < 6 {
+		t.Errorf("compute-bound optimal CUs = %d, want >= 6", best.CUs)
+	}
+}
+
+func TestCPUStateDoesNotAffectKernelTime(t *testing.T) {
+	// §VI-A: lowering the CPU state does not improve kernel execution
+	// time; Turbo Core wastes that power.
+	k := NewBalanced("b", 1)
+	t1 := k.TimeMS(cfg(hw.P1, hw.NB0, hw.DPM4, 8))
+	t7 := k.TimeMS(cfg(hw.P7, hw.NB0, hw.DPM4, 8))
+	if t1 != t7 {
+		t.Errorf("kernel time depends on CPU state: P1=%v P7=%v", t1, t7)
+	}
+	// But CPU state strongly affects power.
+	m1 := k.Evaluate(cfg(hw.P1, hw.NB0, hw.DPM4, 8))
+	m7 := k.Evaluate(cfg(hw.P7, hw.NB0, hw.DPM4, 8))
+	if m1.CPUW < 2*m7.CPUW {
+		t.Errorf("CPU power P1=%v not >> P7=%v", m1.CPUW, m7.CPUW)
+	}
+}
+
+func TestSharedRailLimitsGPUSavings(t *testing.T) {
+	// §II-A: with NB0 active, dropping the GPU DPM state cannot drop the
+	// shared rail voltage, limiting power savings vs the same drop at NB3.
+	k := NewComputeBound("c", 1)
+	gpuNB := func(c hw.Config) float64 {
+		m := k.Evaluate(c)
+		return m.GPUW + m.NBW
+	}
+	savedAtNB0 := gpuNB(cfg(hw.P5, hw.NB0, hw.DPM4, 8)) - gpuNB(cfg(hw.P5, hw.NB0, hw.DPM0, 8))
+	savedAtNB3 := gpuNB(cfg(hw.P5, hw.NB3, hw.DPM4, 8)) - gpuNB(cfg(hw.P5, hw.NB3, hw.DPM0, 8))
+	if savedAtNB3 <= savedAtNB0 {
+		t.Errorf("DPM4->DPM0 saves %.2f W at NB3 vs %.2f W at NB0; want more at NB3 (voltage unpinned)", savedAtNB3, savedAtNB0)
+	}
+}
+
+func TestTDPEnvelope(t *testing.T) {
+	// Max config on the heaviest archetypes stays within the 95 W TDP.
+	for _, k := range []Kernel{NewComputeBound("c", 5), NewMemoryBound("m", 5), NewBalanced("b", 5)} {
+		m := k.Evaluate(hw.MaxPerf())
+		if m.TotalW() > hw.TDPWatt {
+			t.Errorf("%s at max perf draws %.1f W > TDP %d", k.Name(), m.TotalW(), hw.TDPWatt)
+		}
+		if m.TotalW() < 40 {
+			t.Errorf("%s at max perf draws only %.1f W; model badly under-calibrated", k.Name(), m.TotalW())
+		}
+	}
+}
+
+func TestMetricsAccounting(t *testing.T) {
+	k := NewBalanced("b", 1)
+	m := k.Evaluate(hw.FailSafe())
+	if m.TimeMS <= 0 || m.GPUW <= 0 || m.NBW <= 0 || m.CPUW <= 0 {
+		t.Fatalf("non-positive metrics: %+v", m)
+	}
+	if got, want := m.EnergyMJ(), m.TotalW()*m.TimeMS; math.Abs(got-want) > 1e-9 {
+		t.Errorf("EnergyMJ = %v, want %v", got, want)
+	}
+	if got, want := m.GPUEnergyMJ()+m.CPUEnergyMJ(), m.EnergyMJ(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("energy split %v != total %v", got, want)
+	}
+}
+
+func TestEvaluatePanicsOnInvalidConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Evaluate(invalid) did not panic")
+		}
+	}()
+	NewBalanced("b", 1).Evaluate(hw.Config{CPU: 99})
+}
+
+func TestInputScale(t *testing.T) {
+	k := NewMemoryBound("m", 1)
+	big := k.WithInput(2)
+	c := hw.FailSafe()
+	if big.Insts() != 2*k.Insts() {
+		t.Errorf("Insts with scale 2 = %v, want %v", big.Insts(), 2*k.Insts())
+	}
+	tk, tb := k.TimeMS(c), big.TimeMS(c)
+	if tb < 1.8*tk || tb > 2.2*tk {
+		t.Errorf("time with scale 2 = %v, want ~2x %v", tb, tk)
+	}
+	// Throughput is nearly invariant to input scale (same kernel).
+	if d := math.Abs(big.Throughput(c)-k.Throughput(c)) / k.Throughput(c); d > 0.15 {
+		t.Errorf("throughput drifts %.2f under input scaling", d)
+	}
+}
+
+func TestWithInputPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WithInput(0) did not panic")
+		}
+	}()
+	NewBalanced("b", 1).WithInput(0)
+}
+
+func TestCountersReflectClass(t *testing.T) {
+	cb := NewComputeBound("c", 1).Counters()
+	mb := NewMemoryBound("m", 1).Counters()
+	if cb[counters.MemUnitStalled] >= mb[counters.MemUnitStalled] {
+		t.Errorf("compute-bound MemUnitStalled %v >= memory-bound %v",
+			cb[counters.MemUnitStalled], mb[counters.MemUnitStalled])
+	}
+	if cb[counters.CacheHit] <= mb[counters.CacheHit] {
+		t.Errorf("compute-bound CacheHit %v <= memory-bound %v", cb[counters.CacheHit], mb[counters.CacheHit])
+	}
+	if mb[counters.FetchSize] <= cb[counters.FetchSize] {
+		t.Errorf("memory-bound FetchSize %v <= compute-bound %v", mb[counters.FetchSize], cb[counters.FetchSize])
+	}
+}
+
+func TestCountersScaleWithInput(t *testing.T) {
+	k := NewBalanced("b", 1)
+	c1, c4 := k.Counters(), k.WithInput(4).Counters()
+	if c4[counters.GlobalWorkSize] != 4*c1[counters.GlobalWorkSize] {
+		t.Errorf("GlobalWorkSize does not scale with input")
+	}
+	if c4[counters.FetchSize] != 4*c1[counters.FetchSize] {
+		t.Errorf("FetchSize does not scale with input")
+	}
+	// Per-work-item counters are invariant.
+	if math.Abs(c4[counters.VALUInsts]-c1[counters.VALUInsts]) > 1e-9 {
+		t.Errorf("VALUInsts per work-item changed with input scale")
+	}
+}
+
+func TestOptimalConfigHonorsConstraint(t *testing.T) {
+	k := NewBalanced("b", 1)
+	space := hw.DefaultSpace()
+	maxTP := k.Throughput(hw.MaxPerf())
+	best, m := k.OptimalConfig(space, 0.95*maxTP)
+	if k.Insts()/m.TimeMS < 0.95*maxTP {
+		t.Errorf("constrained optimum %v violates throughput floor", best)
+	}
+	// Unreachable constraint falls back to the fastest config.
+	fast, fm := k.OptimalConfig(space, 10*maxTP)
+	bestT := math.Inf(1)
+	space.ForEach(func(c hw.Config) {
+		if tt := k.TimeMS(c); tt < bestT {
+			bestT = tt
+		}
+	})
+	if fm.TimeMS != bestT {
+		t.Errorf("fallback config %v time %v, want fastest %v", fast, fm.TimeMS, bestT)
+	}
+}
+
+func TestRandomKernelsAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		k := Random("r", rng)
+		if err := k.Validate(); err != nil {
+			t.Fatalf("Random produced invalid kernel: %v", err)
+		}
+		m := k.Evaluate(hw.FailSafe())
+		if m.TimeMS <= 0 || math.IsNaN(m.TotalW()) || m.TotalW() <= 0 {
+			t.Fatalf("Random kernel bad metrics: %+v", m)
+		}
+	}
+}
+
+func TestRandomCoversAllClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	seen := map[Class]bool{}
+	for i := 0; i < 300; i++ {
+		seen[Random("r", rng).P.Class] = true
+	}
+	for c := Class(0); c < NumClasses; c++ {
+		if !seen[c] {
+			t.Errorf("Random never produced class %v", c)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for c := Class(0); c < NumClasses; c++ {
+		if c.String() == "" {
+			t.Errorf("class %d has empty string", c)
+		}
+	}
+	if Class(99).String() == "" {
+		t.Error("invalid class has empty string")
+	}
+}
+
+// Property: time is positive, monotone non-increasing in GPU frequency for
+// any kernel without cache interference, and energy/throughput are finite,
+// over random kernels and the full config space.
+func TestModelSanityQuick(t *testing.T) {
+	space := hw.FullSpace()
+	cfgs := space.Configs()
+	rng := rand.New(rand.NewSource(99))
+	kernels := make([]Kernel, 40)
+	for i := range kernels {
+		kernels[i] = Random("q", rng)
+	}
+	f := func(ki uint8, ci uint16) bool {
+		k := kernels[int(ki)%len(kernels)]
+		c := cfgs[int(ci)%len(cfgs)]
+		m := k.Evaluate(c)
+		if !(m.TimeMS > 0) || math.IsNaN(m.EnergyMJ()) || math.IsInf(m.EnergyMJ(), 0) {
+			return false
+		}
+		if up, ok := space.Step(c, hw.KnobGPU, +1); ok {
+			// Faster GPU never slows the kernel down.
+			if k.TimeMS(up) > m.TimeMS+1e-12 {
+				return false
+			}
+		}
+		return k.Throughput(c) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Amdahl speedup is bounded by the CU ratio and by 1/(1-p).
+func TestAmdahlBoundsQuick(t *testing.T) {
+	f := func(praw uint16, cu uint8) bool {
+		p := float64(praw%1000) / 1000
+		n := int8(2 + 2*(cu%4))
+		s := amdahlSpeedup(p, n)
+		return s >= 1-1e-12 && s <= float64(n)+1e-12 && (p == 1 || s <= 1/(1-p)+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000, Rand: rand.New(rand.NewSource(4))}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,180 @@
+// Package measure implements the paper's measurement methodology (§V):
+// "we captured performance and power data on the AMD hardware for 336
+// APU hardware configurations ... This extensive power and performance
+// information permits accurate comparison of the performance and energy
+// use of different power management schemes."
+//
+// A Database is that artifact: kernel-level time and power, keyed by
+// kernel signature and hardware configuration, captured once by sweeping
+// the ground-truth model (the stand-in for the instrumented APU) and
+// reusable afterwards without touching the model — including from disk.
+package measure
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"mpcdvfs/internal/counters"
+	"mpcdvfs/internal/hw"
+	"mpcdvfs/internal/kernel"
+	"mpcdvfs/internal/predict"
+	"mpcdvfs/internal/workload"
+)
+
+// Record is one captured measurement: what CodeXL plus the power
+// controller produced per kernel invocation per configuration.
+type Record struct {
+	TimeMS    float64
+	GPUPowerW float64 // GPU+NB, shared rail
+	CPUPowerW float64
+}
+
+// Database holds a capture campaign over one configuration space.
+type Database struct {
+	space    hw.Space
+	entries  map[counters.Signature][]Record // indexed by space.Index(cfg)
+	counters map[counters.Signature]counters.Set
+}
+
+// NewDatabase returns an empty database over a space.
+func NewDatabase(space hw.Space) *Database {
+	return &Database{
+		space:    space,
+		entries:  map[counters.Signature][]Record{},
+		counters: map[counters.Signature]counters.Set{},
+	}
+}
+
+// Space returns the captured configuration space.
+func (db *Database) Space() hw.Space { return db.space }
+
+// Kernels returns the number of distinct captured kernels.
+func (db *Database) Kernels() int { return len(db.entries) }
+
+// Measurements returns the total number of captured (kernel, config)
+// points.
+func (db *Database) Measurements() int { return len(db.entries) * db.space.Size() }
+
+// CaptureKernel sweeps one kernel across every configuration.
+func (db *Database) CaptureKernel(k kernel.Kernel) {
+	cs := k.Counters()
+	sig := counters.SignatureOf(cs)
+	if _, ok := db.entries[sig]; ok {
+		return // same signature: the paper bins these together
+	}
+	recs := make([]Record, db.space.Size())
+	i := 0
+	db.space.ForEach(func(c hw.Config) {
+		m := k.Evaluate(c)
+		recs[i] = Record{TimeMS: m.TimeMS, GPUPowerW: m.GPUW + m.NBW, CPUPowerW: m.CPUW}
+		i++
+	})
+	db.entries[sig] = recs
+	db.counters[sig] = cs
+}
+
+// CaptureApp sweeps every kernel of an application.
+func (db *Database) CaptureApp(app *workload.App) {
+	for _, k := range app.Kernels {
+		db.CaptureKernel(k)
+	}
+}
+
+// Lookup returns the measurement for a kernel (by its counters) at a
+// configuration.
+func (db *Database) Lookup(cs counters.Set, cfg hw.Config) (Record, bool) {
+	idx := db.space.Index(cfg)
+	if idx < 0 {
+		return Record{}, false
+	}
+	recs, ok := db.entries[counters.SignatureOf(cs)]
+	if !ok {
+		return Record{}, false
+	}
+	return recs[idx], true
+}
+
+// Model wraps the database as a predictor: perfect knowledge of every
+// captured kernel — the form in which the paper's offline measurements
+// drive its scheme comparisons. Lookups of uncaptured kernels or
+// configurations panic; a capture campaign that misses its own workload
+// is a bug, not a runtime condition.
+type Model struct{ db *Database }
+
+// AsModel returns the database-backed predictor.
+func (db *Database) AsModel() *Model { return &Model{db: db} }
+
+// Name implements predict.Model.
+func (m *Model) Name() string { return "measurement-db" }
+
+// PredictKernel implements predict.Model.
+func (m *Model) PredictKernel(cs counters.Set, cfg hw.Config) predict.Estimate {
+	r, ok := m.db.Lookup(cs, cfg)
+	if !ok {
+		panic(fmt.Sprintf("measure: no capture for signature %v at %v", counters.SignatureOf(cs), cfg))
+	}
+	return predict.Estimate{TimeMS: r.TimeMS, GPUPowerW: r.GPUPowerW}
+}
+
+// dbWire is the serialized form.
+type dbWire struct {
+	Magic    string
+	CPUs     []hw.CPUPState
+	NBs      []hw.NBState
+	GPUs     []hw.GPUState
+	CUs      []int8
+	Sigs     []counters.Signature
+	Counters []counters.Set
+	Entries  [][]Record
+}
+
+const dbMagic = "mpcdvfs-measure-v1"
+
+// Save writes the database to w.
+func (db *Database) Save(w io.Writer) error {
+	wire := dbWire{
+		Magic: dbMagic,
+		CPUs:  db.space.CPUs, NBs: db.space.NBs, GPUs: db.space.GPUs, CUs: db.space.CUs,
+	}
+	for sig, recs := range db.entries {
+		wire.Sigs = append(wire.Sigs, sig)
+		wire.Counters = append(wire.Counters, db.counters[sig])
+		wire.Entries = append(wire.Entries, recs)
+	}
+	if err := gob.NewEncoder(w).Encode(wire); err != nil {
+		return fmt.Errorf("measure: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a database previously written by Save.
+func Load(r io.Reader) (*Database, error) {
+	var wire dbWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("measure: load: %w", err)
+	}
+	if wire.Magic != dbMagic {
+		return nil, fmt.Errorf("measure: not a measurement database (magic %q)", wire.Magic)
+	}
+	db := NewDatabase(hw.Space{CPUs: wire.CPUs, NBs: wire.NBs, GPUs: wire.GPUs, CUs: wire.CUs})
+	for i, sig := range wire.Sigs {
+		if len(wire.Entries[i]) != db.space.Size() {
+			return nil, fmt.Errorf("measure: entry %d has %d records for a %d-config space",
+				i, len(wire.Entries[i]), db.space.Size())
+		}
+		db.entries[sig] = wire.Entries[i]
+		db.counters[sig] = wire.Counters[i]
+	}
+	return db, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (db *Database) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

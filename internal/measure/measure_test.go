@@ -1,0 +1,134 @@
+package measure
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"mpcdvfs/internal/hw"
+	"mpcdvfs/internal/kernel"
+	"mpcdvfs/internal/policy"
+	"mpcdvfs/internal/sim"
+	"mpcdvfs/internal/workload"
+)
+
+func TestCaptureAndLookup(t *testing.T) {
+	space := hw.DefaultSpace()
+	db := NewDatabase(space)
+	k := kernel.NewBalanced("b", 1)
+	db.CaptureKernel(k)
+	if db.Kernels() != 1 {
+		t.Fatalf("kernels = %d", db.Kernels())
+	}
+	if db.Measurements() != space.Size() {
+		t.Fatalf("measurements = %d, want %d", db.Measurements(), space.Size())
+	}
+	// Every lookup must equal the live model (the paper's DB "permits
+	// accurate comparison").
+	space.ForEach(func(c hw.Config) {
+		r, ok := db.Lookup(k.Counters(), c)
+		if !ok {
+			t.Fatalf("missing capture at %v", c)
+		}
+		m := k.Evaluate(c)
+		if r.TimeMS != m.TimeMS || r.GPUPowerW != m.GPUW+m.NBW || r.CPUPowerW != m.CPUW {
+			t.Fatalf("capture at %v diverges from live model", c)
+		}
+	})
+}
+
+func TestLookupMisses(t *testing.T) {
+	db := NewDatabase(hw.DefaultSpace())
+	k := kernel.NewBalanced("b", 1)
+	db.CaptureKernel(k)
+	// Unknown kernel.
+	if _, ok := db.Lookup(kernel.NewComputeBound("c", 1).Counters(), hw.FailSafe()); ok {
+		t.Error("lookup of uncaptured kernel succeeded")
+	}
+	// Config outside the space.
+	out := hw.Config{CPU: hw.P1, NB: hw.NB0, GPU: hw.DPM1, CUs: 8}
+	if _, ok := db.Lookup(k.Counters(), out); ok {
+		t.Error("lookup outside the space succeeded")
+	}
+}
+
+func TestCaptureAppDeduplicates(t *testing.T) {
+	app, _ := workload.ByName("Spmv") // 3 distinct kernels x 10
+	db := NewDatabase(hw.DefaultSpace())
+	db.CaptureApp(&app)
+	if db.Kernels() != 3 {
+		t.Errorf("Spmv capture has %d kernels, want 3", db.Kernels())
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	app, _ := workload.ByName("hybridsort")
+	db := NewDatabase(hw.DefaultSpace())
+	db.CaptureApp(&app)
+
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Kernels() != db.Kernels() || loaded.Measurements() != db.Measurements() {
+		t.Fatalf("shape lost: %d/%d vs %d/%d", loaded.Kernels(), loaded.Measurements(), db.Kernels(), db.Measurements())
+	}
+	for _, k := range app.Kernels {
+		r1, ok1 := db.Lookup(k.Counters(), hw.FailSafe())
+		r2, ok2 := loaded.Lookup(k.Counters(), hw.FailSafe())
+		if !ok1 || !ok2 || r1 != r2 {
+			t.Fatalf("round trip diverged for %s", k.Name())
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestDBModelDrivesPolicies(t *testing.T) {
+	// The paper's methodology end to end: capture once, then run a
+	// scheme against the database instead of hardware.
+	app, _ := workload.ByName("kmeans")
+	db := NewDatabase(hw.DefaultSpace())
+	db.CaptureApp(&app)
+
+	eng := sim.NewEngine(hw.DefaultSpace())
+	base, target, err := eng.Baseline(&app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := policy.NewMPC(db.AsModel(), eng.Space)
+	rs, err := eng.RunRepeated(&app, m, target, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sim.Compare(rs[1], base)
+	if c.EnergySavingsPct <= 0 || c.Speedup < 0.9 {
+		t.Errorf("DB-driven MPC: %.1f%% savings, %.3fx", c.EnergySavingsPct, c.Speedup)
+	}
+
+	// The DB model must agree exactly with a live oracle.
+	cs := app.Kernels[0].Counters()
+	got := db.AsModel().PredictKernel(cs, hw.FailSafe())
+	want := app.Kernels[0].Evaluate(hw.FailSafe())
+	if math.Abs(got.TimeMS-want.TimeMS) > 1e-12 {
+		t.Error("DB model diverges from ground truth")
+	}
+}
+
+func TestDBModelPanicsOnMiss(t *testing.T) {
+	db := NewDatabase(hw.DefaultSpace())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("uncaptured lookup did not panic")
+		}
+	}()
+	db.AsModel().PredictKernel(kernel.NewBalanced("b", 1).Counters(), hw.FailSafe())
+}

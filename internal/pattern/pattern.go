@@ -1,0 +1,161 @@
+// Package pattern implements the kernel pattern extractor of §IV-A2:
+// the component that (1) builds the kernel execution list over time,
+// (2) identifies kernels by the log-binned signature of their eight
+// performance counters, and (3) hands the optimizer the expected counters
+// and instruction counts of future kernels.
+//
+// Following Totoni et al., the extractor learns dynamically: during the
+// first invocation of an application it records the sequence of kernel
+// signatures (while the framework runs PPK); once a repetitive pattern is
+// observed — either a periodic cycle within the run or a completed
+// previous run — it predicts which kernel signature to expect at any
+// future position and serves the stored 80-byte counter record for it.
+// Counter feedback from executed kernels continuously updates the stored
+// records.
+package pattern
+
+import (
+	"mpcdvfs/internal/counters"
+)
+
+// blendWeight is the EWMA weight for counter feedback updates: new
+// observations dominate but history smooths input jitter.
+const blendWeight = 0.5
+
+// maxPeriod bounds the within-run cycle search.
+const maxPeriod = 16
+
+// Extractor learns and serves kernel execution patterns. The zero value
+// is not usable; call New.
+type Extractor struct {
+	records map[counters.Signature]*counters.Record
+	seq     []counters.Signature // execution list of the current run
+	prev    []counters.Signature // execution list of the last completed run
+	// prevValid reports whether the current run has matched prev so far,
+	// making positional replay trustworthy.
+	prevValid bool
+}
+
+// New returns an empty extractor.
+func New() *Extractor {
+	return &Extractor{records: map[counters.Signature]*counters.Record{}}
+}
+
+// BeginRun marks the start of a new invocation of the application: the
+// execution list of the completed run becomes the replay reference.
+func (e *Extractor) BeginRun() {
+	if len(e.seq) > 0 {
+		e.prev = append(e.prev[:0], e.seq...)
+	}
+	e.seq = e.seq[:0]
+	e.prevValid = len(e.prev) > 0
+}
+
+// Observe records the measured counters/time/power of the kernel that
+// just executed, appends its signature to the execution list, and applies
+// counter feedback to the stored record.
+func (e *Extractor) Observe(rec counters.Record) {
+	sig := counters.SignatureOf(rec.Counters)
+	if old, ok := e.records[sig]; ok {
+		old.Blend(rec, blendWeight)
+	} else {
+		cp := rec
+		e.records[sig] = &cp
+	}
+	pos := len(e.seq)
+	e.seq = append(e.seq, sig)
+	// Positional replay remains valid only while the current run tracks
+	// the previous one.
+	if e.prevValid && (pos >= len(e.prev) || e.prev[pos] != sig) {
+		e.prevValid = false
+	}
+}
+
+// Position returns the number of kernels observed in the current run.
+func (e *Extractor) Position() int { return len(e.seq) }
+
+// DistinctKernels returns the number of stored kernel records.
+func (e *Extractor) DistinctKernels() int { return len(e.records) }
+
+// StorageBytes returns the extractor's kernel-record storage footprint:
+// 80 bytes per dissimilar kernel, the paper's cost claim.
+func (e *Extractor) StorageBytes() int { return len(e.records) * counters.RecordBytes }
+
+// Lookup returns the stored record for a signature.
+func (e *Extractor) Lookup(sig counters.Signature) (counters.Record, bool) {
+	r, ok := e.records[sig]
+	if !ok {
+		return counters.Record{}, false
+	}
+	return *r, true
+}
+
+// Expect predicts the kernel at absolute position i of the current run
+// (i >= Position() for future kernels) and returns its stored record.
+// Prediction sources, in order of preference:
+//
+//  1. positional replay of the previous run, while the current run has
+//     matched it exactly;
+//  2. continuation of a periodic cycle detected in the current run's
+//     execution list.
+//
+// ok is false when neither source can name the kernel at i.
+func (e *Extractor) Expect(i int) (counters.Record, bool) {
+	if i < 0 {
+		return counters.Record{}, false
+	}
+	if i < len(e.seq) { // already executed: serve the record
+		return e.Lookup(e.seq[i])
+	}
+	if e.prevValid && i < len(e.prev) {
+		return e.Lookup(e.prev[i])
+	}
+	if p, ok := e.period(); ok {
+		idx := len(e.seq) - p + (i-len(e.seq))%p
+		return e.Lookup(e.seq[idx])
+	}
+	return counters.Record{}, false
+}
+
+// period detects the smallest cycle length p such that the observed
+// execution list is suffix-periodic with at least two full periods
+// (Totoni-style repetition detection).
+func (e *Extractor) period() (int, bool) {
+	n := len(e.seq)
+	for p := 1; p <= maxPeriod && 2*p <= n; p++ {
+		ok := true
+		// Verify over the most recent window of up to 4 periods.
+		lo := n - 4*p
+		if lo < p {
+			lo = p
+		}
+		for j := lo; j < n; j++ {
+			if e.seq[j] != e.seq[j-p] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// ExpectedInsts derives the expected instruction count of a kernel from
+// its stored counters: VALUInsts is per work-item and GlobalWorkSize is
+// the work-item count, so their product recovers the total instruction
+// count without growing the 80-byte record.
+func ExpectedInsts(rec counters.Record) float64 {
+	return rec.Counters[counters.VALUInsts] * rec.Counters[counters.GlobalWorkSize]
+}
+
+// KnowsFuture reports whether Expect can currently name future kernels
+// (either replay or an active cycle).
+func (e *Extractor) KnowsFuture() bool {
+	if e.prevValid && len(e.seq) < len(e.prev) {
+		return true
+	}
+	_, ok := e.period()
+	return ok
+}

@@ -1,0 +1,216 @@
+package pattern
+
+import (
+	"math"
+	"testing"
+
+	"mpcdvfs/internal/counters"
+	"mpcdvfs/internal/hw"
+	"mpcdvfs/internal/kernel"
+	"mpcdvfs/internal/workload"
+)
+
+// observeKernel feeds one ground-truth kernel observation at the
+// fail-safe config.
+func observeKernel(e *Extractor, k kernel.Kernel) {
+	m := k.Evaluate(hw.FailSafe())
+	e.Observe(counters.Record{Counters: k.Counters(), TimeMS: m.TimeMS, PowerW: m.GPUW + m.NBW})
+}
+
+func TestSignatureIdentifiesKernels(t *testing.T) {
+	e := New()
+	a := kernel.NewComputeBound("a", 1)
+	b := kernel.NewMemoryBound("b", 1)
+	observeKernel(e, a)
+	observeKernel(e, b)
+	observeKernel(e, a)
+	if e.DistinctKernels() != 2 {
+		t.Fatalf("distinct kernels = %d, want 2", e.DistinctKernels())
+	}
+	if e.StorageBytes() != 2*counters.RecordBytes {
+		t.Errorf("storage = %d bytes, want %d (80 per dissimilar kernel)", e.StorageBytes(), 2*counters.RecordBytes)
+	}
+	if e.Position() != 3 {
+		t.Errorf("position = %d, want 3", e.Position())
+	}
+}
+
+func TestPeriodicPatternPrediction(t *testing.T) {
+	// (AB)5 as in EigenValue: after a few periods the extractor must
+	// predict the continuation.
+	e := New()
+	e.BeginRun()
+	a := kernel.NewComputeBound("a", 1)
+	b := kernel.NewMemoryBound("b", 1)
+	for i := 0; i < 3; i++ {
+		observeKernel(e, a)
+		observeKernel(e, b)
+	}
+	if !e.KnowsFuture() {
+		t.Fatal("period not detected after 3 full (AB) cycles")
+	}
+	// Position 6 should be A, 7 should be B.
+	recA, ok := e.Expect(6)
+	if !ok {
+		t.Fatal("Expect(6) unknown")
+	}
+	if counters.SignatureOf(recA.Counters) != counters.SignatureOf(a.Counters()) {
+		t.Error("Expect(6) is not kernel A")
+	}
+	recB, ok := e.Expect(7)
+	if !ok || counters.SignatureOf(recB.Counters) != counters.SignatureOf(b.Counters()) {
+		t.Error("Expect(7) is not kernel B")
+	}
+	// Far future keeps cycling.
+	rec, ok := e.Expect(100)
+	if !ok {
+		t.Fatal("Expect(100) unknown")
+	}
+	if counters.SignatureOf(rec.Counters) != counters.SignatureOf(a.Counters()) {
+		t.Error("Expect(100) should be A (even position)")
+	}
+}
+
+func TestNoFalsePeriodOnDistinctKernels(t *testing.T) {
+	e := New()
+	e.BeginRun()
+	observeKernel(e, kernel.NewComputeBound("a", 1))
+	observeKernel(e, kernel.NewMemoryBound("b", 1))
+	observeKernel(e, kernel.NewPeak("c", 1))
+	if _, ok := e.Expect(3); ok {
+		t.Error("extractor invented a future for an aperiodic 3-kernel prefix")
+	}
+}
+
+func TestCrossRunReplay(t *testing.T) {
+	// First run records hybridsort's aperiodic sequence; the second run
+	// replays it positionally.
+	app, _ := workload.ByName("hybridsort")
+	e := New()
+	e.BeginRun()
+	for _, k := range app.Kernels {
+		observeKernel(e, k)
+	}
+	if e.KnowsFuture() {
+		// At the end of run 1 nothing is left to predict within the run.
+		t.Log("note: period detected at end of run 1 (harmless)")
+	}
+	e.BeginRun()
+	// Before any kernel of run 2, every position should be predictable.
+	for i, k := range app.Kernels {
+		rec, ok := e.Expect(i)
+		if !ok {
+			t.Fatalf("run 2 Expect(%d) unknown", i)
+		}
+		wantSig := counters.SignatureOf(k.Counters())
+		if counters.SignatureOf(rec.Counters) != wantSig {
+			t.Fatalf("run 2 Expect(%d) wrong kernel", i)
+		}
+	}
+	// And the prediction still holds mid-run while observations match.
+	for i, k := range app.Kernels {
+		if i == 5 {
+			rec, ok := e.Expect(10)
+			if !ok {
+				t.Fatal("mid-run Expect(10) unknown")
+			}
+			if counters.SignatureOf(rec.Counters) != counters.SignatureOf(app.Kernels[10].Counters()) {
+				t.Fatal("mid-run Expect(10) wrong")
+			}
+		}
+		observeKernel(e, k)
+	}
+}
+
+func TestReplayInvalidatedOnMismatch(t *testing.T) {
+	a := kernel.NewComputeBound("a", 1)
+	b := kernel.NewMemoryBound("b", 1)
+	c := kernel.NewPeak("c", 1)
+	e := New()
+	e.BeginRun()
+	observeKernel(e, a)
+	observeKernel(e, b)
+	observeKernel(e, c)
+	e.BeginRun()
+	observeKernel(e, a)
+	observeKernel(e, c) // diverges from the recorded (a,b,c)
+	if rec, ok := e.Expect(2); ok {
+		if counters.SignatureOf(rec.Counters) == counters.SignatureOf(c.Counters()) {
+			t.Error("stale replay served after divergence")
+		}
+	}
+}
+
+func TestFeedbackBlending(t *testing.T) {
+	e := New()
+	k := kernel.NewBalanced("b", 1)
+	cs := k.Counters()
+	e.Observe(counters.Record{Counters: cs, TimeMS: 10, PowerW: 30})
+	e.Observe(counters.Record{Counters: cs, TimeMS: 20, PowerW: 30})
+	rec, ok := e.Lookup(counters.SignatureOf(cs))
+	if !ok {
+		t.Fatal("record missing")
+	}
+	if rec.TimeMS <= 10 || rec.TimeMS >= 20 {
+		t.Errorf("blended time = %v, want between observations", rec.TimeMS)
+	}
+}
+
+func TestExpectedInstsRecoversInstructionCount(t *testing.T) {
+	for _, k := range []kernel.Kernel{
+		kernel.NewComputeBound("c", 1),
+		kernel.NewMemoryBound("m", 2),
+		kernel.NewUnscalable("u", 0.5).WithInput(1.7),
+	} {
+		rec := counters.Record{Counters: k.Counters()}
+		got := ExpectedInsts(rec)
+		if math.Abs(got-k.Insts())/k.Insts() > 1e-9 {
+			t.Errorf("%s: ExpectedInsts = %v, want %v", k.Name(), got, k.Insts())
+		}
+	}
+}
+
+func TestExpectNegativeAndPast(t *testing.T) {
+	e := New()
+	if _, ok := e.Expect(-1); ok {
+		t.Error("Expect(-1) should be unknown")
+	}
+	a := kernel.NewComputeBound("a", 1)
+	observeKernel(e, a)
+	rec, ok := e.Expect(0) // past position serves the record
+	if !ok || counters.SignatureOf(rec.Counters) != counters.SignatureOf(a.Counters()) {
+		t.Error("Expect(0) should serve the executed kernel's record")
+	}
+}
+
+func TestInputVaryingKernelsGetDistinctRecords(t *testing.T) {
+	// hybridsort's mergeSortPass invocations differ in input; signature
+	// binning must separate materially different sizes.
+	app, _ := workload.ByName("hybridsort")
+	e := New()
+	e.BeginRun()
+	for _, k := range app.Kernels {
+		observeKernel(e, k)
+	}
+	if e.DistinctKernels() < 8 {
+		t.Errorf("hybridsort produced %d distinct records; input variation should create more", e.DistinctKernels())
+	}
+}
+
+func TestSpmvBlockPatternPeriod(t *testing.T) {
+	// Inside Spmv's A10 block the period is 1: the extractor should
+	// predict the same kernel continues.
+	app, _ := workload.ByName("Spmv")
+	e := New()
+	e.BeginRun()
+	for i := 0; i < 5; i++ {
+		observeKernel(e, app.Kernels[i])
+	}
+	rec, ok := e.Expect(5)
+	if !ok {
+		t.Fatal("period-1 continuation not predicted")
+	}
+	if counters.SignatureOf(rec.Counters) != counters.SignatureOf(app.Kernels[0].Counters()) {
+		t.Error("wrong continuation inside A-block")
+	}
+}

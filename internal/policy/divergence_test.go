@@ -1,0 +1,108 @@
+package policy
+
+import (
+	"testing"
+
+	"mpcdvfs/internal/hw"
+	"mpcdvfs/internal/kernel"
+	"mpcdvfs/internal/predict"
+	"mpcdvfs/internal/sim"
+	"mpcdvfs/internal/workload"
+)
+
+// TestMPCSurvivesPatternDivergence exercises the fallback path: the app
+// keeps its name and length but swaps half its kernels between runs
+// (a data-dependent branch taking the other side). The extractor's
+// replay gets invalidated mid-run and MPC must degrade to history-based
+// behaviour instead of acting on stale expectations — and still satisfy
+// the engine (valid configs, complete run).
+func TestMPCSurvivesPatternDivergence(t *testing.T) {
+	a := kernel.NewComputeBound("stable", 1)
+	b := kernel.NewMemoryBound("phase1", 1)
+	c := kernel.NewPeak("phase2", 1)
+
+	run1 := workload.App{Name: "diverging", Pattern: "A5B5", Kernels: []kernel.Kernel{a, a, a, a, a, b, b, b, b, b}}
+	run2 := workload.App{Name: "diverging", Pattern: "A5C5", Kernels: []kernel.Kernel{a, a, a, a, a, c, c, c, c, c}}
+
+	eng := sim.NewEngine(hw.DefaultSpace())
+	// Target from the first variant; the divergence is unanticipated.
+	base, target, err := eng.Baseline(&run1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := predict.NewOracle()
+	for _, k := range append(append([]kernel.Kernel{}, run1.Kernels...), run2.Kernels...) {
+		oracle.Register(k)
+	}
+	m := NewMPC(oracle, eng.Space)
+
+	// Profiling run on variant 1.
+	if _, err := eng.Run(&run1, m, target, true); err != nil {
+		t.Fatal(err)
+	}
+	// Steady run hits variant 2: positions 5..9 diverge from the learned
+	// sequence.
+	res, err := eng.Run(&run2, m, target, false)
+	if err != nil {
+		t.Fatalf("MPC failed on diverged pattern: %v", err)
+	}
+	if m.Profiling() {
+		t.Error("divergence should not reset the policy to profiling mid-run")
+	}
+	if len(res.Records) != run2.Len() {
+		t.Fatalf("incomplete run: %d records", len(res.Records))
+	}
+	for _, rec := range res.Records {
+		if !eng.Space.Contains(rec.Config) {
+			t.Fatalf("invalid config %v after divergence", rec.Config)
+		}
+	}
+	// It must not have collapsed performance-wise either: the fallback
+	// is PPK-grade, not pathological.
+	c2 := sim.Compare(res, base)
+	if c2.Speedup < 0.5 {
+		t.Errorf("post-divergence speedup %.3f collapsed", c2.Speedup)
+	}
+
+	// A third run re-learns the new variant and returns to full MPC
+	// quality.
+	res3, err := eng.Run(&run2, m, target, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c3 := sim.Compare(res3, base)
+	if c3.Speedup < 0.85 {
+		t.Errorf("re-learned run speedup %.3f; pattern update failed", c3.Speedup)
+	}
+	if c3.EnergySavingsPct <= 0 {
+		t.Errorf("re-learned run saves %.1f%%", c3.EnergySavingsPct)
+	}
+}
+
+// TestMPCHandlesLengthChange: a run with a different kernel count drops
+// the policy back into profiling (the stored profile no longer applies).
+func TestMPCHandlesLengthChange(t *testing.T) {
+	a := kernel.NewComputeBound("k", 1)
+	short := workload.App{Name: "resizing", Pattern: "A4", Kernels: []kernel.Kernel{a, a, a, a}}
+	long := workload.App{Name: "resizing", Pattern: "A8", Kernels: []kernel.Kernel{a, a, a, a, a, a, a, a}}
+
+	eng := sim.NewEngine(hw.DefaultSpace())
+	_, target, err := eng.Baseline(&short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := predict.NewOracle()
+	oracle.Register(a)
+	m := NewMPC(oracle, eng.Space)
+	if _, err := eng.Run(&short, m, target, true); err != nil {
+		t.Fatal(err)
+	}
+	// Not flagged as first run, but the length changed: the policy must
+	// notice and re-profile rather than index out of range.
+	if _, err := eng.Run(&long, m, target, false); err != nil {
+		t.Fatalf("length change broke MPC: %v", err)
+	}
+	if !m.Profiling() {
+		t.Error("length change should re-enter profiling")
+	}
+}

@@ -1,0 +1,141 @@
+package policy
+
+import (
+	"mpcdvfs/internal/counters"
+	"mpcdvfs/internal/hw"
+	"mpcdvfs/internal/sim"
+)
+
+// Equalizer is a reconstruction of the §VII related-work scheme of
+// Sethia & Mahlke: a reactive controller that reads the last kernel's
+// performance counters, classifies it as compute- or memory-bound, and
+// tunes the matching knobs — boosting the bottleneck resource in
+// performance mode or starving the idle one in energy mode. It is
+// kernel-aware (unlike Turbo Core) but history-based and model-free
+// (unlike PPK and MPC): the third rung on the ladder the paper climbs.
+type Equalizer struct {
+	space hw.Space
+	// EnergyMode starves the non-bottleneck resource instead of boosting
+	// the bottleneck (the paper describes Equalizer's two modes).
+	EnergyMode bool
+
+	cur     hw.Config
+	haveObs bool
+	last    sim.Observation
+}
+
+// NewEqualizer returns the reactive counter-driven baseline in energy
+// mode (the mode comparable to the paper's objective).
+func NewEqualizer(space hw.Space) *Equalizer {
+	return &Equalizer{space: space, EnergyMode: true}
+}
+
+// Name implements sim.Policy.
+func (e *Equalizer) Name() string {
+	if e.EnergyMode {
+		return "equalizer-energy"
+	}
+	return "equalizer-perf"
+}
+
+// Begin implements sim.Policy.
+func (e *Equalizer) Begin(sim.RunInfo) {
+	e.cur = e.space.Clamp(hw.FailSafe())
+	e.haveObs = false
+}
+
+// Decide implements sim.Policy: apply the configuration tuned from the
+// previous kernel's counters (the first kernel runs at fail-safe).
+func (e *Equalizer) Decide(int) sim.Decision {
+	if !e.haveObs {
+		return sim.Decision{Config: e.space.Clamp(hw.FailSafe())}
+	}
+	return sim.Decision{Config: e.cur}
+}
+
+// Boundedness thresholds on the MemUnitStalled counter (percent of GPU
+// time the memory unit is stalled).
+const (
+	eqMemBoundPct     = 55.0
+	eqComputeBoundPct = 25.0
+)
+
+// Observe implements sim.Policy: classify and retune.
+func (e *Equalizer) Observe(obs sim.Observation) {
+	e.last = obs
+	e.haveObs = true
+
+	stall := obs.Counters[counters.MemUnitStalled]
+	cfg := e.cur
+	switch {
+	case stall >= eqMemBoundPct:
+		// Memory-bound: the NB is the bottleneck, the shader array is
+		// waiting.
+		if e.EnergyMode {
+			// Starve the idle compute side.
+			if down, ok := e.space.Step(cfg, hw.KnobGPU, -1); ok {
+				cfg = down
+			} else if down, ok := e.space.Step(cfg, hw.KnobCU, -1); ok {
+				cfg = down
+			}
+			cfg = raiseNB(e.space, cfg) // keep memory fed
+		} else {
+			cfg = raiseNB(e.space, cfg)
+		}
+	case stall <= eqComputeBoundPct:
+		// Compute-bound: the shader array is the bottleneck.
+		if e.EnergyMode {
+			// Starve the idle memory side.
+			if down, ok := e.space.Step(cfg, hw.KnobNB, +1); ok {
+				cfg = down
+			}
+			cfg = raiseGPU(e.space, cfg)
+		} else {
+			cfg = raiseGPU(e.space, cfg)
+			if up, ok := e.space.Step(cfg, hw.KnobCU, +1); ok {
+				cfg = up
+			}
+		}
+	default:
+		// Balanced: relax whichever side a previous kernel over-boosted,
+		// one step at a time, toward the fail-safe midpoint.
+		fs := e.space.Clamp(hw.FailSafe())
+		cfg = stepToward(e.space, cfg, fs)
+	}
+	// The CPU busy-waits during kernels either way.
+	cfg.CPU = e.space.CPUs[len(e.space.CPUs)-1]
+	e.cur = cfg
+}
+
+func raiseNB(space hw.Space, cfg hw.Config) hw.Config {
+	if up, ok := space.Step(cfg, hw.KnobNB, -1); ok { // lower index = faster NB
+		return up
+	}
+	return cfg
+}
+
+func raiseGPU(space hw.Space, cfg hw.Config) hw.Config {
+	if up, ok := space.Step(cfg, hw.KnobGPU, +1); ok {
+		return up
+	}
+	return cfg
+}
+
+// stepToward moves cfg one knob-step toward target.
+func stepToward(space hw.Space, cfg, target hw.Config) hw.Config {
+	for _, k := range hw.Knobs() {
+		ci := space.KnobIndex(cfg, k)
+		ti := space.KnobIndex(target, k)
+		if ci < 0 || ti < 0 || ci == ti {
+			continue
+		}
+		dir := 1
+		if ti < ci {
+			dir = -1
+		}
+		if next, ok := space.Step(cfg, k, dir); ok {
+			return next
+		}
+	}
+	return cfg
+}

@@ -1,0 +1,98 @@
+package policy
+
+import (
+	"testing"
+
+	"mpcdvfs/internal/hw"
+	"mpcdvfs/internal/sim"
+	"mpcdvfs/internal/workload"
+)
+
+func TestEqualizerStartsFailSafe(t *testing.T) {
+	f := newFixture(t, "Spmv")
+	e := NewEqualizer(f.eng.Space)
+	res, err := f.eng.Run(&f.app, e, f.target, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records[0].Config != hw.FailSafe() {
+		t.Errorf("first kernel at %v, want fail-safe", res.Records[0].Config)
+	}
+	// The CPU is always parked (busy-wait costs nothing to park).
+	for _, rec := range res.Records[1:] {
+		if rec.Config.CPU != hw.P7 {
+			t.Fatalf("equalizer left the CPU at %v", rec.Config.CPU)
+		}
+	}
+}
+
+func TestEqualizerClassifiesBoundedness(t *testing.T) {
+	space := hw.DefaultSpace()
+	e := NewEqualizer(space)
+	e.Begin(sim.RunInfo{})
+
+	// Feed a strongly memory-bound observation: the GPU knob must come
+	// down (energy mode starves idle compute).
+	mb, _ := workload.ByName("Spmv")
+	memK := mb.Kernels[20] // ellpackr, memory-bound
+	obs := sim.Observation{
+		Counters: memK.Counters(),
+		Insts:    memK.Insts(), TimeMS: 1, GPUPowerW: 30, Config: hw.FailSafe(),
+	}
+	e.Observe(obs)
+	d := e.Decide(1)
+	if d.Config.GPU >= hw.FailSafe().GPU && d.Config.CUs >= hw.FailSafe().CUs {
+		t.Errorf("memory-bound kernel did not starve compute: %v", d.Config)
+	}
+
+	// Compute-bound: NB drops, GPU rises (or stays at max).
+	e.Begin(sim.RunInfo{})
+	cb, _ := workload.ByName("NBody")
+	cbK := cb.Kernels[0]
+	obs.Counters = cbK.Counters()
+	e.Observe(obs)
+	d = e.Decide(1)
+	if d.Config.NB <= hw.FailSafe().NB && d.Config.GPU <= hw.FailSafe().GPU {
+		t.Errorf("compute-bound kernel did not starve memory: %v", d.Config)
+	}
+}
+
+func TestEqualizerSavesEnergyOnSuite(t *testing.T) {
+	// As a kernel-aware reactive scheme it should save energy vs Turbo
+	// Core on most benchmarks, at some performance cost.
+	saves := 0
+	for _, name := range []string{"Spmv", "kmeans", "NBody", "hybridsort", "lulesh"} {
+		f := newFixture(t, name)
+		e := NewEqualizer(f.eng.Space)
+		res, err := f.eng.Run(&f.app, e, f.target, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := sim.Compare(res, f.base)
+		if c.EnergySavingsPct > 0 {
+			saves++
+		}
+		if c.Speedup < 0.3 {
+			t.Errorf("%s: equalizer speedup %.3f collapsed", name, c.Speedup)
+		}
+	}
+	if saves < 4 {
+		t.Errorf("equalizer saved energy on only %d/5 benchmarks", saves)
+	}
+}
+
+func TestEqualizerStaysInSpace(t *testing.T) {
+	for _, app := range workload.Benchmarks() {
+		f := newFixture(t, app.Name)
+		e := NewEqualizer(f.eng.Space)
+		res, err := f.eng.Run(&f.app, e, f.target, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range res.Records {
+			if !f.eng.Space.Contains(rec.Config) {
+				t.Fatalf("%s: equalizer chose %v outside the space", app.Name, rec.Config)
+			}
+		}
+	}
+}

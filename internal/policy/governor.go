@@ -1,0 +1,102 @@
+package policy
+
+import (
+	"fmt"
+
+	"mpcdvfs/internal/hw"
+	"mpcdvfs/internal/sim"
+)
+
+// StaticGovernor pins a single configuration for every kernel — the
+// performance/powersave governor family of general-purpose DVFS stacks.
+// They bracket the design space: Performance is a TDP-blind Turbo Core,
+// Powersave the lowest-power corner, and both show why kernel-aware
+// policies are needed at all.
+type StaticGovernor struct {
+	name string
+	cfg  hw.Config
+}
+
+// NewPerformanceGovernor pins the highest-performance configuration.
+func NewPerformanceGovernor() *StaticGovernor {
+	return &StaticGovernor{name: "governor-performance", cfg: hw.MaxPerf()}
+}
+
+// NewPowersaveGovernor pins the lowest-power configuration.
+func NewPowersaveGovernor() *StaticGovernor {
+	return &StaticGovernor{name: "governor-powersave", cfg: hw.Config{CPU: hw.P7, NB: hw.NB3, GPU: hw.DPM0, CUs: hw.MinCUs}}
+}
+
+// NewStaticGovernor pins an arbitrary configuration.
+func NewStaticGovernor(name string, cfg hw.Config) (*StaticGovernor, error) {
+	if !cfg.Valid() {
+		return nil, fmt.Errorf("policy: invalid governor config %v", cfg)
+	}
+	return &StaticGovernor{name: name, cfg: cfg}, nil
+}
+
+// Name implements sim.Policy.
+func (g *StaticGovernor) Name() string { return g.name }
+
+// Begin implements sim.Policy.
+func (g *StaticGovernor) Begin(sim.RunInfo) {}
+
+// Decide implements sim.Policy.
+func (g *StaticGovernor) Decide(int) sim.Decision { return sim.Decision{Config: g.cfg} }
+
+// Observe implements sim.Policy.
+func (g *StaticGovernor) Observe(sim.Observation) {}
+
+// OndemandGovernor is a Linux-ondemand-style reactive controller: it
+// watches the achieved throughput per GPU-clock and steps the GPU/NB
+// states up when the kernel appears starved and down when extra clocks
+// stopped paying off. Like Turbo Core it is history-based and
+// kernel-agnostic — a second state-of-practice reference point.
+type OndemandGovernor struct {
+	space hw.Space
+	cur   hw.Config
+	// last throughput-per-GHz observed, keyed implicitly by recency.
+	lastEff float64
+	haveObs bool
+}
+
+// NewOndemandGovernor returns the reactive governor over a space.
+func NewOndemandGovernor(space hw.Space) *OndemandGovernor {
+	return &OndemandGovernor{space: space}
+}
+
+// Name implements sim.Policy.
+func (g *OndemandGovernor) Name() string { return "governor-ondemand" }
+
+// Begin implements sim.Policy.
+func (g *OndemandGovernor) Begin(sim.RunInfo) {
+	g.cur = g.space.Clamp(hw.Config{CPU: hw.P5, NB: hw.NB1, GPU: hw.DPM2, CUs: 6})
+	g.lastEff = 0
+	g.haveObs = false
+}
+
+// Decide implements sim.Policy.
+func (g *OndemandGovernor) Decide(int) sim.Decision { return sim.Decision{Config: g.cur} }
+
+// Observe implements sim.Policy: step the GPU knob toward better
+// throughput-per-clock, NB following.
+func (g *OndemandGovernor) Observe(obs sim.Observation) {
+	eff := obs.Insts / obs.TimeMS / obs.Config.GPU.FreqGHz()
+	if g.haveObs {
+		if eff >= g.lastEff*0.98 {
+			// Clocks are still paying off: boost.
+			if up, ok := g.space.Step(g.cur, hw.KnobGPU, +1); ok {
+				g.cur = up
+			} else if up, ok := g.space.Step(g.cur, hw.KnobNB, -1); ok {
+				g.cur = up
+			}
+		} else {
+			// Diminishing returns: back off.
+			if down, ok := g.space.Step(g.cur, hw.KnobGPU, -1); ok {
+				g.cur = down
+			}
+		}
+	}
+	g.lastEff = eff
+	g.haveObs = true
+}

@@ -1,0 +1,81 @@
+package policy
+
+import (
+	"testing"
+
+	"mpcdvfs/internal/hw"
+	"mpcdvfs/internal/sim"
+)
+
+func TestStaticGovernors(t *testing.T) {
+	f := newFixture(t, "Spmv")
+	perf := NewPerformanceGovernor()
+	pres, err := f.eng.Run(&f.app, perf, f.target, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range pres.Records {
+		if rec.Config != hw.MaxPerf() {
+			t.Fatalf("performance governor chose %v", rec.Config)
+		}
+		if rec.Evals != 0 {
+			t.Fatal("static governor charged evaluations")
+		}
+	}
+	save := NewPowersaveGovernor()
+	sres, err := f.eng.Run(&f.app, save, f.target, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Powersave draws less power but runs much slower.
+	pw := pres.TotalEnergyMJ() / pres.TotalTimeMS()
+	sw := sres.TotalEnergyMJ() / sres.TotalTimeMS()
+	if sw >= pw {
+		t.Errorf("powersave power %.1f W not below performance %.1f W", sw, pw)
+	}
+	if sres.TotalTimeMS() <= pres.TotalTimeMS() {
+		t.Error("powersave not slower than performance")
+	}
+	if perf.Name() == save.Name() {
+		t.Error("governor names collide")
+	}
+}
+
+func TestNewStaticGovernorValidation(t *testing.T) {
+	if _, err := NewStaticGovernor("bad", hw.Config{CPU: 99}); err == nil {
+		t.Error("invalid config accepted")
+	}
+	g, err := NewStaticGovernor("ok", hw.FailSafe())
+	if err != nil || g.Name() != "ok" {
+		t.Errorf("valid governor rejected: %v", err)
+	}
+}
+
+func TestOndemandGovernorAdapts(t *testing.T) {
+	f := newFixture(t, "Spmv")
+	g := NewOndemandGovernor(f.eng.Space)
+	res, err := f.eng.Run(&f.app, g, f.target, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// It must actually move: more than one distinct config across the run.
+	seen := map[hw.Config]bool{}
+	for _, rec := range res.Records {
+		seen[rec.Config] = true
+		if !f.eng.Space.Contains(rec.Config) {
+			t.Fatalf("ondemand left the space: %v", rec.Config)
+		}
+	}
+	if len(seen) < 2 {
+		t.Error("ondemand governor never adapted")
+	}
+	// And it should sit between the static extremes on energy.
+	perfRes, err := f.eng.Run(&f.app, NewPerformanceGovernor(), f.target, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sim.Compare(res, perfRes)
+	if c.EnergySavingsPct <= 0 {
+		t.Errorf("ondemand saves %.1f%% vs performance governor, want > 0", c.EnergySavingsPct)
+	}
+}

@@ -1,0 +1,294 @@
+package policy
+
+import (
+	"fmt"
+
+	"mpcdvfs/internal/core"
+	"mpcdvfs/internal/hw"
+	"mpcdvfs/internal/pattern"
+	"mpcdvfs/internal/predict"
+	"mpcdvfs/internal/sim"
+)
+
+// MPC is the paper's power-management scheme (Fig. 6): a model-predictive
+// controller that, between kernels, optimizes a receding window of
+// expected future kernels and applies the decision for the current one.
+//
+// Lifecycle per application (§V-B, Fig. 11): the first invocation runs
+// PPK while the pattern extractor records kernel signatures, counters and
+// the PPK optimization overhead T_PPK; from the second invocation onward
+// the search order, adaptive horizon generator and stored kernel records
+// drive true MPC decisions. One MPC instance serves one application.
+type MPC struct {
+	opt   *core.Optimizer
+	calib *predict.Calibrated
+	space hw.Space
+
+	// Alpha is the total performance-loss bound for the adaptive horizon
+	// (default core.DefaultAlpha = 5%).
+	alpha float64
+	// fullHorizon disables horizon adaptation (the §VI-E ablation).
+	fullHorizon bool
+	// naiveOrder disables the search-order heuristic (ordering ablation).
+	naiveOrder bool
+
+	ext *pattern.Extractor
+
+	// Cross-run state.
+	appName       string
+	profile       core.Profile
+	rank          []int
+	horizon       *core.HorizonGen
+	ppkOverheadMS float64
+
+	// suffixDeficit[j] is the total execution time (ms) by which kernels
+	// j..N-1 are expected to exceed their individual throughput
+	// allowances even at the fail-safe configuration. The tracker
+	// reserves this headroom so that kernels outside a shortened horizon
+	// still get the banked time they need — the §IV-A1b behaviour of
+	// adjusting headroom using the "performance behavior of future
+	// kernels" from the pattern extractor. Recomputed each run; nil while
+	// profiling.
+	suffixDeficit []float64
+
+	// Per-run state.
+	tracker   *core.Tracker
+	profiling bool
+	n         int
+	elapsedMS float64
+	last      sim.Observation
+	haveObs   bool
+
+	// Horizon statistics for Fig. 15.
+	horizonSum float64
+	horizonCnt int
+}
+
+// MPCOption configures an MPC policy.
+type MPCOption func(*MPC)
+
+// WithAlpha overrides the performance-loss bound α.
+func WithAlpha(a float64) MPCOption { return func(m *MPC) { m.alpha = a } }
+
+// WithFullHorizon disables the adaptive horizon: every decision optimizes
+// over all remaining kernels regardless of overhead (§VI-E ablation).
+func WithFullHorizon() MPCOption { return func(m *MPC) { m.fullHorizon = true } }
+
+// WithExhaustiveSearch replaces greedy hill climbing with a full sweep
+// per window kernel — the search-cost ablation.
+func WithExhaustiveSearch() MPCOption {
+	return func(m *MPC) { m.opt.UseExhaustive = true }
+}
+
+// WithExecutionOrder replaces the above/below-target search-order
+// heuristic with plain execution order — the ordering ablation.
+func WithExecutionOrder() MPCOption { return func(m *MPC) { m.naiveOrder = true } }
+
+// NewMPC returns an MPC policy using the given predictor and
+// configuration space. Optimization overhead is measured, not assumed:
+// the engine reports the wall time it charged for each decision (after
+// any CPU-phase hiding) and the adaptive horizon feeds on those
+// measurements.
+func NewMPC(model predict.Model, space hw.Space, opts ...MPCOption) *MPC {
+	c := predict.NewCalibrated(model)
+	m := &MPC{
+		opt:   core.NewOptimizer(c, space),
+		calib: c,
+		space: space,
+		alpha: core.DefaultAlpha,
+		ext:   pattern.New(),
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// Name implements sim.Policy.
+func (m *MPC) Name() string {
+	if m.fullHorizon {
+		return "mpc-full-horizon"
+	}
+	return "mpc"
+}
+
+// Begin implements sim.Policy.
+func (m *MPC) Begin(info sim.RunInfo) {
+	if m.appName == "" {
+		m.appName = info.AppName
+	} else if m.appName != info.AppName {
+		panic(fmt.Sprintf("policy: MPC instance for %s reused on %s", m.appName, info.AppName))
+	}
+	m.ext.BeginRun()
+	m.tracker = core.NewTracker(info.Target.Throughput())
+	m.n = info.NumKernels
+	m.elapsedMS = 0
+	m.haveObs = false
+
+	m.profiling = info.FirstRun || len(m.profile.Insts) != m.n
+	m.suffixDeficit = nil
+	if !m.profiling && m.rank == nil {
+		if m.naiveOrder {
+			m.rank = make([]int, m.n)
+			for i := range m.rank {
+				m.rank[i] = i
+			}
+		} else {
+			order, err := core.BuildSearchOrder(m.profile, info.Target.Throughput())
+			if err != nil {
+				// Profiling produced unusable data; stay in profiling mode.
+				m.profiling = true
+				return
+			}
+			m.rank = core.RankOf(order)
+		}
+		m.horizon = core.NewHorizonGen(m.alpha, m.n, info.Target.TotalTimeMS, m.ppkOverheadMS)
+	}
+}
+
+// Profiling reports whether the policy is in its PPK profiling run.
+func (m *MPC) Profiling() bool { return m.profiling }
+
+// Decide implements sim.Policy.
+func (m *MPC) Decide(i int) sim.Decision {
+	if m.profiling {
+		return m.decidePPK()
+	}
+	return m.decideMPC(i)
+}
+
+// decidePPK is the profiling-run behaviour: plain PPK while the extractor
+// learns the pattern (§V-B).
+func (m *MPC) decidePPK() sim.Decision {
+	if !m.haveObs {
+		return sim.Decision{Config: m.opt.FailSafe(), Evals: 0}
+	}
+	head := m.tracker.HeadroomMS(m.last.Insts)
+	res := m.opt.ExhaustiveSearch(m.last.Counters, head)
+	return sim.Decision{Config: res.Config, Evals: res.Evals}
+}
+
+// decideMPC is the steady-state behaviour: adaptive horizon, windowed
+// optimization in search order, receding application.
+func (m *MPC) decideMPC(i int) sim.Decision {
+	extraEvals := 0
+	if m.suffixDeficit == nil {
+		extraEvals = m.computeDeficits()
+	}
+
+	h := m.n
+	if !m.fullHorizon {
+		h = m.horizon.Horizon(i+1, m.elapsedMS)
+	}
+	m.horizonSum += float64(h)
+	m.horizonCnt++
+	if h <= 0 {
+		// Cannot afford any optimization: guard with the fail-safe.
+		return sim.Decision{Config: m.opt.FailSafe(), Evals: extraEvals}
+	}
+
+	var win []core.WindowKernel
+	end := i + h
+	if end > m.n {
+		end = m.n
+	}
+	for j := i; j < end; j++ {
+		rec, ok := m.ext.Expect(j)
+		if !ok {
+			end = j
+			break
+		}
+		win = append(win, core.WindowKernel{
+			ExecIndex: j,
+			Rec:       rec,
+			ExpInsts:  pattern.ExpectedInsts(rec),
+			Rank:      m.rank[j],
+		})
+	}
+	if len(win) == 0 {
+		// Pattern knowledge ran out (e.g. the app diverged from its
+		// recorded sequence): fall back to history-based behaviour.
+		d := m.decidePPK()
+		d.Evals += extraEvals
+		return d
+	}
+
+	// Reserve the future deficit beyond the window: kernels the horizon
+	// cannot see must still find their banked time when they arrive.
+	tr := m.tracker
+	if res := m.reservedBeyond(end); res > 0 {
+		tr = tr.Clone()
+		tr.Add(0, res)
+	}
+	cfg, _, evals := m.opt.OptimizeWindow(win, tr)
+	return sim.Decision{Config: cfg, Evals: evals + extraEvals}
+}
+
+// computeDeficits fills suffixDeficit from the pattern extractor's
+// expected kernels: deficit_j = max(0, E[T_j at fail-safe] − E[I_j]/target).
+// One predictor evaluation per kernel, charged to the decision that
+// triggered it.
+func (m *MPC) computeDeficits() (evals int) {
+	def := make([]float64, m.n+1)
+	tp := m.tracker.TargetThroughput()
+	for j := 0; j < m.n; j++ {
+		rec, ok := m.ext.Expect(j)
+		if !ok {
+			continue
+		}
+		est := m.opt.Model.PredictKernel(rec.Counters, m.opt.FailSafe())
+		evals++
+		if tp > 0 {
+			allowance := pattern.ExpectedInsts(rec) / tp
+			if d := est.TimeMS - allowance; d > 0 {
+				def[j] = d
+			}
+		}
+	}
+	// Suffix sums: suffixDeficit[j] = Σ_{k ≥ j} def[k].
+	for j := m.n - 1; j >= 0; j-- {
+		def[j] += def[j+1]
+	}
+	m.suffixDeficit = def
+	return evals
+}
+
+// reservedBeyond returns the headroom to reserve for kernels at or after
+// position end.
+func (m *MPC) reservedBeyond(end int) float64 {
+	if m.suffixDeficit == nil || end >= len(m.suffixDeficit) {
+		return 0
+	}
+	return m.suffixDeficit[end]
+}
+
+// Observe implements sim.Policy.
+func (m *MPC) Observe(obs sim.Observation) {
+	m.tracker.Add(obs.Insts, obs.TimeMS)
+	m.ext.Observe(record(obs))
+	m.calib.Feedback(obs.Counters, obs.Config, obs.TimeMS, obs.GPUPowerW)
+	m.elapsedMS += obs.TimeMS + obs.OverheadMS
+	if m.profiling {
+		m.profile.Insts = append(m.profile.Insts, obs.Insts)
+		m.profile.TimeMS = append(m.profile.TimeMS, obs.TimeMS)
+		m.ppkOverheadMS += obs.OverheadMS
+	}
+	m.last = obs
+	m.haveObs = true
+}
+
+// AvgHorizonFrac returns the average adaptive horizon as a fraction of N
+// over all MPC-mode decisions so far — the Fig. 15 metric. ok is false if
+// no MPC-mode decision has been made.
+func (m *MPC) AvgHorizonFrac() (float64, bool) {
+	if m.horizonCnt == 0 || m.n == 0 {
+		return 0, false
+	}
+	return m.horizonSum / float64(m.horizonCnt) / float64(m.n), true
+}
+
+// PPKOverheadMS returns the measured T_PPK from the profiling run.
+func (m *MPC) PPKOverheadMS() float64 { return m.ppkOverheadMS }
+
+// StorageBytes returns the pattern extractor's record storage.
+func (m *MPC) StorageBytes() int { return m.ext.StorageBytes() }

@@ -1,0 +1,318 @@
+package policy
+
+import (
+	"math"
+	"testing"
+
+	"mpcdvfs/internal/hw"
+	"mpcdvfs/internal/predict"
+	"mpcdvfs/internal/sim"
+	"mpcdvfs/internal/workload"
+)
+
+// fixture bundles an engine, app, baseline and oracle for policy tests.
+type fixture struct {
+	eng    *sim.Engine
+	app    workload.App
+	base   *sim.Result
+	target sim.Target
+	oracle *predict.Oracle
+}
+
+func newFixture(t *testing.T, appName string) *fixture {
+	t.Helper()
+	app, err := workload.ByName(appName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(hw.DefaultSpace())
+	base, target, err := eng.Baseline(&app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := predict.NewOracle()
+	for _, k := range app.Kernels {
+		o.Register(k)
+	}
+	return &fixture{eng: eng, app: app, base: base, target: target, oracle: o}
+}
+
+// runSteady runs the policy for `repeats` invocations and returns the
+// last run (steady state) plus the first.
+func (f *fixture) runSteady(t *testing.T, p sim.Policy, repeats int) (first, last *sim.Result) {
+	t.Helper()
+	rs, err := f.eng.RunRepeated(&f.app, p, f.target, repeats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs[0], rs[len(rs)-1]
+}
+
+func TestPPKFirstKernelFailSafe(t *testing.T) {
+	f := newFixture(t, "Spmv")
+	p := NewPPK(f.oracle, f.eng.Space)
+	res, err := f.eng.Run(&f.app, p, f.target, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records[0].Config != hw.FailSafe() {
+		t.Errorf("first kernel config %v, want fail-safe", res.Records[0].Config)
+	}
+	if res.Records[0].Evals != 0 {
+		t.Error("first kernel should cost no evaluations")
+	}
+	// Subsequent decisions sweep the space.
+	if res.Records[1].Evals != f.eng.Space.Size() {
+		t.Errorf("PPK evals = %d, want %d", res.Records[1].Evals, f.eng.Space.Size())
+	}
+}
+
+func TestPPKMatchesTOOnRegularApps(t *testing.T) {
+	// §II-E / Fig. 4: with perfect knowledge, PPK matches TO for regular
+	// benchmarks (a single repeating kernel makes future knowledge
+	// useless).
+	for _, name := range []string{"mandelbulbGPU", "NBody", "lbm"} {
+		f := newFixture(t, name)
+		ppk := NewPPK(f.oracle, f.eng.Space)
+		pres, err := f.eng.Run(&f.app, ppk, f.target, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		to := NewTheoreticallyOptimal(&f.app, f.eng.Space)
+		tres, err := f.eng.Run(&f.app, to, f.target, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pc := sim.Compare(pres, f.base)
+		tc := sim.Compare(tres, f.base)
+		if gap := tc.EnergySavingsPct - pc.EnergySavingsPct; gap > 8 {
+			t.Errorf("%s: PPK trails TO by %.1f%% energy on a regular app", name, gap)
+		}
+	}
+}
+
+func TestTOMeetsTargetAndSavesEnergy(t *testing.T) {
+	for _, name := range []string{"Spmv", "kmeans", "hybridsort", "NBody"} {
+		f := newFixture(t, name)
+		to := NewTheoreticallyOptimal(&f.app, f.eng.Space)
+		res, err := f.eng.Run(&f.app, to, f.target, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := sim.Compare(res, f.base)
+		if c.Speedup < 0.999 {
+			t.Errorf("%s: TO speedup %.4f < 1; it must meet the Turbo Core target", name, c.Speedup)
+		}
+		if c.EnergySavingsPct <= 0 {
+			t.Errorf("%s: TO saves %.1f%%; the optimum must not lose energy", name, c.EnergySavingsPct)
+		}
+	}
+}
+
+func TestTODPBeatsOrMatchesLagrangian(t *testing.T) {
+	f := newFixture(t, "hybridsort")
+	dp := NewTheoreticallyOptimal(&f.app, f.eng.Space)
+	lg := NewTheoreticallyOptimal(&f.app, f.eng.Space)
+	lg.UseLagrangian = true
+	dres, err := f.eng.Run(&f.app, dp, f.target, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lres, err := f.eng.Run(&f.app, lg, f.target, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both must meet the budget; DP energy must be <= Lagrangian + small
+	// discretization slack.
+	if lres.TotalTimeMS() > f.target.TotalTimeMS*1.0001 {
+		t.Error("Lagrangian plan misses the time budget")
+	}
+	de, le := dres.TotalEnergyMJ(), lres.TotalEnergyMJ()
+	if de > le*1.01 {
+		t.Errorf("DP energy %v worse than Lagrangian %v", de, le)
+	}
+}
+
+func TestTOBeatsPPKOnIrregularApps(t *testing.T) {
+	// Fig. 4: on irregular apps TO saves more energy and/or runs faster
+	// than PPK even with perfect prediction.
+	better := 0
+	apps := []string{"Spmv", "kmeans", "hybridsort", "srad", "lud", "pb-bfs"}
+	for _, name := range apps {
+		f := newFixture(t, name)
+		ppk := NewPPK(f.oracle, f.eng.Space)
+		pres, err := f.eng.Run(&f.app, ppk, f.target, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		to := NewTheoreticallyOptimal(&f.app, f.eng.Space)
+		tres, err := f.eng.Run(&f.app, to, f.target, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pc := sim.Compare(pres, f.base)
+		tc := sim.Compare(tres, f.base)
+		if tc.EnergySavingsPct > pc.EnergySavingsPct+1 || tc.Speedup > pc.Speedup+0.01 {
+			better++
+		}
+	}
+	if better < 4 {
+		t.Errorf("TO clearly beat PPK on only %d of %d irregular apps", better, len(apps))
+	}
+}
+
+func TestMPCProfilesThenPredicts(t *testing.T) {
+	f := newFixture(t, "Spmv")
+	m := NewMPC(f.oracle, f.eng.Space)
+	first, last := f.runSteady(t, m, 3)
+	if m.Profiling() {
+		t.Error("MPC still profiling after 3 runs")
+	}
+	if m.PPKOverheadMS() <= 0 {
+		t.Error("no T_PPK measured during profiling")
+	}
+	if m.StorageBytes() <= 0 {
+		t.Error("extractor stored nothing")
+	}
+	// Profiling run equals PPK behaviour: first kernel at fail-safe.
+	if first.Records[0].Config != hw.FailSafe() {
+		t.Error("profiling run did not start at fail-safe")
+	}
+	// Steady state saves energy vs Turbo Core without losing much
+	// performance.
+	c := sim.Compare(last, f.base)
+	if c.EnergySavingsPct <= 0 {
+		t.Errorf("steady-state MPC saves %.1f%% energy, want > 0", c.EnergySavingsPct)
+	}
+	if c.Speedup < 1-2*0.05 {
+		t.Errorf("steady-state MPC speedup %.3f; adaptive horizon should bound loss near α", c.Speedup)
+	}
+	if frac, ok := m.AvgHorizonFrac(); !ok || frac <= 0 || frac > 1 {
+		t.Errorf("avg horizon frac = %v, %v", frac, ok)
+	}
+}
+
+func TestMPCBeatsPPKOnIrregularApps(t *testing.T) {
+	// Fig. 9's headline: on irregular apps, steady-state MPC beats PPK on
+	// performance while saving energy (here both use the oracle, isolating
+	// the future-awareness effect).
+	wins := 0
+	apps := []string{"Spmv", "kmeans", "hybridsort", "lud", "pb-bfs", "srad", "color"}
+	for _, name := range apps {
+		f := newFixture(t, name)
+		ppk := NewPPK(f.oracle, f.eng.Space)
+		_, plast := f.runSteady(t, ppk, 2)
+		m := NewMPC(f.oracle, f.eng.Space)
+		_, mlast := f.runSteady(t, m, 2)
+		pc := sim.Compare(plast, f.base)
+		mc := sim.Compare(mlast, f.base)
+		if mc.Speedup >= pc.Speedup-0.005 && mc.EnergySavingsPct >= pc.EnergySavingsPct-8 {
+			wins++
+		}
+		t.Logf("%s: MPC %.1f%%/%.3f vs PPK %.1f%%/%.3f (energy/speedup)",
+			name, mc.EnergySavingsPct, mc.Speedup, pc.EnergySavingsPct, pc.Speedup)
+	}
+	if wins < 5 {
+		t.Errorf("MPC at least matched PPK on only %d of %d irregular apps", wins, len(apps))
+	}
+}
+
+func TestMPCNearTOWithPerfectPrediction(t *testing.T) {
+	// Fig. 12: with perfect prediction MPC achieves most of TO's savings.
+	for _, name := range []string{"Spmv", "kmeans"} {
+		f := newFixture(t, name)
+		free := *f.eng
+		free.Cost = sim.CostModel{} // no overhead, full-horizon comparison
+		m := NewMPC(f.oracle, f.eng.Space, WithFullHorizon())
+		rs, err := free.RunRepeated(&f.app, m, f.target, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		to := NewTheoreticallyOptimal(&f.app, f.eng.Space)
+		tres, err := free.Run(&f.app, to, f.target, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc := sim.Compare(rs[1], f.base)
+		tc := sim.Compare(tres, f.base)
+		if mc.EnergySavingsPct < 0.6*tc.EnergySavingsPct {
+			t.Errorf("%s: MPC achieves %.1f%% of %.1f%% TO savings; paper reports ~92%%",
+				name, mc.EnergySavingsPct, tc.EnergySavingsPct)
+		}
+	}
+}
+
+func TestMPCFullHorizonCostsMoreOverhead(t *testing.T) {
+	// §VI-E: with overheads included, the full-horizon scheme spends far
+	// more optimizer time than the adaptive scheme on short-kernel apps.
+	f := newFixture(t, "hybridsort")
+	ad := NewMPC(f.oracle, f.eng.Space)
+	_, adLast := f.runSteady(t, ad, 2)
+	fh := NewMPC(f.oracle, f.eng.Space, WithFullHorizon())
+	_, fhLast := f.runSteady(t, fh, 2)
+	if fhLast.OverheadMS() <= adLast.OverheadMS() {
+		t.Errorf("full horizon overhead %.3f ms <= adaptive %.3f ms",
+			fhLast.OverheadMS(), adLast.OverheadMS())
+	}
+}
+
+func TestMPCHorizonAdaptsToKernelLength(t *testing.T) {
+	// Fig. 15: long-kernel apps get (near-)full horizons; short-kernel
+	// apps get clipped ones.
+	fLong := newFixture(t, "XSBench")
+	mLong := NewMPC(fLong.oracle, fLong.eng.Space)
+	fLong.runSteady(t, mLong, 2)
+	fracLong, ok := mLong.AvgHorizonFrac()
+	if !ok {
+		t.Fatal("no horizon stats for XSBench")
+	}
+	fShort := newFixture(t, "hybridsort")
+	mShort := NewMPC(fShort.oracle, fShort.eng.Space)
+	fShort.runSteady(t, mShort, 2)
+	fracShort, ok := mShort.AvgHorizonFrac()
+	if !ok {
+		t.Fatal("no horizon stats for hybridsort")
+	}
+	if fracLong < 0.8 {
+		t.Errorf("XSBench avg horizon %.2f of N, want >= 0.8 (long kernels)", fracLong)
+	}
+	if fracShort >= fracLong {
+		t.Errorf("hybridsort horizon %.2f not below XSBench %.2f", fracShort, fracLong)
+	}
+}
+
+func TestMPCRejectsAppSwitch(t *testing.T) {
+	f := newFixture(t, "Spmv")
+	m := NewMPC(f.oracle, f.eng.Space)
+	f.runSteady(t, m, 1)
+	other, _ := workload.ByName("kmeans")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MPC reuse across apps did not panic")
+		}
+	}()
+	_, _ = f.eng.Run(&other, m, f.target, false)
+}
+
+func TestMPCMeetsAlphaBoundAcrossBenchmarks(t *testing.T) {
+	// The adaptive horizon bounds steady-state performance loss; allow
+	// slack for prediction-free oracle runs: losses should stay within
+	// ~2α across the suite, and mostly within α.
+	var worst float64 = 1
+	for _, app := range workload.Benchmarks() {
+		f := newFixture(t, app.Name)
+		m := NewMPC(f.oracle, f.eng.Space)
+		_, last := f.runSteady(t, m, 2)
+		c := sim.Compare(last, f.base)
+		if c.Speedup < worst {
+			worst = c.Speedup
+		}
+		if c.Speedup < 1-2*0.05-0.02 {
+			t.Errorf("%s: steady-state speedup %.3f violates 2α bound", app.Name, c.Speedup)
+		}
+	}
+	t.Logf("worst steady-state speedup across suite: %.3f", worst)
+	if math.IsNaN(worst) {
+		t.Fatal("NaN speedup")
+	}
+}

@@ -1,0 +1,72 @@
+// Package policy implements the power-management schemes the paper
+// evaluates as sim.Policy implementations: Predict Previous Kernel (the
+// state-of-the-art history-based scheme), Theoretically Optimal (the
+// impractical global optimum), and MPC (the paper's contribution, wiring
+// the core optimizer, pattern extractor, predictor and adaptive horizon
+// together).
+package policy
+
+import (
+	"mpcdvfs/internal/core"
+	"mpcdvfs/internal/counters"
+	"mpcdvfs/internal/hw"
+	"mpcdvfs/internal/predict"
+	"mpcdvfs/internal/sim"
+)
+
+// PPK is the Predict Previous Kernel scheme (§II-E, §III): it assumes the
+// kernel that just finished will repeat next, and picks the configuration
+// minimizing that kernel's predicted energy subject to the cumulative
+// throughput constraint of Eq. 2, via an exhaustive O(M) sweep. It
+// represents history-based state of the art (Harmonia, Equalizer, …): no
+// future knowledge, but full feedback.
+type PPK struct {
+	opt     *core.Optimizer
+	calib   *predict.Calibrated
+	tracker *core.Tracker
+	space   hw.Space
+
+	last    sim.Observation
+	haveObs bool
+}
+
+// NewPPK returns a PPK policy over the given predictor and space. The
+// predictor is wrapped with the runtime measurement-feedback loop
+// (predict.Calibrated), as in the feedback-driven schemes PPK stands for.
+func NewPPK(m predict.Model, space hw.Space) *PPK {
+	c := predict.NewCalibrated(m)
+	return &PPK{opt: core.NewOptimizer(c, space), calib: c, space: space}
+}
+
+// Name implements sim.Policy.
+func (p *PPK) Name() string { return "ppk" }
+
+// Begin implements sim.Policy.
+func (p *PPK) Begin(info sim.RunInfo) {
+	p.tracker = core.NewTracker(info.Target.Throughput())
+	p.haveObs = false
+}
+
+// Decide implements sim.Policy. The very first kernel runs at fail-safe
+// since no performance counters exist to predict it (§V-B).
+func (p *PPK) Decide(i int) sim.Decision {
+	if !p.haveObs {
+		return sim.Decision{Config: p.opt.FailSafe(), Evals: 0}
+	}
+	head := p.tracker.HeadroomMS(p.last.Insts)
+	res := p.opt.ExhaustiveSearch(p.last.Counters, head)
+	return sim.Decision{Config: res.Config, Evals: res.Evals}
+}
+
+// Observe implements sim.Policy.
+func (p *PPK) Observe(obs sim.Observation) {
+	p.tracker.Add(obs.Insts, obs.TimeMS)
+	p.calib.Feedback(obs.Counters, obs.Config, obs.TimeMS, obs.GPUPowerW)
+	p.last = obs
+	p.haveObs = true
+}
+
+// record converts an observation into the extractor's stored form.
+func record(obs sim.Observation) counters.Record {
+	return counters.Record{Counters: obs.Counters, TimeMS: obs.TimeMS, PowerW: obs.GPUPowerW}
+}

@@ -1,0 +1,66 @@
+package predict
+
+import (
+	"mpcdvfs/internal/counters"
+	"mpcdvfs/internal/hw"
+)
+
+// calibWeight is the EWMA weight for feedback updates.
+const calibWeight = 0.5
+
+// Calibrated wraps a Model with the runtime feedback loop of Fig. 6: the
+// measured time and power of each executed kernel continuously correct
+// the model's bias for that kernel. The paper realizes this by feeding
+// updated performance counters back into the predictor (§IV-A2); with an
+// offline model and stable counters, the equivalent correction is a
+// per-kernel-signature multiplicative ratio between measurement and
+// prediction, smoothed across invocations.
+type Calibrated struct {
+	inner  Model
+	ratios map[counters.Signature]*calibRatio
+}
+
+type calibRatio struct {
+	time, power float64
+}
+
+// NewCalibrated wraps inner with an empty feedback store.
+func NewCalibrated(inner Model) *Calibrated {
+	return &Calibrated{inner: inner, ratios: map[counters.Signature]*calibRatio{}}
+}
+
+// Name implements Model.
+func (c *Calibrated) Name() string { return c.inner.Name() + "+feedback" }
+
+// PredictKernel implements Model, applying the kernel's learned
+// correction ratio when one exists.
+func (c *Calibrated) PredictKernel(cs counters.Set, cfg hw.Config) Estimate {
+	e := c.inner.PredictKernel(cs, cfg)
+	if r, ok := c.ratios[counters.SignatureOf(cs)]; ok {
+		e.TimeMS *= r.time
+		e.GPUPowerW *= r.power
+	}
+	return e
+}
+
+// Feedback records the measured outcome of one executed kernel and
+// updates its correction ratio. Non-positive measurements or predictions
+// are ignored.
+func (c *Calibrated) Feedback(cs counters.Set, cfg hw.Config, measuredTimeMS, measuredGPUPowerW float64) {
+	raw := c.inner.PredictKernel(cs, cfg)
+	if raw.TimeMS <= 0 || raw.GPUPowerW <= 0 || measuredTimeMS <= 0 || measuredGPUPowerW <= 0 {
+		return
+	}
+	sig := counters.SignatureOf(cs)
+	rt := measuredTimeMS / raw.TimeMS
+	rp := measuredGPUPowerW / raw.GPUPowerW
+	if r, ok := c.ratios[sig]; ok {
+		r.time = (1-calibWeight)*r.time + calibWeight*rt
+		r.power = (1-calibWeight)*r.power + calibWeight*rp
+	} else {
+		c.ratios[sig] = &calibRatio{time: rt, power: rp}
+	}
+}
+
+// KnownKernels returns the number of signatures with feedback state.
+func (c *Calibrated) KnownKernels() int { return len(c.ratios) }

@@ -1,0 +1,154 @@
+package predict
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mpcdvfs/internal/counters"
+	"mpcdvfs/internal/hw"
+	"mpcdvfs/internal/kernel"
+)
+
+// LinearRegression is the simpler predictor family of the paper's
+// related work (§VII: Paul et al. train linear regression models to
+// predict performance and power sensitivities). It fits ordinary least
+// squares over the same features as the Random Forest — log-compressed
+// counters plus configuration physics — with log inverse-throughput and
+// power targets. It exists as a baseline: the comparison against the
+// forest quantifies what the ensemble's nonlinearity buys.
+type LinearRegression struct {
+	timeCoef  []float64 // intercept-first coefficients for log(ms/inst)
+	powerCoef []float64 // intercept-first coefficients for watts
+}
+
+// Name implements Model.
+func (m *LinearRegression) Name() string { return "linear-regression" }
+
+// PredictKernel implements Model.
+func (m *LinearRegression) PredictKernel(cs counters.Set, c hw.Config) Estimate {
+	x := featurize(cs, c)
+	return Estimate{
+		TimeMS:    math.Exp(dotIntercept(m.timeCoef, x)) * instsOf(cs),
+		GPUPowerW: math.Max(0.1, dotIntercept(m.powerCoef, x)),
+	}
+}
+
+func dotIntercept(coef, x []float64) float64 {
+	s := coef[0]
+	for i, v := range x {
+		s += coef[i+1] * v
+	}
+	return s
+}
+
+// TrainLinearRegression fits the baseline on the same synthetic
+// population protocol as TrainRandomForest.
+func TrainLinearRegression(opt TrainOptions) (*LinearRegression, error) {
+	if opt.NumKernels <= 0 {
+		return nil, fmt.Errorf("predict: NumKernels = %d, must be positive", opt.NumKernels)
+	}
+	if opt.Space.Size() == 0 {
+		return nil, fmt.Errorf("predict: empty configuration space")
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	var X [][]float64
+	var yTime, yPower []float64
+	for i := 0; i < opt.NumKernels; i++ {
+		k := kernel.Random(fmt.Sprintf("lin%03d", i), rng)
+		cs := k.Counters()
+		opt.Space.ForEach(func(c hw.Config) {
+			m := k.Evaluate(c)
+			noiseT := 1 + opt.NoiseFrac*rng.NormFloat64()
+			noiseP := 1 + opt.NoiseFrac*rng.NormFloat64()
+			X = append(X, featurize(cs, c))
+			yTime = append(yTime, math.Log(m.TimeMS*math.Max(0.2, noiseT)/instsOf(cs)))
+			yPower = append(yPower, (m.GPUW+m.NBW)*math.Max(0.2, noiseP))
+		})
+	}
+
+	tc, err := leastSquares(X, yTime)
+	if err != nil {
+		return nil, fmt.Errorf("predict: time fit: %w", err)
+	}
+	pc, err := leastSquares(X, yPower)
+	if err != nil {
+		return nil, fmt.Errorf("predict: power fit: %w", err)
+	}
+	return &LinearRegression{timeCoef: tc, powerCoef: pc}, nil
+}
+
+// leastSquares solves min ||Xb - y|| with an intercept column via the
+// normal equations and Gaussian elimination with partial pivoting. The
+// feature count is small (14), so normal equations are numerically
+// adequate.
+func leastSquares(X [][]float64, y []float64) ([]float64, error) {
+	if len(X) == 0 || len(X) != len(y) {
+		return nil, fmt.Errorf("predict: bad regression inputs")
+	}
+	d := len(X[0]) + 1 // + intercept
+	// A = XᵀX (d×d), b = Xᵀy.
+	A := make([][]float64, d)
+	for i := range A {
+		A[i] = make([]float64, d)
+	}
+	b := make([]float64, d)
+	row := make([]float64, d)
+	for r := range X {
+		row[0] = 1
+		copy(row[1:], X[r])
+		for i := 0; i < d; i++ {
+			b[i] += row[i] * y[r]
+			for j := i; j < d; j++ {
+				A[i][j] += row[i] * row[j]
+			}
+		}
+	}
+	for i := 0; i < d; i++ {
+		for j := 0; j < i; j++ {
+			A[i][j] = A[j][i]
+		}
+		A[i][i] += 1e-9 // ridge jitter for degenerate features
+	}
+	return solveGauss(A, b)
+}
+
+// solveGauss solves Ax = b in place with partial pivoting.
+func solveGauss(A [][]float64, b []float64) ([]float64, error) {
+	n := len(A)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(A[r][col]) > math.Abs(A[p][col]) {
+				p = r
+			}
+		}
+		if math.Abs(A[p][col]) < 1e-14 {
+			return nil, fmt.Errorf("predict: singular normal matrix at column %d", col)
+		}
+		A[col], A[p] = A[p], A[col]
+		b[col], b[p] = b[p], b[col]
+		// Eliminate.
+		for r := col + 1; r < n; r++ {
+			f := A[r][col] / A[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				A[r][c] -= f * A[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < n; j++ {
+			s -= A[i][j] * x[j]
+		}
+		x[i] = s / A[i][i]
+	}
+	return x, nil
+}

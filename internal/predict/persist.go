@@ -1,0 +1,44 @@
+package predict
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"mpcdvfs/internal/rf"
+)
+
+// modelFile is the serialized form of a trained RandomForest predictor:
+// the offline-trained artifact the paper's system-level software ships
+// to the runtime (§IV-A3).
+type modelFile struct {
+	Magic       string
+	TimeForest  *rf.Forest
+	PowerForest *rf.Forest
+}
+
+const modelMagic = "mpcdvfs-rf-v1"
+
+// SaveModel writes the trained predictor to w.
+func SaveModel(w io.Writer, m *RandomForest) error {
+	if m == nil || m.timeForest == nil || m.powerForest == nil {
+		return fmt.Errorf("predict: cannot save an empty model")
+	}
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(modelFile{Magic: modelMagic, TimeForest: m.timeForest, PowerForest: m.powerForest}); err != nil {
+		return fmt.Errorf("predict: save model: %w", err)
+	}
+	return nil
+}
+
+// LoadModel reads a predictor previously written by SaveModel.
+func LoadModel(r io.Reader) (*RandomForest, error) {
+	var f modelFile
+	if err := gob.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("predict: load model: %w", err)
+	}
+	if f.Magic != modelMagic {
+		return nil, fmt.Errorf("predict: not a model file (magic %q)", f.Magic)
+	}
+	return NewFromForests(f.TimeForest, f.PowerForest)
+}

@@ -1,0 +1,89 @@
+package rf
+
+// FeatureImportance returns the mean-decrease-in-impurity importance of
+// each feature: for every split in every tree, the training variance
+// reduction it achieved is credited to its feature, and the totals are
+// normalized to sum to 1. The paper's counter selection (§IV-A2) is the
+// same exercise in reverse — keeping the features that carry the
+// predictive signal.
+//
+// Split gains are not stored in the flattened trees, so they are
+// recomputed by replaying the training data through each tree; pass the
+// same X and y used for training. The result is deterministic.
+func (f *Forest) FeatureImportance(X [][]float64, y []float64) ([]float64, error) {
+	if len(X) == 0 || len(X) != len(y) {
+		return nil, errInvalidImportanceInput
+	}
+	for _, row := range X {
+		if len(row) != f.nFeatures {
+			return nil, errInvalidImportanceInput
+		}
+	}
+	imp := make([]float64, f.nFeatures)
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	for t := range f.trees {
+		f.trees[t].accumulateImportance(0, idx, X, y, imp)
+	}
+	total := 0.0
+	for _, v := range imp {
+		total += v
+	}
+	if total > 0 {
+		for i := range imp {
+			imp[i] /= total
+		}
+	}
+	return imp, nil
+}
+
+var errInvalidImportanceInput = importanceError("rf: importance needs the training data with matching dimensions")
+
+type importanceError string
+
+func (e importanceError) Error() string { return string(e) }
+
+// accumulateImportance replays samples idx through the subtree at node n
+// and credits each split with its variance reduction.
+func (t *tree) accumulateImportance(n int32, idx []int, X [][]float64, y []float64, imp []float64) {
+	nd := t.Nodes[n]
+	if nd.Feature < 0 || len(idx) < 2 {
+		return
+	}
+	var left, right []int
+	for _, i := range idx {
+		if X[i][nd.Feature] <= nd.Thresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		// The replayed data does not exercise this split; descend anyway.
+		t.accumulateImportance(nd.Left, left, X, y, imp)
+		t.accumulateImportance(nd.Right, right, X, y, imp)
+		return
+	}
+	gain := sumSquaredDev(y, idx) - sumSquaredDev(y, left) - sumSquaredDev(y, right)
+	if gain > 0 {
+		imp[nd.Feature] += gain
+	}
+	t.accumulateImportance(nd.Left, left, X, y, imp)
+	t.accumulateImportance(nd.Right, right, X, y, imp)
+}
+
+// sumSquaredDev returns Σ(y−ȳ)² over the index set.
+func sumSquaredDev(y []float64, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	s, q := 0.0, 0.0
+	for _, i := range idx {
+		s += y[i]
+		q += y[i] * y[i]
+	}
+	n := float64(len(idx))
+	return q - s*s/n
+}

@@ -1,0 +1,293 @@
+package rf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// makeDataset samples n points of fn over [0,1]^d with additive noise.
+func makeDataset(n, d int, noise float64, seed int64, fn func([]float64) float64) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		x := make([]float64, d)
+		for j := range x {
+			x[j] = rng.Float64()
+		}
+		X[i] = x
+		y[i] = fn(x) + noise*rng.NormFloat64()
+	}
+	return X, y
+}
+
+func mae(f *Forest, X [][]float64, y []float64) float64 {
+	s := 0.0
+	for i := range X {
+		s += math.Abs(f.Predict(X[i]) - y[i])
+	}
+	return s / float64(len(X))
+}
+
+func TestLearnsLinearFunction(t *testing.T) {
+	fn := func(x []float64) float64 { return 3*x[0] - 2*x[1] + x[2] }
+	X, y := makeDataset(2000, 3, 0.01, 1, fn)
+	f, err := Train(X, y, DefaultConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	Xt, yt := makeDataset(500, 3, 0, 2, fn)
+	if m := mae(f, Xt, yt); m > 0.25 {
+		t.Errorf("test MAE = %v, want < 0.25 (target range ~[-2,4])", m)
+	}
+}
+
+func TestLearnsNonlinearInteraction(t *testing.T) {
+	fn := func(x []float64) float64 { return math.Sin(4*x[0]) * x[1] * 2 }
+	X, y := makeDataset(3000, 4, 0.01, 3, fn) // 2 irrelevant features
+	cfg := DefaultConfig(8)
+	cfg.MaxFeatures = 4
+	f, err := Train(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Xt, yt := makeDataset(400, 4, 0, 4, fn)
+	if m := mae(f, Xt, yt); m > 0.2 {
+		t.Errorf("test MAE = %v, want < 0.2", m)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	X, y := makeDataset(400, 3, 0.1, 5, func(x []float64) float64 { return x[0] + x[1] })
+	f1, err1 := Train(X, y, DefaultConfig(42))
+	f2, err2 := Train(X, y, DefaultConfig(42))
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	for i := 0; i < 50; i++ {
+		x := []float64{float64(i) / 50, 0.5, 0.25}
+		if f1.Predict(x) != f2.Predict(x) {
+			t.Fatalf("same-seed forests disagree at %v", x)
+		}
+	}
+	f3, err := Train(X, y, DefaultConfig(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := 0; i < 50 && same; i++ {
+		x := []float64{float64(i) / 50, 0.5, 0.25}
+		same = f1.Predict(x) == f3.Predict(x)
+	}
+	if same {
+		t.Error("different seeds produced identical forests (suspicious)")
+	}
+}
+
+func TestOOBErrorTracksNoise(t *testing.T) {
+	fn := func(x []float64) float64 { return 2 * x[0] }
+	X, y := makeDataset(1500, 2, 0.05, 6, fn)
+	f, err := Train(X, y, DefaultConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oob, ok := f.OOBMAE()
+	if !ok {
+		t.Fatal("no OOB estimate")
+	}
+	if oob <= 0 || oob > 0.3 {
+		t.Errorf("OOB MAE = %v, want small positive", oob)
+	}
+	// OOB should roughly agree with held-out error.
+	Xt, yt := makeDataset(500, 2, 0.05, 7, fn)
+	held := mae(f, Xt, yt)
+	if oob > 4*held+0.05 || held > 4*oob+0.05 {
+		t.Errorf("OOB %v and held-out %v wildly disagree", oob, held)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	X := [][]float64{{1, 2}, {3, 4}}
+	y := []float64{1, 2}
+	cases := []Config{
+		{}, // zero config
+		{NumTrees: -1, MaxDepth: 1, MinLeaf: 1, NumThresh: 1, SampleFrac: 1},
+		{NumTrees: 1, MaxDepth: 0, MinLeaf: 1, NumThresh: 1, SampleFrac: 1},
+		{NumTrees: 1, MaxDepth: 1, MinLeaf: 0, NumThresh: 1, SampleFrac: 1},
+		{NumTrees: 1, MaxDepth: 1, MinLeaf: 1, NumThresh: 0, SampleFrac: 1},
+		{NumTrees: 1, MaxDepth: 1, MinLeaf: 1, NumThresh: 1, SampleFrac: 0},
+		{NumTrees: 1, MaxDepth: 1, MinLeaf: 1, NumThresh: 1, SampleFrac: 1, MaxFeatures: 5},
+	}
+	for i, cfg := range cases {
+		if _, err := Train(X, y, cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := Train(nil, nil, DefaultConfig(0)); err == nil {
+		t.Error("empty training set accepted")
+	}
+	if _, err := Train(X, []float64{1}, DefaultConfig(0)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Train([][]float64{{1}, {1, 2}}, y, DefaultConfig(0)); err == nil {
+		t.Error("ragged rows accepted")
+	}
+}
+
+func TestPredictPanicsOnWrongDim(t *testing.T) {
+	X, y := makeDataset(50, 2, 0, 8, func(x []float64) float64 { return x[0] })
+	f, err := Train(X, y, DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Predict with wrong dim did not panic")
+		}
+	}()
+	f.Predict([]float64{1})
+}
+
+func TestConstantTarget(t *testing.T) {
+	X, _ := makeDataset(100, 2, 0, 9, func([]float64) float64 { return 0 })
+	y := make([]float64, 100)
+	for i := range y {
+		y[i] = 5
+	}
+	f, err := Train(X, y, DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Predict([]float64{0.5, 0.5}); got != 5 {
+		t.Errorf("constant-target prediction = %v, want 5", got)
+	}
+}
+
+func TestSingleSample(t *testing.T) {
+	f, err := Train([][]float64{{1, 2}}, []float64{3}, DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Predict([]float64{0, 0}); got != 3 {
+		t.Errorf("single-sample prediction = %v, want 3", got)
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	X, y := makeDataset(300, 3, 0.05, 10, func(x []float64) float64 { return x[0] * x[1] })
+	f, err := Train(X, y, DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g Forest
+	if err := g.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTrees() != f.NumTrees() || g.NumFeatures() != f.NumFeatures() {
+		t.Fatalf("shape mismatch after round trip")
+	}
+	for i := 0; i < 100; i++ {
+		x := X[i]
+		if g.Predict(x) != f.Predict(x) {
+			t.Fatalf("prediction mismatch after round trip at %v", x)
+		}
+	}
+	o1, ok1 := f.OOBMAE()
+	o2, ok2 := g.OOBMAE()
+	if o1 != o2 || ok1 != ok2 {
+		t.Error("OOB estimate lost in round trip")
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	var f Forest
+	if err := f.UnmarshalBinary([]byte("not a forest")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+// Property: forest predictions are bounded by the training target range
+// (each leaf stores a mean of training targets).
+func TestPredictionBoundedQuick(t *testing.T) {
+	X, y := makeDataset(800, 3, 0.1, 11, func(x []float64) float64 { return 4*x[0] - x[2] })
+	f, err := Train(X, y, DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := y[0], y[0]
+	for _, v := range y {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	prop := func(a, b, c float64) bool {
+		x := []float64{math.Abs(math.Mod(a, 1)), math.Abs(math.Mod(b, 1)), math.Abs(math.Mod(c, 1))}
+		p := f.Predict(x)
+		return p >= lo-1e-9 && p <= hi+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(12))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: more trees never increase OOB error dramatically — loose
+// stability check across ensemble sizes.
+func TestEnsembleStability(t *testing.T) {
+	X, y := makeDataset(800, 2, 0.05, 13, func(x []float64) float64 { return x[0] + x[1] })
+	cfgSmall := DefaultConfig(6)
+	cfgSmall.NumTrees = 5
+	cfgBig := DefaultConfig(6)
+	cfgBig.NumTrees = 60
+	small, err1 := Train(X, y, cfgSmall)
+	big, err2 := Train(X, y, cfgBig)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	Xt, yt := makeDataset(400, 2, 0, 14, func(x []float64) float64 { return x[0] + x[1] })
+	if mb, ms := mae(big, Xt, yt), mae(small, Xt, yt); mb > ms*1.5+0.02 {
+		t.Errorf("bigger ensemble much worse: %v vs %v", mb, ms)
+	}
+}
+
+func TestFeatureImportanceFindsSignal(t *testing.T) {
+	// y depends only on features 0 and 2; feature 1 is noise.
+	fn := func(x []float64) float64 { return 5*x[0] + 2*x[2] }
+	X, y := makeDataset(1500, 3, 0.02, 21, fn)
+	f, err := Train(X, y, DefaultConfig(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp, err := f.FeatureImportance(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := imp[0] + imp[1] + imp[2]
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("importance sums to %v", sum)
+	}
+	if imp[0] < imp[2] {
+		t.Errorf("dominant feature 0 (%.3f) not above feature 2 (%.3f)", imp[0], imp[2])
+	}
+	if imp[1] > 0.1 {
+		t.Errorf("noise feature importance %.3f, want near 0", imp[1])
+	}
+}
+
+func TestFeatureImportanceValidation(t *testing.T) {
+	X, y := makeDataset(100, 2, 0, 23, func(x []float64) float64 { return x[0] })
+	f, err := Train(X, y, DefaultConfig(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.FeatureImportance(nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := f.FeatureImportance([][]float64{{1}}, []float64{1}); err == nil {
+		t.Error("wrong dimensionality accepted")
+	}
+}

@@ -1,0 +1,43 @@
+package rf
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// forestWire is the gob wire form of a Forest.
+type forestWire struct {
+	Trees     []tree
+	NFeatures int
+	OOBMAE    float64
+	OOBOK     bool
+}
+
+// MarshalBinary encodes the forest so it can be stored and reloaded —
+// the paper's model is trained offline and shipped to the runtime
+// (§IV-A3).
+func (f *Forest) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	w := forestWire{Trees: f.trees, NFeatures: f.nFeatures, OOBMAE: f.oobMAE, OOBOK: f.oobOK}
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, fmt.Errorf("rf: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary decodes a forest produced by MarshalBinary.
+func (f *Forest) UnmarshalBinary(data []byte) error {
+	var w forestWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("rf: decode: %w", err)
+	}
+	if w.NFeatures <= 0 || len(w.Trees) == 0 {
+		return fmt.Errorf("rf: decoded forest is empty")
+	}
+	f.trees = w.Trees
+	f.nFeatures = w.NFeatures
+	f.oobMAE = w.OOBMAE
+	f.oobOK = w.OOBOK
+	return nil
+}

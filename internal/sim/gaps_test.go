@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"mpcdvfs/internal/hw"
+	"mpcdvfs/internal/thermal"
+	"mpcdvfs/internal/workload"
+)
+
+func TestCPUGapHidesOverhead(t *testing.T) {
+	app, _ := workload.ByName("Spmv")
+	e := NewEngine(hw.DefaultSpace())
+	p := &fixedPolicy{cfg: hw.FailSafe(), evals: 100}
+	rawOv := e.Cost.OverheadMS(100)
+
+	// No gaps: the full overhead is visible.
+	res, err := e.Run(&app, p, Target{TotalInsts: 1, TotalTimeMS: 1}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Records[0].OverheadMS; math.Abs(got-rawOv) > 1e-12 {
+		t.Errorf("visible overhead = %v, want %v", got, rawOv)
+	}
+
+	// Gaps larger than the overhead hide it entirely; the phase itself
+	// appears in time and energy.
+	gapped := app.WithUniformCPUGaps(rawOv * 3)
+	gres, err := e.Run(&gapped, p, Target{TotalInsts: 1, TotalTimeMS: 1}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range gres.Records {
+		if rec.OverheadMS != 0 {
+			t.Fatalf("overhead %v visible despite a larger CPU phase", rec.OverheadMS)
+		}
+		if rec.CPUPhaseMS != rawOv*3 || rec.CPUPhaseEnergyMJ <= 0 {
+			t.Fatalf("CPU phase not accounted: %+v", rec)
+		}
+		// The optimization energy is still charged: hiding overlaps time,
+		// not joules.
+		if rec.OverheadEnergyMJ <= 0 {
+			t.Fatal("hidden optimization energy not charged")
+		}
+	}
+	if got, want := gres.CPUPhaseMS(), rawOv*3*float64(app.Len()); math.Abs(got-want) > 1e-9 {
+		t.Errorf("total CPU phase %v, want %v", got, want)
+	}
+	if gres.TotalTimeMS() <= res.KernelTimeMS() {
+		t.Error("gapped run total time should include the phases")
+	}
+
+	// Gaps smaller than the overhead hide only part of it.
+	half := app.WithUniformCPUGaps(rawOv / 2)
+	hres, err := e.Run(&half, p, Target{TotalInsts: 1, TotalTimeMS: 1}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hres.Records[0].OverheadMS; math.Abs(got-rawOv/2) > 1e-12 {
+		t.Errorf("partially hidden overhead = %v, want %v", got, rawOv/2)
+	}
+}
+
+func TestBaselineTargetExcludesGaps(t *testing.T) {
+	app, _ := workload.ByName("NBody")
+	gapped := app.WithUniformCPUGaps(5)
+	e := NewEngine(hw.DefaultSpace())
+	_, t1, err := e.Baseline(&app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, t2, err := e.Baseline(&gapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eq. 1's target is kernel-level throughput: identical with or
+	// without CPU phases.
+	if math.Abs(t1.TotalTimeMS-t2.TotalTimeMS) > 1e-9 || math.Abs(t1.Throughput()-t2.Throughput()) > 1e-9 {
+		t.Errorf("target changed with CPU gaps: %v vs %v", t1, t2)
+	}
+}
+
+func TestGapValidation(t *testing.T) {
+	app, _ := workload.ByName("kmeans")
+	bad := app
+	bad.CPUGapsMS = []float64{1, 2} // wrong length
+	e := NewEngine(hw.DefaultSpace())
+	if _, _, err := e.Baseline(&bad); err == nil {
+		t.Error("mismatched gap slice accepted")
+	}
+	bad.CPUGapsMS = make([]float64, app.Len())
+	bad.CPUGapsMS[3] = -1
+	if _, _, err := e.Baseline(&bad); err == nil {
+		t.Error("negative gap accepted")
+	}
+}
+
+func TestThermalThrottlingUnderSustainedLoad(t *testing.T) {
+	// A tight package makes sustained Turbo Core boost overheat; the die
+	// heats, throttles, and Turbo Core sheds CPU power.
+	app, _ := workload.ByName("NBody") // long compute-bound kernels
+	long := app
+	// Repeat the app's kernels to sustain load well past the RC constant.
+	for i := 0; i < 4; i++ {
+		long.Kernels = append(long.Kernels, app.Kernels...)
+	}
+	e := NewEngine(hw.DefaultSpace())
+	p := thermalTestParams()
+	e.Thermal = &p
+	res, _, err := e.Baseline(&long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxTempC() <= p.ThrottleC {
+		t.Fatalf("max temp %.1f never crossed throttle point %.1f", res.MaxTempC(), p.ThrottleC)
+	}
+	if res.ThrottledMS() <= 0 {
+		t.Error("no throttling time recorded despite crossing the limit")
+	}
+	// Turbo Core must have shed CPU power while hot.
+	shed := false
+	for _, rec := range res.Records {
+		if rec.Config.CPU >= hw.P5 && rec.TempC > 0 {
+			shed = true
+		}
+	}
+	if !shed {
+		t.Error("Turbo Core never dropped the CPU state under thermal pressure")
+	}
+	// Disabled thermal path: no temperatures, no stretch.
+	e.Thermal = nil
+	cold, _, err := e.Baseline(&long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.MaxTempC() != 0 || cold.ThrottledMS() != 0 {
+		t.Error("thermal accounting leaked into a disabled run")
+	}
+	if cold.KernelTimeMS() >= res.KernelTimeMS() {
+		t.Error("throttled run should be slower than the cold run")
+	}
+}
+
+// thermalTestParams returns a deliberately tight package.
+func thermalTestParams() thermal.Params {
+	p := thermal.DefaultParams()
+	p.ResistanceCW = 1.05
+	p.TimeConstMS = 300
+	return p
+}

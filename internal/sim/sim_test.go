@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"mpcdvfs/internal/hw"
+	"mpcdvfs/internal/workload"
+)
+
+// fixedPolicy always picks one config, charging a fixed eval count.
+type fixedPolicy struct {
+	cfg   hw.Config
+	evals int
+	began []RunInfo
+	obs   []Observation
+}
+
+func (f *fixedPolicy) Name() string          { return "fixed" }
+func (f *fixedPolicy) Begin(info RunInfo)    { f.began = append(f.began, info) }
+func (f *fixedPolicy) Decide(int) Decision   { return Decision{Config: f.cfg, Evals: f.evals} }
+func (f *fixedPolicy) Observe(o Observation) { f.obs = append(f.obs, o) }
+
+func TestTurboCoreBoostsGPUAndCPU(t *testing.T) {
+	app, _ := workload.ByName("NBody")
+	e := NewEngine(hw.DefaultSpace())
+	res, target, err := e.Baseline(&app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range res.Records {
+		if rec.Config.GPU != hw.DPM4 || rec.Config.NB != hw.NB0 || rec.Config.CUs != hw.MaxCUs {
+			t.Fatalf("Turbo Core config %v, want boosted GPU", rec.Config)
+		}
+		if rec.Config.CPU != hw.P1 {
+			t.Errorf("Turbo Core CPU %v, want P1 (within TDP it never drops CPU states)", rec.Config.CPU)
+		}
+		if rec.OverheadMS != 0 || rec.Evals != 0 {
+			t.Errorf("Turbo Core charged overhead %v/%d", rec.OverheadMS, rec.Evals)
+		}
+	}
+	if target.TotalInsts != res.TotalInsts() || target.TotalTimeMS != res.TotalTimeMS() {
+		t.Error("target does not match baseline run")
+	}
+	if target.Throughput() <= 0 {
+		t.Error("non-positive target throughput")
+	}
+}
+
+func TestRunAccounting(t *testing.T) {
+	app, _ := workload.ByName("Spmv")
+	e := NewEngine(hw.DefaultSpace())
+	p := &fixedPolicy{cfg: hw.FailSafe(), evals: 100}
+	res, err := e.Run(&app, p, Target{TotalInsts: 1, TotalTimeMS: 1}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != app.Len() {
+		t.Fatalf("%d records, want %d", len(res.Records), app.Len())
+	}
+	wantOv := e.Cost.OverheadMS(100) * float64(app.Len())
+	if math.Abs(res.OverheadMS()-wantOv) > 1e-9 {
+		t.Errorf("OverheadMS = %v, want %v", res.OverheadMS(), wantOv)
+	}
+	if res.TotalTimeMS() <= res.KernelTimeMS() {
+		t.Error("total time should exceed kernel time when overhead is charged")
+	}
+	if math.Abs(res.TotalTimeMS()-(res.KernelTimeMS()+res.OverheadMS())) > 1e-9 {
+		t.Error("total time != kernel time + overhead")
+	}
+	sum := 0.0
+	for _, rec := range res.Records {
+		sum += rec.GPUEnergyMJ + rec.CPUEnergyMJ + rec.OverheadEnergyMJ
+	}
+	if math.Abs(res.TotalEnergyMJ()-sum) > 1e-9 {
+		t.Error("TotalEnergyMJ mismatch")
+	}
+	if math.Abs(res.GPUEnergyMJ()+res.CPUEnergyMJ()-res.TotalEnergyMJ()) > 1e-9 {
+		t.Error("GPU+CPU energy split does not cover total")
+	}
+	if got := res.TotalInsts(); math.Abs(got-app.TotalInsts()) > 1e-6*got {
+		t.Errorf("TotalInsts = %v, want %v", got, app.TotalInsts())
+	}
+	if res.Evals() != 100*app.Len() {
+		t.Errorf("Evals = %d", res.Evals())
+	}
+	// Policy saw every observation in order.
+	if len(p.obs) != app.Len() {
+		t.Fatalf("policy observed %d kernels", len(p.obs))
+	}
+	for i, o := range p.obs {
+		if o.Index != i || o.TimeMS <= 0 || o.GPUPowerW <= 0 {
+			t.Fatalf("bad observation %d: %+v", i, o)
+		}
+	}
+}
+
+func TestZeroEvalsNoOverhead(t *testing.T) {
+	cm := DefaultCostModel()
+	if cm.OverheadMS(0) != 0 {
+		t.Error("zero evals should cost nothing")
+	}
+	if cm.OverheadMS(1) <= 0 {
+		t.Error("one eval should cost something")
+	}
+	if cm.OverheadMS(336) <= cm.OverheadMS(19) {
+		t.Error("exhaustive sweep should cost more than hill climb")
+	}
+}
+
+func TestRunRejectsConfigOutsideSpace(t *testing.T) {
+	app, _ := workload.ByName("NBody")
+	e := NewEngine(hw.DefaultSpace())
+	// DPM1 exists in hardware but not in the captured space.
+	p := &fixedPolicy{cfg: hw.Config{CPU: hw.P1, NB: hw.NB0, GPU: hw.DPM1, CUs: 8}}
+	if _, err := e.Run(&app, p, Target{}, true); err == nil {
+		t.Error("config outside space accepted")
+	}
+	p.cfg = hw.Config{CPU: 99, NB: hw.NB0, GPU: hw.DPM4, CUs: 8}
+	if _, err := e.Run(&app, p, Target{}, true); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestRunRejectsInvalidApp(t *testing.T) {
+	e := NewEngine(hw.DefaultSpace())
+	bad := workload.App{Name: "empty"}
+	if _, err := e.Run(&bad, NewTurboCore(), Target{}, true); err == nil {
+		t.Error("empty app accepted")
+	}
+}
+
+func TestRunRepeatedFlagsFirstRun(t *testing.T) {
+	app, _ := workload.ByName("kmeans")
+	e := NewEngine(hw.DefaultSpace())
+	p := &fixedPolicy{cfg: hw.FailSafe()}
+	rs, err := e.RunRepeated(&app, p, Target{TotalInsts: 1, TotalTimeMS: 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 || len(p.began) != 3 {
+		t.Fatalf("runs = %d, begins = %d", len(rs), len(p.began))
+	}
+	if !p.began[0].FirstRun || p.began[1].FirstRun || p.began[2].FirstRun {
+		t.Error("FirstRun flags wrong across repeats")
+	}
+	if _, err := e.RunRepeated(&app, p, Target{}, 0); err == nil {
+		t.Error("times=0 accepted")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	app, _ := workload.ByName("NBody")
+	e := NewEngine(hw.DefaultSpace())
+	base, target, err := e.Baseline(&app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dropping only the busy-waiting CPU saves energy at no perf cost.
+	cpuDrop := &fixedPolicy{cfg: hw.Config{CPU: hw.P7, NB: hw.NB0, GPU: hw.DPM4, CUs: 8}}
+	res, err := e.Run(&app, cpuDrop, target, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Compare(res, base)
+	if c.EnergySavingsPct <= 10 {
+		t.Errorf("CPU drop saves %.1f%% energy, want > 10", c.EnergySavingsPct)
+	}
+	if math.Abs(c.Speedup-1) > 1e-9 {
+		t.Errorf("CPU drop speedup %.4f, want 1 (kernel time unaffected)", c.Speedup)
+	}
+	// The lowest config on a compute-bound app slows it ~7x: race-to-idle
+	// means it costs energy, not saves it.
+	low := &fixedPolicy{cfg: hw.Config{CPU: hw.P7, NB: hw.NB3, GPU: hw.DPM0, CUs: 2}}
+	lres, err := e.Run(&app, low, target, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc := Compare(lres, base)
+	if lc.Speedup >= 1 {
+		t.Errorf("lowest config speedup %.2f, want < 1", lc.Speedup)
+	}
+	if lc.EnergySavingsPct >= 0 {
+		t.Errorf("lowest config on compute-bound app saves %.1f%%; want negative (race-to-idle)", lc.EnergySavingsPct)
+	}
+	// Baseline vs itself is neutral.
+	self := Compare(base, base)
+	if math.Abs(self.EnergySavingsPct) > 1e-9 || math.Abs(self.Speedup-1) > 1e-12 {
+		t.Errorf("self comparison = %+v", self)
+	}
+}
+
+func TestTurboCoreStaysWithinTDP(t *testing.T) {
+	for _, app := range workload.Benchmarks() {
+		a := app
+		e := NewEngine(hw.DefaultSpace())
+		res, _, err := e.Baseline(&a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range res.Records[1:] { // first decision uses the guard band
+			p := (rec.GPUEnergyMJ + rec.CPUEnergyMJ) / rec.TimeMS
+			if p > hw.TDPWatt {
+				t.Errorf("%s kernel %d draws %.1f W > TDP under Turbo Core", app.Name, rec.Index, p)
+			}
+		}
+	}
+}
+
+func TestOverheadPowerPositiveAndPlausible(t *testing.T) {
+	cm := DefaultCostModel()
+	if cm.PowerW < 5 || cm.PowerW > 40 {
+		t.Errorf("overhead power %.1f W implausible for host CPU + idle GPU", cm.PowerW)
+	}
+}

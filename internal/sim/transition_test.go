@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"mpcdvfs/internal/hw"
+	"mpcdvfs/internal/workload"
+)
+
+// flipFlopPolicy alternates between two configs every kernel.
+type flipFlopPolicy struct {
+	a, b hw.Config
+	i    int
+}
+
+func (f *flipFlopPolicy) Name() string        { return "flipflop" }
+func (f *flipFlopPolicy) Begin(RunInfo)       { f.i = 0 }
+func (f *flipFlopPolicy) Observe(Observation) {}
+func (f *flipFlopPolicy) Decide(int) Decision {
+	f.i++
+	if f.i%2 == 1 {
+		return Decision{Config: f.a}
+	}
+	return Decision{Config: f.b}
+}
+
+func TestTransitionCostsChargeKnobChanges(t *testing.T) {
+	app, _ := workload.ByName("NBody")
+	e := NewEngine(hw.DefaultSpace())
+	e.Cost.TransitionMS = 0.1
+
+	// Stable policy: only the very first kernel has no predecessor; the
+	// rest are identical, so no transitions at all.
+	stable := &fixedPolicy{cfg: hw.FailSafe()}
+	sres, err := e.Run(&app, stable, Target{TotalInsts: 1, TotalTimeMS: 1}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sres.KnobChanges(); got != 0 {
+		t.Errorf("stable policy caused %d knob changes", got)
+	}
+	if sres.OverheadMS() != 0 {
+		t.Errorf("stable policy charged %v ms overhead", sres.OverheadMS())
+	}
+
+	// Flip-flopping between configs differing in two knobs: every kernel
+	// after the first pays 2 transitions.
+	ff := &flipFlopPolicy{
+		a: hw.Config{CPU: hw.P1, NB: hw.NB0, GPU: hw.DPM4, CUs: 8},
+		b: hw.Config{CPU: hw.P7, NB: hw.NB0, GPU: hw.DPM0, CUs: 8},
+	}
+	fres, err := e.Run(&app, ff, Target{TotalInsts: 1, TotalTimeMS: 1}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantChanges := 2 * (app.Len() - 1)
+	if got := fres.KnobChanges(); got != wantChanges {
+		t.Errorf("knob changes = %d, want %d", got, wantChanges)
+	}
+	wantOv := 0.1 * float64(wantChanges)
+	if math.Abs(fres.OverheadMS()-wantOv) > 1e-9 {
+		t.Errorf("transition overhead = %v, want %v", fres.OverheadMS(), wantOv)
+	}
+	// Transition energy is charged too.
+	if fres.OverheadEnergyMJ() <= 0 {
+		t.Error("transitions cost no energy")
+	}
+}
+
+func TestTransitionsNotHiddenByCPUPhases(t *testing.T) {
+	// DVFS transitions stall the GPU; a CPU phase cannot hide them.
+	app, _ := workload.ByName("NBody")
+	gapped := app.WithUniformCPUGaps(10)
+	e := NewEngine(hw.DefaultSpace())
+	e.Cost.TransitionMS = 0.1
+	ff := &flipFlopPolicy{
+		a: hw.Config{CPU: hw.P1, NB: hw.NB0, GPU: hw.DPM4, CUs: 8},
+		b: hw.Config{CPU: hw.P7, NB: hw.NB0, GPU: hw.DPM0, CUs: 8},
+	}
+	res, err := e.Run(&gapped, ff, Target{TotalInsts: 1, TotalTimeMS: 1}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OverheadMS() <= 0 {
+		t.Error("transition stalls were hidden under CPU phases")
+	}
+}
+
+func TestZeroTransitionCostIsPaperBehaviour(t *testing.T) {
+	app, _ := workload.ByName("NBody")
+	e := NewEngine(hw.DefaultSpace())
+	if e.Cost.TransitionMS != 0 {
+		t.Fatal("default cost model should not charge transitions (paper behaviour)")
+	}
+	ff := &flipFlopPolicy{
+		a: hw.Config{CPU: hw.P1, NB: hw.NB0, GPU: hw.DPM4, CUs: 8},
+		b: hw.Config{CPU: hw.P7, NB: hw.NB0, GPU: hw.DPM0, CUs: 8},
+	}
+	res, err := e.Run(&app, ff, Target{TotalInsts: 1, TotalTimeMS: 1}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Changes counted but not charged.
+	if res.KnobChanges() == 0 {
+		t.Error("knob changes not counted")
+	}
+	if res.OverheadMS() != 0 {
+		t.Errorf("default model charged %v ms for transitions", res.OverheadMS())
+	}
+}

@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"mpcdvfs/internal/hw"
+	"mpcdvfs/internal/kernel"
+	"mpcdvfs/internal/workload"
+)
+
+// TurboCore is the state-of-the-practice baseline (§V-B): AMD's reactive
+// controller. It boosts the GPU to its highest DPM state with NB0 and all
+// CUs for GPU kernels, and keeps the CPU at the highest P-state that fits
+// the chip's TDP given the recently observed GPU power — it never drops
+// CPU DVFS states while the system stays within its thermal budget, even
+// though the CPU is only busy-waiting.
+type TurboCore struct {
+	lastGPUW  float64
+	lastTempC float64
+}
+
+// Thermal guard bands: Turbo Core sheds CPU power as the die approaches
+// its limit, mirroring the firmware's reactive power shifting.
+const (
+	tcTempWarnC = 90
+	tcTempHotC  = 95
+)
+
+// NewTurboCore returns the baseline controller.
+func NewTurboCore() *TurboCore { return &TurboCore{} }
+
+// Name implements Policy.
+func (t *TurboCore) Name() string { return "turbo-core" }
+
+// worstCaseGPUW is the controller's initial GPU power assumption before
+// any measurement exists — the power-shifting guard band.
+const worstCaseGPUW = 50
+
+// Begin implements Policy.
+func (t *TurboCore) Begin(RunInfo) {
+	t.lastGPUW = worstCaseGPUW
+	t.lastTempC = 0
+}
+
+// Decide implements Policy: GPU boosted, CPU as high as the TDP allows
+// based on the last observed GPU power (reactive power shifting between
+// the CPU and GPU domains).
+func (t *TurboCore) Decide(int) Decision {
+	cfg := hw.Config{CPU: hw.P7, NB: hw.NB0, GPU: hw.DPM4, CUs: hw.MaxCUs}
+	for p := hw.P1; p <= hw.P7; p++ {
+		if kernel.CPUPowerW(p)+t.lastGPUW <= hw.TDPWatt {
+			cfg.CPU = p
+			break
+		}
+	}
+	// Reactive thermal guard: a hot die sheds CPU power first (the CPU
+	// only busy-waits during kernels), stepping down harder past the
+	// throttle point.
+	switch {
+	case t.lastTempC > tcTempHotC:
+		cfg.CPU = hw.P7
+	case t.lastTempC > tcTempWarnC && cfg.CPU < hw.P5:
+		cfg.CPU = hw.P5
+	}
+	// Turbo Core is implemented in hardware/firmware; it costs no
+	// predictor evaluations.
+	return Decision{Config: cfg, Evals: 0}
+}
+
+// Observe implements Policy.
+func (t *TurboCore) Observe(obs Observation) {
+	t.lastGPUW = obs.GPUPowerW
+	t.lastTempC = obs.TempC
+}
+
+// Baseline runs app under Turbo Core and returns the run plus the Eq. 1
+// performance target (Itotal/Ttotal) that all other policies must meet.
+func (e *Engine) Baseline(app *workload.App) (*Result, Target, error) {
+	res, err := e.Run(app, NewTurboCore(), Target{}, true)
+	if err != nil {
+		return nil, Target{}, err
+	}
+	// The Eq. 1 target is kernel-level throughput: CPU phases between
+	// kernels are identical under every policy and are excluded.
+	return res, Target{TotalInsts: res.TotalInsts(), TotalTimeMS: res.KernelTimeMS()}, nil
+}

@@ -1,0 +1,114 @@
+// Package thermal models the die temperature of the APU as a first-order
+// RC network and the resulting thermal throttling. The paper studies the
+// A10-7850K precisely because "due to its more stringent thermal
+// constraints, it more aggressively manages power compared to discrete
+// GPUs" (§V); this substrate lets the simulator reproduce that pressure:
+// sustained high power heats the die, a hot die throttles execution, and
+// a power manager that spends fewer watts stays faster simply by staying
+// cooler.
+package thermal
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params characterizes the package's thermal path.
+type Params struct {
+	AmbientC     float64 // ambient/heatsink base temperature
+	ResistanceCW float64 // junction-to-ambient thermal resistance, °C per W
+	TimeConstMS  float64 // RC time constant of the die+spreader
+	ThrottleC    float64 // junction temperature where throttling begins
+	MaxC         float64 // temperature of maximum throttling
+	MaxSlowdown  float64 // execution-time factor at MaxC (≥ 1)
+}
+
+// DefaultParams models a small-form-factor A10-7850K-class package: a
+// sustained 95 W brings the die from 45 °C ambient to ~98 °C, just past
+// the 95 °C throttle point.
+func DefaultParams() Params {
+	return Params{
+		AmbientC:     45,
+		ResistanceCW: 0.56,
+		TimeConstMS:  2500,
+		ThrottleC:    95,
+		MaxC:         105,
+		MaxSlowdown:  1.6,
+	}
+}
+
+// Validate reports whether the parameters are physically sensible.
+func (p Params) Validate() error {
+	switch {
+	case p.ResistanceCW <= 0:
+		return fmt.Errorf("thermal: non-positive thermal resistance")
+	case p.TimeConstMS <= 0:
+		return fmt.Errorf("thermal: non-positive time constant")
+	case p.MaxC <= p.ThrottleC:
+		return fmt.Errorf("thermal: MaxC %.1f must exceed ThrottleC %.1f", p.MaxC, p.ThrottleC)
+	case p.MaxSlowdown < 1:
+		return fmt.Errorf("thermal: MaxSlowdown %v below 1", p.MaxSlowdown)
+	}
+	return nil
+}
+
+// Model is the die temperature state. The zero value is not usable; call
+// New.
+type Model struct {
+	p     Params
+	tempC float64
+}
+
+// New returns a model at ambient temperature. It panics on invalid
+// parameters.
+func New(p Params) *Model {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return &Model{p: p, tempC: p.AmbientC}
+}
+
+// TempC returns the current junction temperature.
+func (m *Model) TempC() float64 { return m.tempC }
+
+// Params returns the model's parameters.
+func (m *Model) Params() Params { return m.p }
+
+// Reset returns the die to ambient.
+func (m *Model) Reset() { m.tempC = m.p.AmbientC }
+
+// Step advances the temperature under powerW watts for dtMS
+// milliseconds: exponential approach to the steady-state temperature
+// Ambient + P·Rth.
+func (m *Model) Step(powerW, dtMS float64) float64 {
+	if powerW < 0 || dtMS < 0 {
+		panic("thermal: negative power or time")
+	}
+	steady := m.p.AmbientC + powerW*m.p.ResistanceCW
+	alpha := 1 - math.Exp(-dtMS/m.p.TimeConstMS)
+	m.tempC += (steady - m.tempC) * alpha
+	return m.tempC
+}
+
+// ThrottleFactor returns the execution-time multiplier at the current
+// temperature: 1 below ThrottleC, rising linearly to MaxSlowdown at MaxC
+// and clamped there — the firmware stretching execution to shed heat.
+func (m *Model) ThrottleFactor() float64 {
+	if m.tempC <= m.p.ThrottleC {
+		return 1
+	}
+	frac := (m.tempC - m.p.ThrottleC) / (m.p.MaxC - m.p.ThrottleC)
+	if frac > 1 {
+		frac = 1
+	}
+	return 1 + frac*(m.p.MaxSlowdown-1)
+}
+
+// Throttling reports whether the die is above the throttle point.
+func (m *Model) Throttling() bool { return m.tempC > m.p.ThrottleC }
+
+// SteadyTempC returns the temperature a constant power level converges
+// to.
+func (p Params) SteadyTempC(powerW float64) float64 {
+	return p.AmbientC + powerW*p.ResistanceCW
+}

@@ -1,0 +1,128 @@
+package thermal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStartsAtAmbient(t *testing.T) {
+	m := New(DefaultParams())
+	if m.TempC() != DefaultParams().AmbientC {
+		t.Errorf("initial temp %v, want ambient", m.TempC())
+	}
+	if m.Throttling() || m.ThrottleFactor() != 1 {
+		t.Error("throttling at ambient")
+	}
+}
+
+func TestConvergesToSteadyState(t *testing.T) {
+	p := DefaultParams()
+	m := New(p)
+	for i := 0; i < 100; i++ {
+		m.Step(95, p.TimeConstMS) // many time constants at TDP
+	}
+	want := p.SteadyTempC(95)
+	if math.Abs(m.TempC()-want) > 0.1 {
+		t.Errorf("steady temp %v, want %v", m.TempC(), want)
+	}
+	if !m.Throttling() {
+		t.Error("sustained TDP should throttle the default package")
+	}
+}
+
+func TestCoolsBackDown(t *testing.T) {
+	p := DefaultParams()
+	m := New(p)
+	for i := 0; i < 50; i++ {
+		m.Step(95, p.TimeConstMS)
+	}
+	hot := m.TempC()
+	for i := 0; i < 50; i++ {
+		m.Step(10, p.TimeConstMS)
+	}
+	if m.TempC() >= hot {
+		t.Error("die did not cool at low power")
+	}
+	if math.Abs(m.TempC()-p.SteadyTempC(10)) > 0.1 {
+		t.Errorf("cool steady temp %v, want %v", m.TempC(), p.SteadyTempC(10))
+	}
+}
+
+func TestThrottleFactorShape(t *testing.T) {
+	p := DefaultParams()
+	m := New(p)
+	m.tempC = p.ThrottleC
+	if m.ThrottleFactor() != 1 {
+		t.Error("factor at the throttle point should be 1")
+	}
+	m.tempC = p.MaxC
+	if got := m.ThrottleFactor(); got != p.MaxSlowdown {
+		t.Errorf("factor at MaxC = %v, want %v", got, p.MaxSlowdown)
+	}
+	m.tempC = p.MaxC + 50
+	if got := m.ThrottleFactor(); got != p.MaxSlowdown {
+		t.Errorf("factor beyond MaxC = %v, want clamp %v", got, p.MaxSlowdown)
+	}
+	m.tempC = (p.ThrottleC + p.MaxC) / 2
+	mid := 1 + (p.MaxSlowdown-1)/2
+	if got := m.ThrottleFactor(); math.Abs(got-mid) > 1e-12 {
+		t.Errorf("midpoint factor = %v, want %v", got, mid)
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := New(DefaultParams())
+	m.Step(95, 1e6)
+	m.Reset()
+	if m.TempC() != DefaultParams().AmbientC {
+		t.Error("Reset did not return to ambient")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Params{
+		{ResistanceCW: 0, TimeConstMS: 1, ThrottleC: 1, MaxC: 2, MaxSlowdown: 1},
+		{ResistanceCW: 1, TimeConstMS: 0, ThrottleC: 1, MaxC: 2, MaxSlowdown: 1},
+		{ResistanceCW: 1, TimeConstMS: 1, ThrottleC: 2, MaxC: 2, MaxSlowdown: 1},
+		{ResistanceCW: 1, TimeConstMS: 1, ThrottleC: 1, MaxC: 2, MaxSlowdown: 0.5},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+	if DefaultParams().Validate() != nil {
+		t.Error("default params rejected")
+	}
+}
+
+func TestStepPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative power did not panic")
+		}
+	}()
+	New(DefaultParams()).Step(-1, 1)
+}
+
+// Property: temperature stays within [min(T, steady), max(T, steady)]
+// for any step — the RC response never overshoots.
+func TestNoOvershootQuick(t *testing.T) {
+	p := DefaultParams()
+	prop := func(pw, dt uint16, startRaw uint8) bool {
+		m := New(p)
+		m.tempC = p.AmbientC + float64(startRaw)/4 // 45..108
+		power := float64(pw % 120)
+		d := float64(dt%10000) + 0.1
+		steady := p.SteadyTempC(power)
+		lo := math.Min(m.tempC, steady)
+		hi := math.Max(m.tempC, steady)
+		got := m.Step(power, d)
+		return got >= lo-1e-9 && got <= hi+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(81))}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"mpcdvfs/internal/sim"
+)
+
+// PowerSample is one reading of the simulated power controller: the
+// paper samples CPU and GPU power at 1 ms intervals (§V).
+type PowerSample struct {
+	TimeMS    float64
+	GPUPowerW float64 // GPU+NB
+	CPUPowerW float64
+	Kernel    string // "" during optimizer overhead or CPU phases
+	TempC     float64
+}
+
+// DefaultSampleMS is the paper's power-controller sampling interval.
+const DefaultSampleMS = 1.0
+
+// PowerTrace reconstructs the piecewise-constant power timeline of a run
+// and samples it every intervalMS milliseconds: the kernel's average
+// power during its execution, the optimization power during visible
+// overhead, and the CPU-phase power during gaps.
+func PowerTrace(res *sim.Result, cost sim.CostModel, intervalMS float64) ([]PowerSample, error) {
+	if intervalMS <= 0 {
+		return nil, fmt.Errorf("trace: non-positive sampling interval")
+	}
+
+	// Build the piecewise segments in wall order: CPU phase, overhead,
+	// kernel.
+	type segment struct {
+		durMS, gpuW, cpuW, tempC float64
+		kernel                   string
+	}
+	var segs []segment
+	for _, rec := range res.Records {
+		if rec.CPUPhaseMS > 0 {
+			w := 0.0
+			if rec.CPUPhaseMS > 0 {
+				w = rec.CPUPhaseEnergyMJ / rec.CPUPhaseMS
+			}
+			segs = append(segs, segment{durMS: rec.CPUPhaseMS, cpuW: w, tempC: rec.TempC})
+		}
+		if rec.OverheadMS > 0 {
+			segs = append(segs, segment{
+				durMS: rec.OverheadMS,
+				gpuW:  cost.PowerW * 0.25, cpuW: cost.PowerW * 0.75,
+				tempC: rec.TempC,
+			})
+		}
+		if rec.TimeMS > 0 {
+			segs = append(segs, segment{
+				durMS:  rec.TimeMS,
+				gpuW:   rec.GPUEnergyMJ / rec.TimeMS,
+				cpuW:   rec.CPUEnergyMJ / rec.TimeMS,
+				kernel: rec.Kernel,
+				tempC:  rec.TempC,
+			})
+		}
+	}
+
+	var out []PowerSample
+	now, segIdx, segStart := 0.0, 0, 0.0
+	total := res.TotalTimeMS()
+	for now < total && segIdx < len(segs) {
+		for segIdx < len(segs) && now >= segStart+segs[segIdx].durMS {
+			segStart += segs[segIdx].durMS
+			segIdx++
+		}
+		if segIdx >= len(segs) {
+			break
+		}
+		s := segs[segIdx]
+		out = append(out, PowerSample{
+			TimeMS:    now,
+			GPUPowerW: s.gpuW,
+			CPUPowerW: s.cpuW,
+			Kernel:    s.kernel,
+			TempC:     s.tempC,
+		})
+		now += intervalMS
+	}
+	return out, nil
+}
+
+// WritePowerCSV writes a power trace as CSV.
+func WritePowerCSV(w io.Writer, samples []PowerSample) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_ms", "gpu_w", "cpu_w", "kernel", "temp_c"}); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	for _, s := range samples {
+		row := []string{
+			fmtF(s.TimeMS), fmtF(s.GPUPowerW), fmtF(s.CPUPowerW), s.Kernel, fmtF(s.TempC),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	return nil
+}
+
+// EnergyOf integrates a power trace back into millijoules — a
+// consistency check between the sampled timeline and the run accounting.
+func EnergyOf(samples []PowerSample, intervalMS float64) (gpuMJ, cpuMJ float64) {
+	for _, s := range samples {
+		gpuMJ += s.GPUPowerW * intervalMS
+		cpuMJ += s.CPUPowerW * intervalMS
+	}
+	return gpuMJ, cpuMJ
+}
+
+// kernelOf is a helper for tests: the kernel active at time t.
+func kernelOf(samples []PowerSample, t float64) string {
+	last := ""
+	for _, s := range samples {
+		if s.TimeMS > t {
+			break
+		}
+		last = s.Kernel
+	}
+	return last
+}

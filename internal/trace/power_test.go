@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"mpcdvfs/internal/hw"
+	"mpcdvfs/internal/sim"
+	"mpcdvfs/internal/workload"
+)
+
+func TestPowerTraceSamplesWholeRun(t *testing.T) {
+	res := sampleRun(t)
+	cm := sim.DefaultCostModel()
+	samples, err := PowerTrace(res, cm, DefaultSampleMS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(res.TotalTimeMS() / DefaultSampleMS)
+	if len(samples) < want-1 || len(samples) > want+2 {
+		t.Fatalf("%d samples for a %.1f ms run", len(samples), res.TotalTimeMS())
+	}
+	// Timestamps strictly increase by the interval.
+	for i := 1; i < len(samples); i++ {
+		if d := samples[i].TimeMS - samples[i-1].TimeMS; math.Abs(d-DefaultSampleMS) > 1e-9 {
+			t.Fatalf("sample spacing %v at %d", d, i)
+		}
+	}
+	// Power levels are plausible chip power.
+	for _, s := range samples {
+		tot := s.GPUPowerW + s.CPUPowerW
+		if tot <= 0 || tot > hw.TDPWatt {
+			t.Fatalf("sample power %.1f W out of range", tot)
+		}
+	}
+	// The first kernel name shows up at t=0.
+	if got := kernelOf(samples, 0); got != res.Records[0].Kernel {
+		t.Errorf("kernel at t=0 is %q, want %q", got, res.Records[0].Kernel)
+	}
+}
+
+func TestPowerTraceEnergyCloses(t *testing.T) {
+	res := sampleRun(t)
+	cm := sim.DefaultCostModel()
+	// Fine sampling: the integral must approach the run's energy.
+	samples, err := PowerTrace(res, cm, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpu, cpu := EnergyOf(samples, 0.05)
+	if d := math.Abs(gpu+cpu-res.TotalEnergyMJ()) / res.TotalEnergyMJ(); d > 0.02 {
+		t.Errorf("trace energy %.1f mJ vs run %.1f mJ (%.1f%% off)", gpu+cpu, res.TotalEnergyMJ(), 100*d)
+	}
+}
+
+func TestPowerTraceValidation(t *testing.T) {
+	res := sampleRun(t)
+	if _, err := PowerTrace(res, sim.DefaultCostModel(), 0); err == nil {
+		t.Error("zero interval accepted")
+	}
+}
+
+func TestWritePowerCSV(t *testing.T) {
+	res := sampleRun(t)
+	samples, err := PowerTrace(res, sim.DefaultCostModel(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WritePowerCSV(&buf, samples); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(samples)+1 {
+		t.Fatalf("%d CSV lines for %d samples", len(lines), len(samples))
+	}
+	if !strings.HasPrefix(lines[0], "time_ms,gpu_w,cpu_w") {
+		t.Errorf("header = %q", lines[0])
+	}
+}
+
+func TestPowerTraceWithGapsAndOverhead(t *testing.T) {
+	app, _ := workload.ByName("Spmv")
+	gapped := app.WithUniformCPUGaps(0.5)
+	eng := sim.NewEngine(hw.DefaultSpace())
+	res, _, err := eng.Baseline(&gapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := PowerTrace(res, eng.Cost, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Some samples must fall inside CPU phases (kernel name empty).
+	inPhase := 0
+	for _, s := range samples {
+		if s.Kernel == "" {
+			inPhase++
+		}
+	}
+	if inPhase == 0 {
+		t.Error("no samples landed in CPU phases")
+	}
+}

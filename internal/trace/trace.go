@@ -1,0 +1,104 @@
+// Package trace exports simulation runs as CSV and JSON for external
+// analysis and plotting — the raw per-kernel decision traces behind the
+// figures.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"mpcdvfs/internal/sim"
+)
+
+// csvHeader is the column layout of WriteCSV.
+var csvHeader = []string{
+	"index", "kernel", "cpu", "nb", "gpu", "cus",
+	"time_ms", "overhead_ms", "cpu_phase_ms", "insts",
+	"gpu_energy_mj", "cpu_energy_mj", "overhead_energy_mj", "evals",
+}
+
+// WriteCSV writes one row per kernel invocation.
+func WriteCSV(w io.Writer, res *sim.Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	for _, r := range res.Records {
+		row := []string{
+			strconv.Itoa(r.Index),
+			r.Kernel,
+			r.Config.CPU.String(),
+			r.Config.NB.String(),
+			r.Config.GPU.String(),
+			strconv.Itoa(int(r.Config.CUs)),
+			fmtF(r.TimeMS),
+			fmtF(r.OverheadMS),
+			fmtF(r.CPUPhaseMS),
+			fmtF(r.Insts),
+			fmtF(r.GPUEnergyMJ),
+			fmtF(r.CPUEnergyMJ),
+			fmtF(r.OverheadEnergyMJ),
+			strconv.Itoa(r.Evals),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	return nil
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// JSONRun is the exported form of a run: summary plus records.
+type JSONRun struct {
+	App          string             `json:"app"`
+	Policy       string             `json:"policy"`
+	TotalTimeMS  float64            `json:"total_time_ms"`
+	KernelTimeMS float64            `json:"kernel_time_ms"`
+	OverheadMS   float64            `json:"overhead_ms"`
+	EnergyMJ     float64            `json:"energy_mj"`
+	GPUEnergyMJ  float64            `json:"gpu_energy_mj"`
+	CPUEnergyMJ  float64            `json:"cpu_energy_mj"`
+	Records      []sim.KernelRecord `json:"records"`
+}
+
+// FromResult converts a run into its exported form.
+func FromResult(res *sim.Result) JSONRun {
+	return JSONRun{
+		App:          res.App,
+		Policy:       res.Policy,
+		TotalTimeMS:  res.TotalTimeMS(),
+		KernelTimeMS: res.KernelTimeMS(),
+		OverheadMS:   res.OverheadMS(),
+		EnergyMJ:     res.TotalEnergyMJ(),
+		GPUEnergyMJ:  res.GPUEnergyMJ(),
+		CPUEnergyMJ:  res.CPUEnergyMJ(),
+		Records:      res.Records,
+	}
+}
+
+// WriteJSON writes the run as indented JSON.
+func WriteJSON(w io.Writer, res *sim.Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(FromResult(res)); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON decodes a run previously written by WriteJSON.
+func ReadJSON(r io.Reader) (JSONRun, error) {
+	var run JSONRun
+	if err := json.NewDecoder(r).Decode(&run); err != nil {
+		return JSONRun{}, fmt.Errorf("trace: %w", err)
+	}
+	return run, nil
+}

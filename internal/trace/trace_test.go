@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"math"
+	"strings"
+	"testing"
+
+	"mpcdvfs/internal/hw"
+	"mpcdvfs/internal/sim"
+	"mpcdvfs/internal/workload"
+)
+
+func sampleRun(t *testing.T) *sim.Result {
+	t.Helper()
+	app, err := workload.ByName("kmeans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(hw.DefaultSpace())
+	res, _, err := eng.Baseline(&app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestWriteCSV(t *testing.T) {
+	res := sampleRun(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(res.Records)+1 {
+		t.Fatalf("%d CSV rows, want %d", len(rows), len(res.Records)+1)
+	}
+	if rows[0][0] != "index" || rows[0][len(rows[0])-1] != "evals" {
+		t.Errorf("header = %v", rows[0])
+	}
+	if rows[1][1] != "kmeans_swap" {
+		t.Errorf("first kernel = %q", rows[1][1])
+	}
+	if !strings.HasPrefix(rows[1][2], "P") || !strings.HasPrefix(rows[1][4], "DPM") {
+		t.Errorf("config columns = %v", rows[1][2:6])
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	res := sampleRun(t)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	run, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.App != res.App || run.Policy != res.Policy {
+		t.Errorf("identity lost: %s/%s", run.App, run.Policy)
+	}
+	if len(run.Records) != len(res.Records) {
+		t.Fatalf("%d records, want %d", len(run.Records), len(res.Records))
+	}
+	if math.Abs(run.EnergyMJ-res.TotalEnergyMJ()) > 1e-9 {
+		t.Errorf("energy %v != %v", run.EnergyMJ, res.TotalEnergyMJ())
+	}
+	if run.Records[3] != res.Records[3] {
+		t.Errorf("record 3 mismatch")
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{nope")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestSummaryConsistency(t *testing.T) {
+	res := sampleRun(t)
+	run := FromResult(res)
+	if run.KernelTimeMS > run.TotalTimeMS {
+		t.Error("kernel time exceeds total time")
+	}
+	if math.Abs(run.GPUEnergyMJ+run.CPUEnergyMJ-run.EnergyMJ) > 1e-9 {
+		t.Error("energy split inconsistent")
+	}
+}

@@ -1,0 +1,389 @@
+// Package workload defines GPGPU applications as sequences of kernel
+// invocations — the view the paper's runtime has of a program (Fig. 1).
+// It provides the 15 evaluation benchmarks of Table IV with their exact
+// kernel-execution patterns (Table II), plus a generator for random
+// irregular applications.
+//
+// Kernel time/power behaviour comes from the ground-truth model in
+// internal/kernel; this package only composes kernels into execution
+// orders with the right throughput phase structure (Fig. 3): Spmv's
+// high-to-low transitions, kmeans' low-to-high transition, hybridsort's
+// per-input variation of the same kernel, and so on.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mpcdvfs/internal/kernel"
+)
+
+// Category classifies a benchmark's kernel execution pattern (Table IV).
+type Category int8
+
+// Benchmark categories from Table IV.
+const (
+	Regular               Category = iota // single kernel iterating
+	IrregularRepeating                    // repeating multi-kernel pattern
+	IrregularNonRepeating                 // non-repeating multi-kernel pattern
+	IrregularInputVarying                 // same kernel varying with input
+	NumCategories         = 4
+)
+
+func (c Category) String() string {
+	switch c {
+	case Regular:
+		return "regular"
+	case IrregularRepeating:
+		return "irregular w/ repeating pattern"
+	case IrregularNonRepeating:
+		return "irregular w/ non-repeating pattern"
+	case IrregularInputVarying:
+		return "irregular w/ kernels varying with input"
+	}
+	return fmt.Sprintf("category?(%d)", int8(c))
+}
+
+// App is one GPGPU application: an ordered list of kernel invocations.
+type App struct {
+	Name     string
+	Suite    string // originating benchmark suite (Table IV)
+	Category Category
+	Pattern  string // regular-expression-style execution pattern, e.g. "A10B10C10"
+	Kernels  []kernel.Kernel
+
+	// CPUGapsMS optionally gives the CPU phase (host work, Fig. 1)
+	// preceding each kernel invocation, in milliseconds. Empty means
+	// back-to-back kernels — the worst case the paper evaluates under
+	// (§V). When present it must have one entry per invocation; the
+	// engine hides optimizer overhead under these phases (§VI-E: "CPU
+	// phases with an available CPU ... can hide the MPC overheads").
+	CPUGapsMS []float64
+}
+
+// CPUGapMS returns the CPU phase before invocation i (0 when no phases
+// are modelled).
+func (a *App) CPUGapMS(i int) float64 {
+	if len(a.CPUGapsMS) == 0 {
+		return 0
+	}
+	return a.CPUGapsMS[i]
+}
+
+// WithUniformCPUGaps returns a copy of the app with a constant CPU phase
+// before every kernel.
+func (a App) WithUniformCPUGaps(gapMS float64) App {
+	if gapMS < 0 {
+		panic("workload: negative CPU gap")
+	}
+	gaps := make([]float64, len(a.Kernels))
+	for i := range gaps {
+		gaps[i] = gapMS
+	}
+	a.CPUGapsMS = gaps
+	return a
+}
+
+// Len returns the number of kernel invocations.
+func (a *App) Len() int { return len(a.Kernels) }
+
+// TotalInsts returns the total instruction count across all invocations
+// (the Itotal of Eq. 1).
+func (a *App) TotalInsts() float64 {
+	s := 0.0
+	for _, k := range a.Kernels {
+		s += k.Insts()
+	}
+	return s
+}
+
+// Validate checks that the app is non-empty and every kernel is valid.
+func (a *App) Validate() error {
+	if a.Name == "" {
+		return fmt.Errorf("workload: app with empty name")
+	}
+	if len(a.Kernels) == 0 {
+		return fmt.Errorf("workload: app %s has no kernels", a.Name)
+	}
+	for i, k := range a.Kernels {
+		if err := k.Validate(); err != nil {
+			return fmt.Errorf("workload: app %s invocation %d: %w", a.Name, i, err)
+		}
+	}
+	if len(a.CPUGapsMS) != 0 {
+		if len(a.CPUGapsMS) != len(a.Kernels) {
+			return fmt.Errorf("workload: app %s has %d CPU gaps for %d kernels", a.Name, len(a.CPUGapsMS), len(a.Kernels))
+		}
+		for i, g := range a.CPUGapsMS {
+			if g < 0 {
+				return fmt.Errorf("workload: app %s CPU gap %d negative", a.Name, i)
+			}
+		}
+	}
+	return nil
+}
+
+// repeat appends n invocations of k.
+func repeat(ks []kernel.Kernel, k kernel.Kernel, n int) []kernel.Kernel {
+	for i := 0; i < n; i++ {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// Benchmarks returns the 15 Table IV applications in paper order. The
+// construction is deterministic.
+func Benchmarks() []App {
+	return []App{
+		MandelbulbGPU(), NBody(), LBM(),
+		EigenValue(), XSBench(),
+		Spmv(), Kmeans(),
+		Swat(), Color(), PbBFS(), MIS(), Srad(), Lulesh(), LUD(), Hybridsort(),
+	}
+}
+
+// ByName returns the named benchmark, or an error listing valid names.
+func ByName(name string) (App, error) {
+	for _, a := range Benchmarks() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	names := ""
+	for i, a := range Benchmarks() {
+		if i > 0 {
+			names += ", "
+		}
+		names += a.Name
+	}
+	return App{}, fmt.Errorf("workload: unknown benchmark %q (have: %s)", name, names)
+}
+
+// --- Regular benchmarks: a single kernel iterating multiple times. ---
+
+// MandelbulbGPU is the Phoronix fractal benchmark: pattern A20, a
+// medium-length compute-bound kernel.
+func MandelbulbGPU() App {
+	k := kernel.NewComputeBound("mandelbulb", 1.6)
+	return App{
+		Name: "mandelbulbGPU", Suite: "Phoronix", Category: Regular, Pattern: "A20",
+		Kernels: repeat(nil, k, 20),
+	}
+}
+
+// NBody is the AMD APP SDK n-body simulation: pattern A10, long
+// compute-bound kernels (full MPC horizon in Fig. 15).
+func NBody() App {
+	k := kernel.NewComputeBound("nbody", 14)
+	return App{
+		Name: "NBody", Suite: "AMD APP SDK", Category: Regular, Pattern: "A10",
+		Kernels: repeat(nil, k, 10),
+	}
+}
+
+// LBM is the Parboil lattice-Boltzmann benchmark: pattern A10, long
+// kernels with peak behaviour — the source of the paper's largest GPU
+// energy saving (51%, Fig. 10).
+func LBM() App {
+	k := kernel.NewPeak("lbm", 11)
+	return App{
+		Name: "lbm", Suite: "Parboil", Category: Regular, Pattern: "A10",
+		Kernels: repeat(nil, k, 10),
+	}
+}
+
+// --- Irregular with repeating pattern. ---
+
+// EigenValue alternates two long kernels: pattern (AB)5.
+func EigenValue() App {
+	a := kernel.NewComputeBound("calcEigen", 9)
+	b := kernel.NewMemoryBound("recalcBounds", 7)
+	var ks []kernel.Kernel
+	for i := 0; i < 5; i++ {
+		ks = append(ks, a, b)
+	}
+	return App{
+		Name: "EigenValue", Suite: "AMD APP SDK", Category: IrregularRepeating, Pattern: "(AB)5",
+		Kernels: ks,
+	}
+}
+
+// XSBench cycles three long kernels of different classes: pattern (ABC)2.
+func XSBench() App {
+	a := kernel.NewMemoryBound("lookup", 7)
+	b := kernel.NewBalanced("unionize", 12)
+	c := kernel.NewComputeBound("xsinterp", 13)
+	var ks []kernel.Kernel
+	for i := 0; i < 2; i++ {
+		ks = append(ks, a, b, c)
+	}
+	return App{
+		Name: "XSBench", Suite: "Exascale", Category: IrregularRepeating, Pattern: "(ABC)2",
+		Kernels: ks,
+	}
+}
+
+// --- Irregular with non-repeating pattern. ---
+
+// Spmv runs three sparse matrix-vector algorithms ten times each:
+// pattern A10B10C10, transitioning from high- to low-throughput phases
+// (Fig. 3) — the shape that makes history-based schemes over-save early
+// and fail to catch up.
+func Spmv() App {
+	a := kernel.NewComputeBound("spmv_csr_scalar", 0.8)
+	b := kernel.NewBalanced("spmv_csr_vector", 0.7)
+	c := kernel.NewMemoryBound("spmv_ellpackr", 0.8)
+	ks := repeat(nil, a, 10)
+	ks = repeat(ks, b, 10)
+	ks = repeat(ks, c, 10)
+	return App{
+		Name: "Spmv", Suite: "SHOC", Category: IrregularNonRepeating, Pattern: "A10B10C10",
+		Kernels: ks,
+	}
+}
+
+// Kmeans runs the low-throughput swap kernel once, then iterates the
+// high-throughput kmeans kernel 20 times: pattern AB20, the low-to-high
+// transition of Fig. 3 that makes history-based schemes under-save.
+func Kmeans() App {
+	swap := kernel.NewUnscalable("kmeans_swap", 1.9)
+	km := kernel.NewComputeBound("kmeansPoint", 1.1)
+	ks := []kernel.Kernel{swap}
+	ks = repeat(ks, km, 20)
+	return App{
+		Name: "kmeans", Suite: "Rodinia", Category: IrregularNonRepeating, Pattern: "AB20",
+		Kernels: ks,
+	}
+}
+
+// --- Irregular with kernels varying with input. ---
+
+// inputVarying builds an app of n invocations of base kernels whose input
+// scale varies per invocation with the given scales cycle.
+func inputVarying(name, suite string, base []kernel.Kernel, scales []float64, n int) App {
+	var ks []kernel.Kernel
+	for i := 0; i < n; i++ {
+		k := base[i%len(base)]
+		ks = append(ks, k.WithInput(scales[i%len(scales)]))
+	}
+	return App{
+		Name: name, Suite: suite, Category: IrregularInputVarying,
+		Pattern: "input-varying", Kernels: ks,
+	}
+}
+
+// Swat is the OpenDwarfs Smith-Waterman alignment: one kernel whose work
+// grows and shrinks with the anti-diagonal length.
+func Swat() App {
+	return inputVarying("swat", "OpenDwarfs",
+		[]kernel.Kernel{kernel.NewBalanced("swat_kernel", 2.2)},
+		[]float64{0.4, 0.9, 1.6, 2.3, 1.5, 0.8, 0.5}, 14)
+}
+
+// Color is the Pannotia graph-coloring benchmark: iterations shrink as
+// the graph is colored.
+func Color() App {
+	return inputVarying("color", "Pannotia",
+		[]kernel.Kernel{kernel.NewUnscalable("color_kernel", 0.8)},
+		[]float64{3.0, 2.2, 1.6, 1.1, 0.8, 0.55, 0.4, 0.3}, 16)
+}
+
+// PbBFS is the Parboil breadth-first search: frontier size ramps up then
+// down across levels, with low-throughput small frontiers first.
+func PbBFS() App {
+	return inputVarying("pb-bfs", "Parboil",
+		[]kernel.Kernel{kernel.NewUnscalable("bfs_frontier", 0.5)},
+		[]float64{0.3, 0.8, 2.5, 6.0, 9.0, 6.5, 2.0, 0.6}, 16)
+}
+
+// MIS is the Pannotia maximal-independent-set benchmark.
+func MIS() App {
+	return inputVarying("mis", "Pannotia",
+		[]kernel.Kernel{
+			kernel.NewMemoryBound("mis_select", 0.55),
+			kernel.NewUnscalable("mis_compact", 0.6),
+		},
+		[]float64{2.5, 2.5, 1.7, 1.7, 1.1, 1.1, 0.7, 0.7, 0.45, 0.45}, 14)
+}
+
+// Srad is the Rodinia speckle-reducing anisotropic diffusion benchmark:
+// two alternating kernels over a shrinking region — the paper's
+// worst-case misprediction victim (§VI-A).
+func Srad() App {
+	return inputVarying("srad", "Rodinia",
+		[]kernel.Kernel{
+			kernel.NewBalanced("srad_prep", 1.4),
+			kernel.NewMemoryBound("srad_diffuse", 1.2),
+		},
+		[]float64{1.8, 1.8, 1.3, 1.3, 1.0, 1.0, 0.6, 0.6, 0.25, 0.25}, 16)
+}
+
+// Lulesh is the Exascale shock-hydrodynamics proxy app: many kernels of
+// mixed classes with input-dependent work.
+func Lulesh() App {
+	return inputVarying("lulesh", "Exascale",
+		[]kernel.Kernel{
+			kernel.NewComputeBound("calcForce", 1.1),
+			kernel.NewMemoryBound("integrateStress", 0.9),
+			kernel.NewBalanced("calcConstraints", 0.8),
+		},
+		[]float64{1.6, 1.0, 0.7, 1.3, 0.9, 0.5}, 15)
+}
+
+// LUD is the Rodinia LU decomposition: per-iteration work shrinks as the
+// factorization proceeds — a high-to-low throughput transition like Spmv.
+func LUD() App {
+	return inputVarying("lud", "Rodinia",
+		[]kernel.Kernel{kernel.NewComputeBound("lud_internal", 1.0)},
+		[]float64{3.2, 2.4, 1.8, 1.3, 0.9, 0.6, 0.4, 0.25}, 16)
+}
+
+// Hybridsort is the Rodinia hybrid sort: pattern ABCDEF1F2...F9G, where
+// the mergeSortPass kernel F iterates nine times with different input
+// arguments (Table II).
+func Hybridsort() App {
+	ks := []kernel.Kernel{
+		kernel.NewMemoryBound("histogram", 0.7),
+		kernel.NewUnscalable("bucketcount", 0.5),
+		kernel.NewBalanced("bucketprefix", 0.6),
+		kernel.NewMemoryBound("bucketsort", 0.9),
+		kernel.NewComputeBound("mergeSortFirst", 0.8),
+	}
+	f := kernel.NewBalanced("mergeSortPass", 0.75)
+	for i := 1; i <= 9; i++ {
+		// Merge passes double their run length each pass: work grows,
+		// and each invocation has different input arguments.
+		ks = append(ks, f.WithInput(0.45*math.Pow(1.35, float64(i-1))))
+	}
+	ks = append(ks, kernel.NewMemoryBound("mergepack", 0.7))
+	return App{
+		Name: "hybridsort", Suite: "Rodinia", Category: IrregularInputVarying,
+		Pattern: "ABCDEF1F2F3F4F5F6F7F8F9G", Kernels: ks,
+	}
+}
+
+// RandomApp generates a random irregular application of n invocations
+// drawn from a pool of poolSize random kernels with random input scales —
+// the fuzzing surface for policy tests.
+func RandomApp(name string, rng *rand.Rand, poolSize, n int) App {
+	if poolSize <= 0 || n <= 0 {
+		panic("workload: RandomApp needs positive pool and length")
+	}
+	pool := make([]kernel.Kernel, poolSize)
+	for i := range pool {
+		pool[i] = kernel.Random(fmt.Sprintf("%s_k%d", name, i), rng)
+	}
+	ks := make([]kernel.Kernel, n)
+	for i := range ks {
+		k := pool[rng.Intn(poolSize)]
+		if rng.Float64() < 0.3 {
+			k = k.WithInput(0.3 + 2.2*rng.Float64())
+		}
+		ks[i] = k
+	}
+	return App{
+		Name: name, Suite: "generated", Category: IrregularInputVarying,
+		Pattern: "random", Kernels: ks,
+	}
+}

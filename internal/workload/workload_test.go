@@ -1,0 +1,271 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"mpcdvfs/internal/hw"
+	"mpcdvfs/internal/kernel"
+)
+
+func TestBenchmarksMatchTableIV(t *testing.T) {
+	want := []struct {
+		name     string
+		suite    string
+		category Category
+		n        int
+	}{
+		{"mandelbulbGPU", "Phoronix", Regular, 20},
+		{"NBody", "AMD APP SDK", Regular, 10},
+		{"lbm", "Parboil", Regular, 10},
+		{"EigenValue", "AMD APP SDK", IrregularRepeating, 10},
+		{"XSBench", "Exascale", IrregularRepeating, 6},
+		{"Spmv", "SHOC", IrregularNonRepeating, 30},
+		{"kmeans", "Rodinia", IrregularNonRepeating, 21},
+		{"swat", "OpenDwarfs", IrregularInputVarying, 14},
+		{"color", "Pannotia", IrregularInputVarying, 16},
+		{"pb-bfs", "Parboil", IrregularInputVarying, 16},
+		{"mis", "Pannotia", IrregularInputVarying, 14},
+		{"srad", "Rodinia", IrregularInputVarying, 16},
+		{"lulesh", "Exascale", IrregularInputVarying, 15},
+		{"lud", "Rodinia", IrregularInputVarying, 16},
+		{"hybridsort", "Rodinia", IrregularInputVarying, 15},
+	}
+	apps := Benchmarks()
+	if len(apps) != 15 {
+		t.Fatalf("got %d benchmarks, want 15 (Table IV)", len(apps))
+	}
+	for i, w := range want {
+		a := apps[i]
+		if a.Name != w.name || a.Suite != w.suite || a.Category != w.category {
+			t.Errorf("benchmark %d = %s/%s/%v, want %s/%s/%v",
+				i, a.Name, a.Suite, a.Category, w.name, w.suite, w.category)
+		}
+		if a.Len() != w.n {
+			t.Errorf("%s has %d invocations, want %d", a.Name, a.Len(), w.n)
+		}
+		if err := a.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", a.Name, err)
+		}
+	}
+}
+
+func TestTableIIPatterns(t *testing.T) {
+	// Table II pins the execution patterns of three irregular benchmarks.
+	spmv, _ := ByName("Spmv")
+	if spmv.Pattern != "A10B10C10" {
+		t.Errorf("Spmv pattern = %q, want A10B10C10", spmv.Pattern)
+	}
+	// 3 distinct kernels, each 10x in blocks.
+	names := map[string]int{}
+	for _, k := range spmv.Kernels {
+		names[k.Name()]++
+	}
+	if len(names) != 3 {
+		t.Errorf("Spmv has %d distinct kernels, want 3", len(names))
+	}
+	for n, c := range names {
+		if c != 10 {
+			t.Errorf("Spmv kernel %s runs %d times, want 10", n, c)
+		}
+	}
+
+	km, _ := ByName("kmeans")
+	if km.Pattern != "AB20" {
+		t.Errorf("kmeans pattern = %q, want AB20", km.Pattern)
+	}
+	if km.Kernels[0].Name() == km.Kernels[1].Name() {
+		t.Error("kmeans first kernel should differ from the iterated kernel")
+	}
+	for i := 1; i < km.Len(); i++ {
+		if km.Kernels[i].Name() != km.Kernels[1].Name() {
+			t.Errorf("kmeans invocation %d is %s, want iterated kernel", i, km.Kernels[i].Name())
+		}
+	}
+
+	hs, _ := ByName("hybridsort")
+	if hs.Pattern != "ABCDEF1F2F3F4F5F6F7F8F9G" {
+		t.Errorf("hybridsort pattern = %q", hs.Pattern)
+	}
+	// mergeSortPass iterates nine times with different inputs.
+	var scales []float64
+	for _, k := range hs.Kernels {
+		if k.Name() == "mergeSortPass" {
+			scales = append(scales, k.InputScale)
+		}
+	}
+	if len(scales) != 9 {
+		t.Fatalf("mergeSortPass runs %d times, want 9", len(scales))
+	}
+	seen := map[float64]bool{}
+	for _, s := range scales {
+		if seen[s] {
+			t.Errorf("mergeSortPass input scale %v repeated; each invocation takes different inputs", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestSpmvThroughputHighToLow(t *testing.T) {
+	// Fig. 3: Spmv transitions from high- to low-throughput phases.
+	spmv, _ := ByName("Spmv")
+	c := hw.MaxPerf()
+	first := spmv.Kernels[0].Throughput(c)
+	last := spmv.Kernels[spmv.Len()-1].Throughput(c)
+	if first < 2*last {
+		t.Errorf("Spmv first kernel throughput %.3g not >> last %.3g", first, last)
+	}
+}
+
+func TestKmeansThroughputLowToHigh(t *testing.T) {
+	// Fig. 3: kmeans transitions from low- to high-throughput.
+	km, _ := ByName("kmeans")
+	c := hw.MaxPerf()
+	first := km.Kernels[0].Throughput(c)
+	rest := km.Kernels[1].Throughput(c)
+	if rest < 3*first {
+		t.Errorf("kmeans iterated kernel throughput %.3g not >> swap %.3g", rest, first)
+	}
+}
+
+func TestCategoryDistribution(t *testing.T) {
+	// §V-A: 75% of the studied benchmarks are irregular; the sample keeps
+	// regular apps in the minority.
+	irregular := 0
+	for _, a := range Benchmarks() {
+		if a.Category != Regular {
+			irregular++
+		}
+	}
+	if irregular != 12 {
+		t.Errorf("irregular benchmarks = %d, want 12 of 15", irregular)
+	}
+}
+
+func TestByName(t *testing.T) {
+	a, err := ByName("srad")
+	if err != nil || a.Name != "srad" {
+		t.Errorf("ByName(srad) = %v, %v", a.Name, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope) should fail")
+	}
+}
+
+func TestTotalInsts(t *testing.T) {
+	a, _ := ByName("NBody")
+	per := a.Kernels[0].Insts()
+	if got, want := a.TotalInsts(), per*10; got != want {
+		t.Errorf("TotalInsts = %v, want %v", got, want)
+	}
+}
+
+func TestValidateCatchesEmpty(t *testing.T) {
+	bad := App{Name: "x"}
+	if err := bad.Validate(); err == nil {
+		t.Error("empty app validated")
+	}
+	if err := (&App{}).Validate(); err == nil {
+		t.Error("nameless app validated")
+	}
+}
+
+func TestXSBenchHasLongKernels(t *testing.T) {
+	// Fig. 15: XSBench (and NBody, lbm, EigenValue) have long kernels that
+	// allow the full MPC horizon; the input-varying apps have short ones.
+	c := hw.FailSafe()
+	long, _ := ByName("XSBench")
+	short, _ := ByName("hybridsort")
+	lmin := long.Kernels[0].TimeMS(c)
+	for _, k := range long.Kernels {
+		if tm := k.TimeMS(c); tm < lmin {
+			lmin = tm
+		}
+	}
+	smax := 0.0
+	sum := 0.0
+	for _, k := range short.Kernels {
+		tm := k.TimeMS(c)
+		sum += tm
+		if tm > smax {
+			smax = tm
+		}
+	}
+	savg := sum / float64(short.Len())
+	if lmin < 4*savg {
+		t.Errorf("XSBench min kernel %.2fms not >> hybridsort avg %.2fms", lmin, savg)
+	}
+}
+
+func TestInputVaryingAppsVary(t *testing.T) {
+	for _, name := range []string{"swat", "color", "pb-bfs", "mis", "srad", "lulesh", "lud"} {
+		a, _ := ByName(name)
+		c := hw.FailSafe()
+		seen := map[float64]bool{}
+		for _, k := range a.Kernels {
+			seen[k.TimeMS(c)] = true
+		}
+		if len(seen) < 4 {
+			t.Errorf("%s has only %d distinct kernel times; want input variation", name, len(seen))
+		}
+	}
+}
+
+func TestRandomApp(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	a := RandomApp("fuzz", rng, 5, 40)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 40 {
+		t.Fatalf("RandomApp len = %d, want 40", a.Len())
+	}
+	distinct := map[string]bool{}
+	for _, k := range a.Kernels {
+		distinct[k.Name()] = true
+	}
+	if len(distinct) < 2 {
+		t.Error("RandomApp drew from a single kernel")
+	}
+}
+
+func TestRandomAppPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RandomApp(0,0) did not panic")
+		}
+	}()
+	RandomApp("x", rand.New(rand.NewSource(1)), 0, 0)
+}
+
+func TestCategoryString(t *testing.T) {
+	for c := Category(0); c < NumCategories; c++ {
+		if c.String() == "" {
+			t.Errorf("category %d has empty string", c)
+		}
+	}
+	if Category(9).String() == "" {
+		t.Error("invalid category empty string")
+	}
+}
+
+func TestAppsHaveDiverseEnergyOptima(t *testing.T) {
+	// Within an irregular app, different kernels should want different
+	// configurations — otherwise inter-kernel optimization is pointless.
+	space := hw.DefaultSpace()
+	for _, name := range []string{"Spmv", "hybridsort", "lulesh"} {
+		a, _ := ByName(name)
+		seen := map[hw.Config]bool{}
+		uniq := map[string]kernel.Kernel{}
+		for _, k := range a.Kernels {
+			uniq[k.Name()] = k
+		}
+		for _, k := range uniq {
+			best, _ := k.OptimalConfig(space, 0)
+			seen[best] = true
+		}
+		if len(seen) < 2 {
+			t.Errorf("%s kernels share one energy-optimal config; want diversity", name)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package mpcdvfs_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mpcdvfs"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	sys := mpcdvfs.NewSystem()
+	app, err := mpcdvfs.BenchmarkByName("kmeans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, target, err := sys.Baseline(&app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpc := sys.NewMPC(sys.NewOracle(&app))
+	runs, err := sys.RunRepeated(&app, mpc, target, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := mpcdvfs.Compare(runs[1], base)
+	if c.EnergySavingsPct <= 0 {
+		t.Errorf("quickstart MPC saves %.1f%%, want > 0", c.EnergySavingsPct)
+	}
+	if c.Speedup < 0.9 {
+		t.Errorf("quickstart MPC speedup %.3f", c.Speedup)
+	}
+}
+
+func TestPublicBenchmarks(t *testing.T) {
+	apps := mpcdvfs.Benchmarks()
+	if len(apps) != 15 {
+		t.Fatalf("Benchmarks() returned %d apps, want 15", len(apps))
+	}
+	if _, err := mpcdvfs.BenchmarkByName("not-a-benchmark"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestPublicSpaces(t *testing.T) {
+	if got := mpcdvfs.DefaultSpace().Size(); got != 336 {
+		t.Errorf("DefaultSpace size %d, want 336", got)
+	}
+	if got := mpcdvfs.FullSpace().Size(); got != 560 {
+		t.Errorf("FullSpace size %d, want 560", got)
+	}
+	if !mpcdvfs.DefaultSpace().Contains(mpcdvfs.FailSafe()) {
+		t.Error("fail-safe outside default space")
+	}
+	if !mpcdvfs.DefaultSpace().Contains(mpcdvfs.MaxPerf()) {
+		t.Error("max-perf outside default space")
+	}
+}
+
+func TestPublicCustomApp(t *testing.T) {
+	app := mpcdvfs.App{
+		Name: "custom", Pattern: "ABAB",
+		Kernels: []mpcdvfs.Kernel{
+			mpcdvfs.NewComputeBoundKernel("a", 1),
+			mpcdvfs.NewMemoryBoundKernel("b", 1),
+			mpcdvfs.NewComputeBoundKernel("a", 1),
+			mpcdvfs.NewMemoryBoundKernel("b", 1),
+		},
+	}
+	sys := mpcdvfs.NewSystem()
+	base, target, err := sys.Baseline(&app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range []mpcdvfs.Policy{
+		sys.NewTurboCore(),
+		sys.NewPPK(sys.NewOracle(&app)),
+		sys.NewTheoreticallyOptimal(&app),
+		sys.NewMPC(sys.NewOracle(&app)),
+	} {
+		res, err := sys.Run(&app, pol, target, true)
+		if err != nil {
+			t.Fatalf("%s: %v", pol.Name(), err)
+		}
+		if res.TotalEnergyMJ() <= 0 || res.TotalTimeMS() <= 0 {
+			t.Fatalf("%s: degenerate result", pol.Name())
+		}
+		_ = base
+	}
+}
+
+func TestPublicErrorModelAndCostModel(t *testing.T) {
+	sys := mpcdvfs.NewSystem()
+	app, _ := mpcdvfs.BenchmarkByName("Spmv")
+	_, target, _ := sys.Baseline(&app)
+
+	free := mpcdvfs.NewSystem()
+	free.SetCostModel(mpcdvfs.CostModel{})
+	if got := free.CostModel(); got.PerEvalMS != 0 {
+		t.Errorf("cost model override lost: %+v", got)
+	}
+	model := mpcdvfs.NewErrorModel(free.NewOracle(&app), 0.15, 0.10, 3)
+	m := free.NewMPC(model, mpcdvfs.WithFullHorizon())
+	rs, err := free.RunRepeated(&app, m, target, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[1].OverheadMS() != 0 {
+		t.Errorf("free cost model charged %.3f ms overhead", rs[1].OverheadMS())
+	}
+}
+
+// Property: for any randomly composed app, every policy produces a valid
+// run whose records cover all kernels with positive time and energy —
+// the public API never returns degenerate accounting.
+func TestPublicPoliciesOnRandomAppsQuick(t *testing.T) {
+	sys := mpcdvfs.NewSystem()
+	archetypes := []func(string, float64) mpcdvfs.Kernel{
+		mpcdvfs.NewComputeBoundKernel,
+		mpcdvfs.NewMemoryBoundKernel,
+		mpcdvfs.NewPeakKernel,
+		mpcdvfs.NewUnscalableKernel,
+		mpcdvfs.NewBalancedKernel,
+	}
+	prop := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(nRaw%10)
+		ks := make([]mpcdvfs.Kernel, n)
+		for i := range ks {
+			mk := archetypes[rng.Intn(len(archetypes))]
+			ks[i] = mk("k", 0.3+2*rng.Float64()).WithInput(0.5 + rng.Float64())
+		}
+		app := mpcdvfs.App{Name: "fuzz", Pattern: "random", Kernels: ks}
+		base, target, err := sys.Baseline(&app)
+		if err != nil || base.TotalTimeMS() <= 0 {
+			return false
+		}
+		mpc := sys.NewMPC(sys.NewOracle(&app))
+		runs, err := sys.RunRepeated(&app, mpc, target, 2)
+		if err != nil {
+			return false
+		}
+		for _, r := range runs {
+			if len(r.Records) != n || r.TotalEnergyMJ() <= 0 {
+				return false
+			}
+			for _, rec := range r.Records {
+				if rec.TimeMS <= 0 || !sys.Space().Contains(rec.Config) {
+					return false
+				}
+			}
+		}
+		// Steady state must stay within 2x the alpha bound even on
+		// adversarial compositions (oracle predictions).
+		c := mpcdvfs.Compare(runs[1], base)
+		return c.Speedup > 0.85
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(44))}); err != nil {
+		t.Error(err)
+	}
+}
