@@ -18,6 +18,8 @@ import (
 	"mpcdvfs/internal/experiments"
 	"mpcdvfs/internal/hw"
 	"mpcdvfs/internal/kernel"
+	"mpcdvfs/internal/metrics"
+	"mpcdvfs/internal/obs"
 	"mpcdvfs/internal/pattern"
 	"mpcdvfs/internal/policy"
 	"mpcdvfs/internal/predict"
@@ -145,6 +147,36 @@ func BenchmarkMPCDecision(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchObservedMPC is BenchmarkMPCDecision with an observer installed
+// on a private engine (identical construction to the fixture's), so the
+// three variants below isolate instrumentation cost: nil and Nop must be
+// indistinguishable from the uninstrumented run (<5% is the budget), and
+// the metrics observer shows the full price of live counters.
+func benchObservedMPC(b *testing.B, o obs.Observer) {
+	b.Helper()
+	f := experiments.Shared()
+	app := f.App("Spmv")
+	_, target := f.Baseline(app)
+	oracle := f.Oracle(app)
+	eng := sim.NewEngine(f.Space)
+	eng.Obs = o
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := policy.NewMPC(oracle, f.Space)
+		if _, err := eng.RunRepeated(app, m, target, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMPCDecisionNilObserver(b *testing.B) { benchObservedMPC(b, nil) }
+
+func BenchmarkMPCDecisionNopObserver(b *testing.B) { benchObservedMPC(b, obs.Nop{}) }
+
+func BenchmarkMPCDecisionMetricsObserver(b *testing.B) {
+	benchObservedMPC(b, obs.NewMetrics(metrics.New()))
 }
 
 // BenchmarkTurboCoreRun measures the baseline controller for scale.

@@ -12,8 +12,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
+	"mpcdvfs/internal/cli"
 	"mpcdvfs/internal/hw"
 	"mpcdvfs/internal/measure"
 	"mpcdvfs/internal/workload"
@@ -23,7 +25,13 @@ func main() {
 	out := flag.String("out", "measurements.db", "output database file")
 	appName := flag.String("app", "", "capture only this benchmark (default: all)")
 	full := flag.Bool("fullspace", false, "capture all five DPM states (560 configs)")
+	logLevel := flag.String("log-level", "info", "log level: debug | info | warn | error")
 	flag.Parse()
+
+	if err := cli.InitLogging(*logLevel); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	space := hw.DefaultSpace()
 	if *full {
@@ -35,7 +43,7 @@ func main() {
 	if *appName != "" {
 		a, err := workload.ByName(*appName)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			slog.Error(err.Error())
 			os.Exit(2)
 		}
 		apps = []workload.App{a}
@@ -44,20 +52,20 @@ func main() {
 	}
 	for i := range apps {
 		db.CaptureApp(&apps[i])
-		fmt.Fprintf(os.Stderr, "captured %-14s -> %d distinct kernels so far\n", apps[i].Name, db.Kernels())
+		slog.Info("captured", "app", apps[i].Name, "distinct_kernels", db.Kernels())
 	}
 	fmt.Printf("%d kernels x %d configurations = %d measurements\n",
 		db.Kernels(), space.Size(), db.Measurements())
 
 	f, err := os.Create(*out)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		slog.Error(err.Error())
 		os.Exit(1)
 	}
 	defer f.Close()
 	if err := db.Save(f); err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		slog.Error(err.Error())
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "database written to %s\n", *out)
+	slog.Info("database written", "path", *out)
 }

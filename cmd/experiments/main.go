@@ -6,24 +6,41 @@
 //	experiments            # run everything, in paper order
 //	experiments -list      # list available experiment IDs
 //	experiments -run fig8  # run one experiment (comma-separate for more)
+//
+// Observability: -metrics-addr serves /metrics, /health and
+// /debug/pprof while the experiments run (scrape mid-run to watch the
+// regeneration progress); -trace-out streams every engine event as
+// JSONL; -log-level controls structured diagnostics on stderr.
 package main
 
 import (
 	"bytes"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 	"sync"
 
+	"mpcdvfs/internal/cli"
 	"mpcdvfs/internal/experiments"
+	"mpcdvfs/internal/metrics"
+	"mpcdvfs/internal/obs"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
 	parallel := flag.Int("parallel", 1, "experiments to run concurrently (output stays in paper order)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /health and /debug/pprof on this address while running")
+	traceOut := flag.String("trace-out", "", "stream engine events as JSONL to this file (tailable)")
+	logLevel := flag.String("log-level", "info", "log level: debug | info | warn | error")
 	flag.Parse()
+
+	if err := cli.InitLogging(*logLevel); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, r := range experiments.Runners() {
@@ -40,7 +57,7 @@ func main() {
 			id = strings.TrimSpace(id)
 			r, ok := experiments.ByID(id)
 			if !ok {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+				slog.Error("unknown experiment (use -list)", "id", id)
 				os.Exit(2)
 			}
 			selected = append(selected, r)
@@ -48,11 +65,42 @@ func main() {
 	}
 
 	f := experiments.Shared()
+
+	// Observability: one observer set shared by both fixture engines, so
+	// every policy run of every experiment is visible.
+	var observers []obs.Observer
+	if *metricsAddr != "" {
+		reg := metrics.New()
+		observers = append(observers, obs.NewMetrics(reg))
+		defer cli.ServeMetrics(*metricsAddr, reg).Close()
+	}
+	if *traceOut != "" {
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			slog.Error("cannot create trace output", "path", *traceOut, "err", err)
+			os.Exit(1)
+		}
+		defer tf.Close()
+		jw := obs.NewJSONLWriter(tf)
+		observers = append(observers, jw)
+		defer func() {
+			if err := jw.Err(); err != nil {
+				slog.Error("event stream write failed", "err", err)
+			}
+		}()
+	}
+	if len(observers) > 0 {
+		o := obs.Multi(observers...)
+		f.Engine.Obs = o
+		f.Free.Obs = o
+	}
+
 	if *parallel <= 1 {
 		for _, r := range selected {
+			slog.Debug("running experiment", "id", r.ID)
 			t, err := r.Run(f)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "%s: %v\n", r.ID, err)
+				slog.Error("experiment failed", "id", r.ID, "err", err)
 				os.Exit(1)
 			}
 			t.Render(os.Stdout)
@@ -86,7 +134,7 @@ func main() {
 	wg.Wait()
 	for i := range slots {
 		if slots[i].err != nil {
-			fmt.Fprintln(os.Stderr, slots[i].err)
+			slog.Error(slots[i].err.Error())
 			os.Exit(1)
 		}
 		_, _ = slots[i].buf.WriteTo(os.Stdout)

@@ -1,0 +1,214 @@
+// Command mpcserve runs the MPC runtime as a long-lived observable
+// service: it replays benchmark workloads continuously under a
+// power-management policy and exposes the runtime's metrics for
+// Prometheus-style scraping.
+//
+// Endpoints (on -addr):
+//
+//	/metrics       mpcdvfs_* counters, gauges and histograms
+//	/health        liveness probe
+//	/debug/pprof/  live CPU/heap profiles of the serving process
+//
+// Usage:
+//
+//	mpcserve                       # all benchmarks under MPC (trains RF)
+//	mpcserve -oracle -apps Spmv    # perfect predictor, one app
+//	curl localhost:9090/metrics
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"mpcdvfs"
+	"mpcdvfs/internal/cli"
+	"mpcdvfs/internal/obs"
+	"mpcdvfs/internal/predict"
+)
+
+func main() {
+	addr := flag.String("addr", ":9090", "HTTP listen address for /metrics, /health and /debug/pprof")
+	appsFlag := flag.String("apps", "", "comma-separated benchmarks to replay (default: all)")
+	polName := flag.String("policy", "mpc", "policy: turbo-core | ppk | mpc")
+	useOracle := flag.Bool("oracle", false, "use a perfect predictor instead of the Random Forest")
+	modelPath := flag.String("model", "", "load a model trained with cmd/train instead of training in-process")
+	seed := flag.Int64("seed", 1, "Random Forest training seed")
+	interval := flag.Duration("interval", 100*time.Millisecond, "pause between workload replays")
+	traceOut := flag.String("trace-out", "", "stream runtime events as JSONL to this file (tailable)")
+	logLevel := flag.String("log-level", "info", "log level: debug | info | warn | error")
+	flag.Parse()
+
+	if err := cli.InitLogging(*logLevel); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := run(*addr, *appsFlag, *polName, *useOracle, *modelPath, *seed, *interval, *traceOut); err != nil {
+		slog.Error("mpcserve failed", "err", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, appsFlag, polName string, useOracle bool, modelPath string, seed int64, interval time.Duration, traceOut string) error {
+	apps, err := selectApps(appsFlag)
+	if err != nil {
+		return err
+	}
+
+	reg := mpcdvfs.NewMetricsRegistry()
+	observers := []mpcdvfs.Observer{mpcdvfs.NewMetricsObserver(reg), obs.NewSlog(nil)}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		jw := obs.NewJSONLWriter(f)
+		observers = append(observers, jw)
+		defer func() {
+			if err := jw.Err(); err != nil {
+				slog.Error("event stream write failed", "err", err)
+			}
+		}()
+	}
+
+	// Service-level metrics on the same registry as the runtime's.
+	replays := reg.Counter("mpcdvfs_replays_total",
+		"Completed workload replays.", "policy", "app")
+	savings := reg.Gauge("mpcdvfs_energy_savings_pct",
+		"Chip energy savings of the last replay versus the Turbo Core baseline.",
+		"policy", "app")
+	speedup := reg.Gauge("mpcdvfs_speedup",
+		"Speedup of the last replay versus the Turbo Core baseline (>1 is faster).",
+		"policy", "app")
+
+	// Serve immediately: /health and /metrics answer while the predictor
+	// trains.
+	srv := cli.ServeMetrics(addr, reg)
+	defer srv.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	sys := mpcdvfs.NewSystem()
+	sys.SetObserver(mpcdvfs.MultiObserver(observers...))
+
+	var sharedModel mpcdvfs.Model
+	switch {
+	case useOracle, polName == "turbo-core":
+		// Per-app oracles are built below; turbo-core needs no model.
+	case modelPath != "":
+		mf, err := os.Open(modelPath)
+		if err != nil {
+			return err
+		}
+		sharedModel, err = predict.LoadModel(mf)
+		mf.Close()
+		if err != nil {
+			return err
+		}
+		slog.Info("model loaded", "path", modelPath, "name", sharedModel.Name())
+	default:
+		slog.Info("training Random Forest predictor (use -oracle or -model to skip)", "seed", seed)
+		start := time.Now()
+		sharedModel, err = mpcdvfs.TrainRandomForest(mpcdvfs.DefaultTrainOptions(seed))
+		if err != nil {
+			return err
+		}
+		slog.Info("predictor trained", "took", time.Since(start).Round(time.Millisecond))
+	}
+
+	// One replayer per app: MPC keeps per-app pattern knowledge across
+	// replays, so horizon and fallback metrics reflect steady state.
+	type replayer struct {
+		app    mpcdvfs.App
+		pol    mpcdvfs.Policy
+		base   *mpcdvfs.Result
+		target mpcdvfs.Target
+		first  bool
+	}
+	reps := make([]*replayer, 0, len(apps))
+	for _, app := range apps {
+		if ctx.Err() != nil {
+			return nil
+		}
+		app := app
+		base, target, err := sys.Baseline(&app)
+		if err != nil {
+			return err
+		}
+		model := sharedModel
+		if model == nil && polName != "turbo-core" {
+			model = sys.NewOracle(&app)
+		}
+		var pol mpcdvfs.Policy
+		switch polName {
+		case "turbo-core":
+			pol = sys.NewTurboCore()
+		case "ppk":
+			pol = sys.NewPPK(model)
+		case "mpc":
+			pol = sys.NewMPC(model)
+		default:
+			return fmt.Errorf("unknown policy %q (want turbo-core, ppk or mpc)", polName)
+		}
+		reps = append(reps, &replayer{app: app, pol: pol, base: base, target: target, first: true})
+	}
+
+	slog.Info("replay loop started", "apps", len(reps), "policy", polName, "interval", interval)
+	cycles := 0
+	for ctx.Err() == nil {
+		for _, r := range reps {
+			if ctx.Err() != nil {
+				break
+			}
+			res, err := sys.Run(&r.app, r.pol, r.target, r.first)
+			if err != nil {
+				return fmt.Errorf("replay %s: %w", r.app.Name, err)
+			}
+			r.first = false
+			c := mpcdvfs.Compare(res, r.base)
+			replays.With(res.Policy, res.App).Inc()
+			savings.With(res.Policy, res.App).Set(c.EnergySavingsPct)
+			speedup.With(res.Policy, res.App).Set(c.Speedup)
+			slog.Debug("replay done",
+				"app", res.App, "policy", res.Policy,
+				"time_ms", res.TotalTimeMS(), "energy_mj", res.TotalEnergyMJ(),
+				"savings_pct", c.EnergySavingsPct, "speedup", c.Speedup)
+			select {
+			case <-ctx.Done():
+			case <-time.After(interval):
+			}
+		}
+		cycles++
+		if cycles%100 == 0 {
+			slog.Info("replay progress", "cycles", cycles)
+		}
+	}
+	slog.Info("shutting down", "cycles", cycles)
+	shctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return srv.Shutdown(shctx)
+}
+
+// selectApps resolves the -apps flag against the benchmark suite.
+func selectApps(flagVal string) ([]mpcdvfs.App, error) {
+	if flagVal == "" {
+		return mpcdvfs.Benchmarks(), nil
+	}
+	var out []mpcdvfs.App
+	for _, name := range strings.Split(flagVal, ",") {
+		app, err := mpcdvfs.BenchmarkByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, app)
+	}
+	return out, nil
+}

@@ -8,15 +8,23 @@
 //
 // Policies: turbo-core, ppk, to, mpc, mpc-full (RF predictor unless
 // -oracle is set).
+//
+// Observability: -metrics-addr serves /metrics, /health and
+// /debug/pprof for the duration of the process; -trace-out streams every
+// run's per-kernel records as JSONL; -log-level controls the structured
+// diagnostics on stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 
 	"mpcdvfs"
+	"mpcdvfs/internal/cli"
+	"mpcdvfs/internal/obs"
 	"mpcdvfs/internal/predict"
 	"mpcdvfs/internal/trace"
 )
@@ -31,8 +39,16 @@ func main() {
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	verbose := flag.Bool("v", false, "print per-kernel decisions")
 	traceOut := flag.String("trace", "", "write the last run's per-kernel trace to this file (.csv or .json)")
+	traceJSONL := flag.String("trace-out", "", "stream every run's per-kernel records as JSONL to this file")
 	powerOut := flag.String("powertrace", "", "write the last run's 1ms power-controller samples to this CSV file")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /health and /debug/pprof on this address while running")
+	logLevel := flag.String("log-level", "info", "log level: debug | info | warn | error")
 	flag.Parse()
+
+	if err := cli.InitLogging(*logLevel); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, a := range mpcdvfs.Benchmarks() {
@@ -43,15 +59,18 @@ func main() {
 
 	app, err := mpcdvfs.BenchmarkByName(*appName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fatal(err)
 	}
 
 	sys := mpcdvfs.NewSystem()
+	if *metricsAddr != "" {
+		reg := mpcdvfs.NewMetricsRegistry()
+		sys.SetObserver(mpcdvfs.MultiObserver(mpcdvfs.NewMetricsObserver(reg), obs.NewSlog(nil)))
+		defer cli.ServeMetrics(*metricsAddr, reg).Close()
+	}
 	base, target, err := sys.Baseline(&app)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
 
 	var model mpcdvfs.Model
@@ -61,21 +80,18 @@ func main() {
 	case *modelPath != "":
 		mf, err := os.Open(*modelPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
 		model, err = predict.LoadModel(mf)
 		mf.Close()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "training Random Forest predictor (use -oracle or -model to skip)...")
+		slog.Info("training Random Forest predictor (use -oracle or -model to skip)", "seed", *seed)
 		model, err = mpcdvfs.TrainRandomForest(mpcdvfs.DefaultTrainOptions(*seed))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
 	}
 
@@ -92,14 +108,13 @@ func main() {
 	case "mpc-full":
 		pol = sys.NewMPC(model, mpcdvfs.WithFullHorizon())
 	default:
-		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *polName)
+		slog.Error("unknown policy", "policy", *polName)
 		os.Exit(2)
 	}
 
 	results, err := sys.RunRepeated(&app, pol, target, *runs)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
 
 	fmt.Printf("app %s, policy %s, target throughput %.3g insts/ms\n",
@@ -122,11 +137,27 @@ func main() {
 		}
 	}
 
+	if *traceJSONL != "" {
+		f, err := os.Create(*traceJSONL)
+		if err != nil {
+			fatal(err)
+		}
+		for _, res := range results {
+			if err := trace.WriteJSONL(f, res); err != nil {
+				f.Close()
+				fatal(err)
+			}
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		slog.Info("JSONL trace written", "path", *traceJSONL, "runs", len(results))
+	}
+
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
 		defer f.Close()
 		last := results[len(results)-1]
@@ -136,28 +167,29 @@ func main() {
 			err = trace.WriteCSV(f, last)
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
-		fmt.Printf("\ntrace written to %s\n", *traceOut)
+		slog.Info("trace written", "path", *traceOut)
 	}
 
 	if *powerOut != "" {
 		samples, err := trace.PowerTrace(results[len(results)-1], sys.CostModel(), trace.DefaultSampleMS)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
 		f, err := os.Create(*powerOut)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
 		defer f.Close()
 		if err := trace.WritePowerCSV(f, samples); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
-		fmt.Printf("power trace written to %s\n", *powerOut)
+		slog.Info("power trace written", "path", *powerOut)
 	}
+}
+
+func fatal(err error) {
+	slog.Error(err.Error())
+	os.Exit(1)
 }

@@ -12,8 +12,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
+	"mpcdvfs/internal/cli"
 	"mpcdvfs/internal/hw"
 	"mpcdvfs/internal/predict"
 	"mpcdvfs/internal/workload"
@@ -24,16 +26,22 @@ func main() {
 	kernels := flag.Int("kernels", 150, "synthetic training kernels")
 	seed := flag.Int64("seed", 20170204, "training seed")
 	noise := flag.Float64("noise", 0.08, "measurement noise fraction on training targets")
+	logLevel := flag.String("log-level", "info", "log level: debug | info | warn | error")
 	flag.Parse()
+
+	if err := cli.InitLogging(*logLevel); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	opt := predict.DefaultTrainOptions(*seed)
 	opt.NumKernels = *kernels
 	opt.NoiseFrac = *noise
 
-	fmt.Fprintf(os.Stderr, "training on %d kernels x %d configurations...\n", opt.NumKernels, opt.Space.Size())
+	slog.Info("training", "kernels", opt.NumKernels, "configurations", opt.Space.Size())
 	model, err := predict.TrainRandomForest(opt)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		slog.Error(err.Error())
 		os.Exit(1)
 	}
 
@@ -54,13 +62,13 @@ func main() {
 
 	f, err := os.Create(*out)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		slog.Error(err.Error())
 		os.Exit(1)
 	}
 	defer f.Close()
 	if err := predict.SaveModel(f, model); err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		slog.Error(err.Error())
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "model written to %s\n", *out)
+	slog.Info("model written", "path", *out)
 }

@@ -1,0 +1,78 @@
+// Package cli holds the pieces every command-line tool of the repo
+// shares: structured-logging setup (-log-level) and the observability
+// HTTP surface (-metrics-addr) exposing /metrics, /health and
+// net/http/pprof.
+package cli
+
+import (
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"strings"
+
+	"mpcdvfs/internal/metrics"
+)
+
+// ParseLogLevel maps a -log-level flag value to a slog level.
+func ParseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// InitLogging installs a text slog handler on stderr at the given level
+// as the default logger. Commands keep their data output (tables,
+// reports) on stdout; diagnostics go through slog.
+func InitLogging(level string) error {
+	l, err := ParseLogLevel(level)
+	if err != nil {
+		return err
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: l})))
+	return nil
+}
+
+// NewObsMux returns the standard observability mux:
+//
+//	/metrics       Prometheus text exposition of reg
+//	/health        liveness probe (200 "ok")
+//	/debug/pprof/  net/http/pprof profiles
+func NewObsMux(reg *metrics.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/health", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeMetrics starts the observability server on addr in a background
+// goroutine and returns it (shut it down with Close/Shutdown). Listen
+// errors after startup are logged, not fatal: a batch run should not die
+// because its scrape endpoint vanished.
+func ServeMetrics(addr string, reg *metrics.Registry) *http.Server {
+	srv := &http.Server{Addr: addr, Handler: NewObsMux(reg)}
+	go func() {
+		slog.Info("serving observability endpoint", "addr", addr)
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			slog.Error("metrics server failed", "addr", addr, "err", err)
+		}
+	}()
+	return srv
+}

@@ -1,0 +1,160 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TextContentType is the Content-Type of the Prometheus text exposition
+// format this package writes.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText renders every family in the Prometheus text exposition
+// format, families sorted by name and children sorted by label values,
+// so output is deterministic for a given registry state.
+func (r *Registry) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.RUnlock()
+	for _, f := range fams {
+		if err := f.writeText(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler returns an http.Handler serving the registry in text
+// exposition format — mount it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", TextContentType)
+		_ = r.WriteText(w)
+	})
+}
+
+func (f *family) writeText(w *bufio.Writer) error {
+	f.mu.RLock()
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	// Snapshot children and label values under the lock; atomic reads of
+	// the values themselves happen after.
+	type snap struct {
+		lvs []string
+		c   child
+	}
+	snaps := make([]snap, len(keys))
+	for i, k := range keys {
+		snaps[i] = snap{f.labelSet[k], f.children[k]}
+	}
+	f.mu.RUnlock()
+
+	if f.help != "" {
+		w.WriteString("# HELP ")
+		w.WriteString(f.name)
+		w.WriteByte(' ')
+		w.WriteString(escapeHelp(f.help))
+		w.WriteByte('\n')
+	}
+	w.WriteString("# TYPE ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(f.kind.String())
+	w.WriteByte('\n')
+
+	for _, s := range snaps {
+		switch c := s.c.(type) {
+		case *Counter:
+			writeSample(w, f.name, "", f.labels, s.lvs, "", "", c.Value())
+		case *Gauge:
+			writeSample(w, f.name, "", f.labels, s.lvs, "", "", c.Value())
+		case *Histogram:
+			cum := uint64(0)
+			for i, ub := range c.upper {
+				cum += c.counts[i].Load()
+				writeSample(w, f.name, "_bucket", f.labels, s.lvs, "le", formatLe(ub), float64(cum))
+			}
+			cum += c.counts[len(c.upper)].Load()
+			writeSample(w, f.name, "_bucket", f.labels, s.lvs, "le", "+Inf", float64(cum))
+			writeSample(w, f.name, "_sum", f.labels, s.lvs, "", "", c.Sum())
+			writeSample(w, f.name, "_count", f.labels, s.lvs, "", "", float64(c.Count()))
+		}
+	}
+	return nil
+}
+
+// writeSample emits one exposition line:
+// name[suffix]{labels...,extraName="extraValue"} value
+func writeSample(w *bufio.Writer, name, suffix string, labels, values []string, extraName, extraValue string, v float64) {
+	w.WriteString(name)
+	w.WriteString(suffix)
+	if len(labels) > 0 || extraName != "" {
+		w.WriteByte('{')
+		first := true
+		for i, l := range labels {
+			if !first {
+				w.WriteByte(',')
+			}
+			first = false
+			w.WriteString(l)
+			w.WriteString(`="`)
+			w.WriteString(escapeLabel(values[i]))
+			w.WriteByte('"')
+		}
+		if extraName != "" {
+			if !first {
+				w.WriteByte(',')
+			}
+			w.WriteString(extraName)
+			w.WriteString(`="`)
+			w.WriteString(extraValue)
+			w.WriteByte('"')
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(formatValue(v))
+	w.WriteByte('\n')
+}
+
+// formatValue renders a sample value; the exposition format spells
+// infinities +Inf/-Inf and NaN NaN.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// formatLe renders a bucket bound for the le label.
+func formatLe(v float64) string { return formatValue(v) }
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }

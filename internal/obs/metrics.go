@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"mpcdvfs/internal/metrics"
+)
+
+// Metric names exported by the Metrics observer. README's Observability
+// section documents the full schema.
+const (
+	MetricDecisions      = "mpcdvfs_decisions_total"
+	MetricEvals          = "mpcdvfs_predictor_evals_total"
+	MetricKernels        = "mpcdvfs_kernels_total"
+	MetricKnobChanges    = "mpcdvfs_knob_changes_total"
+	MetricFallbacks      = "mpcdvfs_fallbacks_total"
+	MetricHorizonLength  = "mpcdvfs_horizon_length"
+	MetricHorizonChanges = "mpcdvfs_horizon_changes_total"
+	MetricPredictionErr  = "mpcdvfs_prediction_error"
+	MetricOverheadMS     = "mpcdvfs_decision_overhead_ms"
+	MetricKernelTimeMS   = "mpcdvfs_kernel_time_ms"
+	MetricEnergyMJ       = "mpcdvfs_energy_millijoules_total"
+	MetricDieTempC       = "mpcdvfs_die_temp_celsius"
+)
+
+// Energy domain label values of MetricEnergyMJ.
+const (
+	EnergyDomainGPU      = "gpu"
+	EnergyDomainCPU      = "cpu"
+	EnergyDomainOverhead = "overhead"
+	EnergyDomainCPUPhase = "cpu_phase"
+)
+
+// Metrics is an Observer that aggregates events into a metrics.Registry
+// for Prometheus-style scraping. It is safe for concurrent use (the
+// registry's hot path is atomic).
+type Metrics struct {
+	decisions      *metrics.CounterVec   // {policy,app}
+	evals          *metrics.CounterVec   // {policy,app}
+	kernels        *metrics.CounterVec   // {policy,app}
+	knobChanges    *metrics.CounterVec   // {policy,app}
+	fallbacks      *metrics.CounterVec   // {policy,app,reason}
+	horizonLen     *metrics.GaugeVec     // {policy,app}
+	horizonChanges *metrics.CounterVec   // {policy,app}
+	predErr        *metrics.HistogramVec // {policy,app,domain}
+	overheadMS     *metrics.HistogramVec // {policy,app}
+	kernelTimeMS   *metrics.HistogramVec // {policy,app}
+	energyMJ       *metrics.CounterVec   // {policy,app,domain}
+	dieTempC       *metrics.GaugeVec     // {policy,app}
+}
+
+// NewMetrics registers the runtime's metric families on r and returns
+// the recording observer. Several observers may share one registry; the
+// families are registered idempotently.
+func NewMetrics(r *metrics.Registry) *Metrics {
+	return &Metrics{
+		decisions: r.Counter(MetricDecisions,
+			"Configuration decisions made by a power-management policy.",
+			"policy", "app"),
+		evals: r.Counter(MetricEvals,
+			"Predictor evaluations spent by decisions.",
+			"policy", "app"),
+		kernels: r.Counter(MetricKernels,
+			"Kernel invocations executed.",
+			"policy", "app"),
+		knobChanges: r.Counter(MetricKnobChanges,
+			"DVFS/CU knob reconfigurations between consecutive kernels.",
+			"policy", "app"),
+		fallbacks: r.Counter(MetricFallbacks,
+			"Decisions that took a degraded path instead of the policy's steady-state behaviour.",
+			"policy", "app", "reason"),
+		horizonLen: r.Gauge(MetricHorizonLength,
+			"Most recent adaptive prediction-horizon length (kernels).",
+			"policy", "app"),
+		horizonChanges: r.Counter(MetricHorizonChanges,
+			"Adaptive-horizon length changes.",
+			"policy", "app"),
+		predErr: r.Histogram(MetricPredictionErr,
+			"Relative predicted-vs-measured error per kernel, by domain (time or power).",
+			[]float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1, 2},
+			"policy", "app", "domain"),
+		overheadMS: r.Histogram(MetricOverheadMS,
+			"Optimizer wall time charged per decision after CPU-phase hiding (ms).",
+			[]float64{0.001, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 50},
+			"policy", "app"),
+		kernelTimeMS: r.Histogram(MetricKernelTimeMS,
+			"Kernel execution time (ms).",
+			[]float64{0.1, 0.5, 1, 5, 10, 50, 100, 500},
+			"policy", "app"),
+		energyMJ: r.Counter(MetricEnergyMJ,
+			"Energy consumed, by domain (gpu, cpu, overhead, cpu_phase), in millijoules.",
+			"policy", "app", "domain"),
+		dieTempC: r.Gauge(MetricDieTempC,
+			"Die temperature after the most recent kernel (0 when the thermal path is disabled).",
+			"policy", "app"),
+	}
+}
+
+// OnDecision implements Observer.
+func (m *Metrics) OnDecision(e DecisionEvent) {
+	m.decisions.With(e.Policy, e.App).Inc()
+	if e.Evals > 0 {
+		m.evals.With(e.Policy, e.App).Add(float64(e.Evals))
+	}
+	if e.KnobChanges > 0 {
+		m.knobChanges.With(e.Policy, e.App).Add(float64(e.KnobChanges))
+	}
+	m.overheadMS.With(e.Policy, e.App).Observe(e.OverheadMS)
+}
+
+// OnKernelDone implements Observer.
+func (m *Metrics) OnKernelDone(e KernelEvent) {
+	m.kernels.With(e.Policy, e.App).Inc()
+	m.kernelTimeMS.With(e.Policy, e.App).Observe(e.TimeMS)
+	m.energyMJ.With(e.Policy, e.App, EnergyDomainGPU).Add(e.GPUEnergyMJ)
+	m.energyMJ.With(e.Policy, e.App, EnergyDomainCPU).Add(e.CPUEnergyMJ)
+	m.energyMJ.With(e.Policy, e.App, EnergyDomainOverhead).Add(e.OverheadEnergyMJ)
+	m.energyMJ.With(e.Policy, e.App, EnergyDomainCPUPhase).Add(e.CPUPhaseEnergyMJ)
+	m.dieTempC.With(e.Policy, e.App).Set(e.TempC)
+}
+
+// OnHorizonChange implements Observer.
+func (m *Metrics) OnHorizonChange(e HorizonEvent) {
+	m.horizonLen.With(e.Policy, e.App).Set(float64(e.Horizon))
+	m.horizonChanges.With(e.Policy, e.App).Inc()
+}
+
+// OnModelError implements Observer.
+func (m *Metrics) OnModelError(e ModelErrorEvent) {
+	m.predErr.With(e.Policy, e.App, "time").Observe(e.TimeError())
+	m.predErr.With(e.Policy, e.App, "power").Observe(e.PowerError())
+}
+
+// OnFallback implements Observer.
+func (m *Metrics) OnFallback(e FallbackEvent) {
+	m.fallbacks.With(e.Policy, e.App, e.Reason).Inc()
+}

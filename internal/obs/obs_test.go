@@ -1,0 +1,196 @@
+package obs_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mpcdvfs/internal/hw"
+	"mpcdvfs/internal/metrics"
+	"mpcdvfs/internal/obs"
+	"mpcdvfs/internal/policy"
+	"mpcdvfs/internal/predict"
+	"mpcdvfs/internal/sim"
+	"mpcdvfs/internal/workload"
+)
+
+// newInstrumentedRun executes Spmv under MPC (profiling + steady run)
+// with the given observer attached and returns the engine results.
+func newInstrumentedRun(t *testing.T, o obs.Observer) {
+	t.Helper()
+	app, err := workload.ByName("Spmv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(hw.DefaultSpace())
+	eng.Obs = o
+	_, target, err := eng.Baseline(&app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := predict.NewOracle()
+	for _, k := range app.Kernels {
+		oracle.Register(k)
+	}
+	m := policy.NewMPC(oracle, hw.DefaultSpace())
+	if _, err := eng.RunRepeated(&app, m, target, 2); err != nil {
+		t.Fatal(err)
+	}
+	p := policy.NewPPK(oracle, hw.DefaultSpace())
+	if _, err := eng.Run(&app, p, target, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMetricsObserverEndToEnd runs real policies under an instrumented
+// engine and checks that the issue's headline metrics come out of the
+// exposition populated.
+func TestMetricsObserverEndToEnd(t *testing.T) {
+	reg := metrics.New()
+	newInstrumentedRun(t, obs.NewMetrics(reg))
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		`mpcdvfs_decisions_total{policy="mpc",app="Spmv"}`,
+		`mpcdvfs_decisions_total{policy="ppk",app="Spmv"}`,
+		`mpcdvfs_decisions_total{policy="turbo-core",app="Spmv"}`,
+		`mpcdvfs_kernels_total{policy="mpc",app="Spmv"}`,
+		`mpcdvfs_horizon_length{policy="mpc",app="Spmv"}`,
+		`mpcdvfs_prediction_error_bucket{policy="mpc",app="Spmv",domain="time",le="0.01"}`,
+		`mpcdvfs_prediction_error_count{policy="ppk",app="Spmv",domain="power"}`,
+		`mpcdvfs_fallbacks_total{policy="mpc",app="Spmv",reason="profiling"}`,
+		`mpcdvfs_energy_millijoules_total{policy="mpc",app="Spmv",domain="gpu"}`,
+		`mpcdvfs_decision_overhead_ms_count{policy="mpc",app="Spmv"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// Spmv has 30 kernels: 2 MPC runs and 1 Turbo Core baseline give 60
+	// and 30 decisions respectively (the second baseline call for PPK's
+	// target also runs turbo-core — 60 total there).
+	if got := sampleValue(t, out, `mpcdvfs_decisions_total{policy="mpc",app="Spmv"}`); got != 60 {
+		t.Errorf("mpc decisions = %v, want 60", got)
+	}
+	if got := sampleValue(t, out, `mpcdvfs_kernels_total{policy="ppk",app="Spmv"}`); got != 30 {
+		t.Errorf("ppk kernels = %v, want 30", got)
+	}
+}
+
+// sampleValue reads one sample back through the public text surface,
+// which doubles as a format check.
+func sampleValue(t *testing.T, exposition, sample string) float64 {
+	t.Helper()
+	sc := bufio.NewScanner(strings.NewReader(exposition))
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), sample+" ") {
+			v, err := strconv.ParseFloat(strings.TrimPrefix(sc.Text(), sample+" "), 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("sample %q not found", sample)
+	return 0
+}
+
+// TestJSONLWriterStream checks every event type appears in the stream
+// and each line parses as JSON with exactly one payload.
+func TestJSONLWriterStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := obs.NewJSONLWriter(&buf)
+	newInstrumentedRun(t, w)
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	types := map[string]int{}
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var env map[string]json.RawMessage
+		if err := json.Unmarshal(sc.Bytes(), &env); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		var typ string
+		if err := json.Unmarshal(env["type"], &typ); err != nil {
+			t.Fatal(err)
+		}
+		types[typ]++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, typ := range []string{
+		obs.EventDecision, obs.EventKernelDone, obs.EventHorizonChange,
+		obs.EventModelError, obs.EventFallback,
+	} {
+		if types[typ] == 0 {
+			t.Errorf("no %q events in stream (got %v)", typ, types)
+		}
+	}
+	// 120 decisions -> 120 decision and 120 kernel events.
+	if types[obs.EventDecision] != 120 || types[obs.EventKernelDone] != 120 {
+		t.Errorf("decision/kernel counts = %d/%d, want 120/120",
+			types[obs.EventDecision], types[obs.EventKernelDone])
+	}
+}
+
+// TestNopAndMulti pins the Enabled contract and Multi composition.
+func TestNopAndMulti(t *testing.T) {
+	if obs.Enabled(nil) || obs.Enabled(obs.Nop{}) {
+		t.Error("nil/Nop must be disabled")
+	}
+	reg := metrics.New()
+	m := obs.NewMetrics(reg)
+	if !obs.Enabled(m) {
+		t.Error("Metrics observer must be enabled")
+	}
+	if _, ok := obs.Multi(nil, obs.Nop{}).(obs.Nop); !ok {
+		t.Error("Multi of disabled observers must collapse to Nop")
+	}
+	if obs.Multi(m, nil) != obs.Observer(m) {
+		t.Error("Multi of one observer must return it unchanged")
+	}
+	var buf bytes.Buffer
+	combo := obs.Multi(m, obs.NewJSONLWriter(&buf))
+	combo.OnFallback(obs.FallbackEvent{Policy: "p", App: "a", Reason: obs.FallbackColdStart})
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `mpcdvfs_fallbacks_total{policy="p",app="a",reason="cold-start"} 1`) {
+		t.Error("Multi did not fan out to metrics observer")
+	}
+	if !strings.Contains(buf.String(), `"reason":"cold-start"`) {
+		t.Error("Multi did not fan out to JSONL writer")
+	}
+}
+
+// TestModelErrorValues checks the relative-error helpers.
+func TestModelErrorValues(t *testing.T) {
+	e := obs.ModelErrorEvent{
+		PredictedTimeMS: 12, MeasuredTimeMS: 10,
+		PredictedPowerW: 9, MeasuredPowerW: 10,
+	}
+	if got := e.TimeError(); got < 0.199 || got > 0.201 {
+		t.Errorf("TimeError = %v, want 0.2", got)
+	}
+	if got := e.PowerError(); got < 0.099 || got > 0.101 {
+		t.Errorf("PowerError = %v, want 0.1", got)
+	}
+	zero := obs.ModelErrorEvent{PredictedTimeMS: 5}
+	if zero.TimeError() != 0 {
+		t.Error("zero measurement must yield zero error, not Inf")
+	}
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// Event type tags of the JSONL stream.
+const (
+	EventDecision      = "decision"
+	EventKernelDone    = "kernel"
+	EventHorizonChange = "horizon"
+	EventModelError    = "model_error"
+	EventFallback      = "fallback"
+)
+
+// jsonlEnvelope is one line of the event stream: a type tag, a wall-clock
+// timestamp, and exactly one populated payload field.
+type jsonlEnvelope struct {
+	Type       string           `json:"type"`
+	TS         time.Time        `json:"ts"`
+	Decision   *DecisionEvent   `json:"decision,omitempty"`
+	Kernel     *KernelEvent     `json:"kernel,omitempty"`
+	Horizon    *HorizonEvent    `json:"horizon,omitempty"`
+	ModelError *ModelErrorEvent `json:"model_error,omitempty"`
+	Fallback   *FallbackEvent   `json:"fallback,omitempty"`
+}
+
+// JSONLWriter is an Observer that streams every event as one JSON line,
+// so long runs can be tailed live (tail -f | jq) instead of waiting for
+// a buffered post-hoc dump. It is safe for concurrent use; the first
+// write error is retained and surfaced by Err, and later events are
+// dropped.
+type JSONLWriter struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLWriter returns a streaming event writer over w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{enc: json.NewEncoder(w)}
+}
+
+// Err returns the first write error encountered, if any.
+func (j *JSONLWriter) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+func (j *JSONLWriter) emit(env jsonlEnvelope) {
+	env.TS = time.Now().UTC()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	j.err = j.enc.Encode(env)
+}
+
+// OnDecision implements Observer.
+func (j *JSONLWriter) OnDecision(e DecisionEvent) {
+	j.emit(jsonlEnvelope{Type: EventDecision, Decision: &e})
+}
+
+// OnKernelDone implements Observer.
+func (j *JSONLWriter) OnKernelDone(e KernelEvent) {
+	j.emit(jsonlEnvelope{Type: EventKernelDone, Kernel: &e})
+}
+
+// OnHorizonChange implements Observer.
+func (j *JSONLWriter) OnHorizonChange(e HorizonEvent) {
+	j.emit(jsonlEnvelope{Type: EventHorizonChange, Horizon: &e})
+}
+
+// OnModelError implements Observer.
+func (j *JSONLWriter) OnModelError(e ModelErrorEvent) {
+	j.emit(jsonlEnvelope{Type: EventModelError, ModelError: &e})
+}
+
+// OnFallback implements Observer.
+func (j *JSONLWriter) OnFallback(e FallbackEvent) {
+	j.emit(jsonlEnvelope{Type: EventFallback, Fallback: &e})
+}
+
+// Slog is an Observer that logs every event through a structured logger.
+// Decisions, kernel completions and model errors log at Debug (they are
+// per-kernel volume); horizon changes and fallbacks log at Info — they
+// are the rarer, decision-relevant signals.
+type Slog struct {
+	l *slog.Logger
+}
+
+// NewSlog returns a logging observer over l (slog.Default() when nil).
+func NewSlog(l *slog.Logger) *Slog {
+	if l == nil {
+		l = slog.Default()
+	}
+	return &Slog{l: l}
+}
+
+// OnDecision implements Observer.
+func (s *Slog) OnDecision(e DecisionEvent) {
+	s.l.Debug("decision",
+		"policy", e.Policy, "app", e.App, "index", e.Index,
+		"config", e.Config.String(), "evals", e.Evals,
+		"horizon", e.Horizon, "overhead_ms", e.OverheadMS)
+}
+
+// OnKernelDone implements Observer.
+func (s *Slog) OnKernelDone(e KernelEvent) {
+	s.l.Debug("kernel done",
+		"policy", e.Policy, "app", e.App, "index", e.Index,
+		"kernel", e.Kernel, "time_ms", e.TimeMS,
+		"gpu_energy_mj", e.GPUEnergyMJ, "cpu_energy_mj", e.CPUEnergyMJ)
+}
+
+// OnHorizonChange implements Observer.
+func (s *Slog) OnHorizonChange(e HorizonEvent) {
+	s.l.Info("horizon change",
+		"policy", e.Policy, "app", e.App, "index", e.Index,
+		"horizon", e.Horizon, "prev", e.Prev, "full", e.Full)
+}
+
+// OnModelError implements Observer.
+func (s *Slog) OnModelError(e ModelErrorEvent) {
+	s.l.Debug("model error",
+		"policy", e.Policy, "app", e.App, "index", e.Index,
+		"time_error", e.TimeError(), "power_error", e.PowerError())
+}
+
+// OnFallback implements Observer.
+func (s *Slog) OnFallback(e FallbackEvent) {
+	s.l.Info("fallback",
+		"policy", e.Policy, "app", e.App, "index", e.Index,
+		"reason", e.Reason)
+}

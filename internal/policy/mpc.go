@@ -5,6 +5,7 @@ import (
 
 	"mpcdvfs/internal/core"
 	"mpcdvfs/internal/hw"
+	"mpcdvfs/internal/obs"
 	"mpcdvfs/internal/pattern"
 	"mpcdvfs/internal/predict"
 	"mpcdvfs/internal/sim"
@@ -34,6 +35,11 @@ type MPC struct {
 
 	ext *pattern.Extractor
 
+	// obsv receives the policy's own events (horizon changes, model
+	// errors); the engine threads its observer in via SetObserver. Never
+	// nil — obs.Nop when observability is disabled.
+	obsv obs.Observer
+
 	// Cross-run state.
 	appName       string
 	profile       core.Profile
@@ -58,6 +64,10 @@ type MPC struct {
 	elapsedMS float64
 	last      sim.Observation
 	haveObs   bool
+	// lastHorizon is the previous decision's horizon length, for
+	// OnHorizonChange edge detection (-1 before the first MPC decision
+	// of a run).
+	lastHorizon int
 
 	// Horizon statistics for Fig. 15.
 	horizonSum float64
@@ -97,11 +107,22 @@ func NewMPC(model predict.Model, space hw.Space, opts ...MPCOption) *MPC {
 		space: space,
 		alpha: core.DefaultAlpha,
 		ext:   pattern.New(),
+		obsv:  obs.Nop{},
 	}
 	for _, o := range opts {
 		o(m)
 	}
 	return m
+}
+
+// SetObserver implements obs.Instrumentable: the engine threads its
+// observer in before every run so MPC can report horizon changes and
+// prediction errors.
+func (m *MPC) SetObserver(o obs.Observer) {
+	if o == nil {
+		o = obs.Nop{}
+	}
+	m.obsv = o
 }
 
 // Name implements sim.Policy.
@@ -124,6 +145,7 @@ func (m *MPC) Begin(info sim.RunInfo) {
 	m.n = info.NumKernels
 	m.elapsedMS = 0
 	m.haveObs = false
+	m.lastHorizon = -1
 
 	m.profiling = info.FirstRun || len(m.profile.Insts) != m.n
 	m.suffixDeficit = nil
@@ -152,7 +174,14 @@ func (m *MPC) Profiling() bool { return m.profiling }
 // Decide implements sim.Policy.
 func (m *MPC) Decide(i int) sim.Decision {
 	if m.profiling {
-		return m.decidePPK()
+		d := m.decidePPK()
+		// The profiling run is the §V-B PPK fallback while the pattern
+		// extractor learns; record it as such (the cold-start reason of
+		// the very first kernel takes precedence).
+		if d.Fallback == "" {
+			d.Fallback = obs.FallbackProfiling
+		}
+		return d
 	}
 	return m.decideMPC(i)
 }
@@ -161,11 +190,11 @@ func (m *MPC) Decide(i int) sim.Decision {
 // learns the pattern (§V-B).
 func (m *MPC) decidePPK() sim.Decision {
 	if !m.haveObs {
-		return sim.Decision{Config: m.opt.FailSafe(), Evals: 0}
+		return sim.Decision{Config: m.opt.FailSafe(), Evals: 0, Fallback: obs.FallbackColdStart}
 	}
 	head := m.tracker.HeadroomMS(m.last.Insts)
 	res := m.opt.ExhaustiveSearch(m.last.Counters, head)
-	return sim.Decision{Config: res.Config, Evals: res.Evals}
+	return sim.Decision{Config: res.Config, Evals: res.Evals, SearchIters: 1}
 }
 
 // decideMPC is the steady-state behaviour: adaptive horizon, windowed
@@ -182,9 +211,16 @@ func (m *MPC) decideMPC(i int) sim.Decision {
 	}
 	m.horizonSum += float64(h)
 	m.horizonCnt++
+	if h != m.lastHorizon && obs.Enabled(m.obsv) {
+		m.obsv.OnHorizonChange(obs.HorizonEvent{
+			Policy: m.Name(), App: m.appName, Index: i,
+			Horizon: h, Prev: m.lastHorizon, Full: m.n,
+		})
+	}
+	m.lastHorizon = h
 	if h <= 0 {
 		// Cannot afford any optimization: guard with the fail-safe.
-		return sim.Decision{Config: m.opt.FailSafe(), Evals: extraEvals}
+		return sim.Decision{Config: m.opt.FailSafe(), Evals: extraEvals, Fallback: obs.FallbackZeroHorizon}
 	}
 
 	var win []core.WindowKernel
@@ -210,6 +246,8 @@ func (m *MPC) decideMPC(i int) sim.Decision {
 		// recorded sequence): fall back to history-based behaviour.
 		d := m.decidePPK()
 		d.Evals += extraEvals
+		d.Horizon = h
+		d.Fallback = obs.FallbackPatternDivergence
 		return d
 	}
 
@@ -221,7 +259,7 @@ func (m *MPC) decideMPC(i int) sim.Decision {
 		tr.Add(0, res)
 	}
 	cfg, _, evals := m.opt.OptimizeWindow(win, tr)
-	return sim.Decision{Config: cfg, Evals: evals + extraEvals}
+	return sim.Decision{Config: cfg, Evals: evals + extraEvals, SearchIters: len(win), Horizon: h}
 }
 
 // computeDeficits fills suffixDeficit from the pattern extractor's
@@ -263,17 +301,18 @@ func (m *MPC) reservedBeyond(end int) float64 {
 }
 
 // Observe implements sim.Policy.
-func (m *MPC) Observe(obs sim.Observation) {
-	m.tracker.Add(obs.Insts, obs.TimeMS)
-	m.ext.Observe(record(obs))
-	m.calib.Feedback(obs.Counters, obs.Config, obs.TimeMS, obs.GPUPowerW)
-	m.elapsedMS += obs.TimeMS + obs.OverheadMS
+func (m *MPC) Observe(o sim.Observation) {
+	m.tracker.Add(o.Insts, o.TimeMS)
+	m.ext.Observe(record(o))
+	emitModelError(m.obsv, m.calib, m.Name(), m.appName, o)
+	m.calib.Feedback(o.Counters, o.Config, o.TimeMS, o.GPUPowerW)
+	m.elapsedMS += o.TimeMS + o.OverheadMS
 	if m.profiling {
-		m.profile.Insts = append(m.profile.Insts, obs.Insts)
-		m.profile.TimeMS = append(m.profile.TimeMS, obs.TimeMS)
-		m.ppkOverheadMS += obs.OverheadMS
+		m.profile.Insts = append(m.profile.Insts, o.Insts)
+		m.profile.TimeMS = append(m.profile.TimeMS, o.TimeMS)
+		m.ppkOverheadMS += o.OverheadMS
 	}
-	m.last = obs
+	m.last = o
 	m.haveObs = true
 }
 

@@ -10,6 +10,7 @@ import (
 	"mpcdvfs/internal/core"
 	"mpcdvfs/internal/counters"
 	"mpcdvfs/internal/hw"
+	"mpcdvfs/internal/obs"
 	"mpcdvfs/internal/predict"
 	"mpcdvfs/internal/sim"
 )
@@ -26,6 +27,8 @@ type PPK struct {
 	tracker *core.Tracker
 	space   hw.Space
 
+	appName string
+	obsv    obs.Observer
 	last    sim.Observation
 	haveObs bool
 }
@@ -35,14 +38,24 @@ type PPK struct {
 // (predict.Calibrated), as in the feedback-driven schemes PPK stands for.
 func NewPPK(m predict.Model, space hw.Space) *PPK {
 	c := predict.NewCalibrated(m)
-	return &PPK{opt: core.NewOptimizer(c, space), calib: c, space: space}
+	return &PPK{opt: core.NewOptimizer(c, space), calib: c, space: space, obsv: obs.Nop{}}
 }
 
 // Name implements sim.Policy.
 func (p *PPK) Name() string { return "ppk" }
 
+// SetObserver implements obs.Instrumentable: PPK reports per-kernel
+// prediction errors when an observer is attached.
+func (p *PPK) SetObserver(o obs.Observer) {
+	if o == nil {
+		o = obs.Nop{}
+	}
+	p.obsv = o
+}
+
 // Begin implements sim.Policy.
 func (p *PPK) Begin(info sim.RunInfo) {
+	p.appName = info.AppName
 	p.tracker = core.NewTracker(info.Target.Throughput())
 	p.haveObs = false
 }
@@ -51,19 +64,41 @@ func (p *PPK) Begin(info sim.RunInfo) {
 // since no performance counters exist to predict it (§V-B).
 func (p *PPK) Decide(i int) sim.Decision {
 	if !p.haveObs {
-		return sim.Decision{Config: p.opt.FailSafe(), Evals: 0}
+		return sim.Decision{Config: p.opt.FailSafe(), Evals: 0, Fallback: obs.FallbackColdStart}
 	}
 	head := p.tracker.HeadroomMS(p.last.Insts)
 	res := p.opt.ExhaustiveSearch(p.last.Counters, head)
-	return sim.Decision{Config: res.Config, Evals: res.Evals}
+	return sim.Decision{Config: res.Config, Evals: res.Evals, SearchIters: 1}
 }
 
 // Observe implements sim.Policy.
-func (p *PPK) Observe(obs sim.Observation) {
-	p.tracker.Add(obs.Insts, obs.TimeMS)
-	p.calib.Feedback(obs.Counters, obs.Config, obs.TimeMS, obs.GPUPowerW)
-	p.last = obs
+func (p *PPK) Observe(o sim.Observation) {
+	p.tracker.Add(o.Insts, o.TimeMS)
+	emitModelError(p.obsv, p.calib, p.Name(), p.appName, o)
+	p.calib.Feedback(o.Counters, o.Config, o.TimeMS, o.GPUPowerW)
+	p.last = o
 	p.haveObs = true
+}
+
+// emitModelError reports the predicted-vs-measured outcome of an executed
+// kernel against the calibrated predictor's state before this
+// observation's feedback is applied — the error the Fig. 6 loop is about
+// to absorb. It costs one predictor evaluation, so it runs only when a
+// real observer is attached.
+func emitModelError(o obs.Observer, calib *predict.Calibrated, policy, app string, ob sim.Observation) {
+	if !obs.Enabled(o) {
+		return
+	}
+	est := calib.PredictKernel(ob.Counters, ob.Config)
+	o.OnModelError(obs.ModelErrorEvent{
+		Policy:          policy,
+		App:             app,
+		Index:           ob.Index,
+		PredictedTimeMS: est.TimeMS,
+		MeasuredTimeMS:  ob.TimeMS,
+		PredictedPowerW: est.GPUPowerW,
+		MeasuredPowerW:  ob.GPUPowerW,
+	})
 }
 
 // record converts an observation into the extractor's stored form.

@@ -15,6 +15,7 @@ import (
 	"mpcdvfs/internal/counters"
 	"mpcdvfs/internal/hw"
 	"mpcdvfs/internal/kernel"
+	"mpcdvfs/internal/obs"
 	"mpcdvfs/internal/thermal"
 	"mpcdvfs/internal/workload"
 )
@@ -85,6 +86,15 @@ type Target struct {
 }
 
 // Throughput returns Itotal/Ttotal in instructions per millisecond.
+//
+// A zero TotalTimeMS returns 0 rather than dividing by zero. Callers
+// must treat a zero target with care: policies given a zero throughput
+// target face no performance constraint at all and will sit at their
+// lowest-energy configuration. The engine's Baseline never produces one
+// for a valid app (Engine.Run rejects empty apps before they can yield a
+// zero-time baseline), so a zero here means either the deliberate
+// unconstrained Target{} (as used for baseline runs, where the policy
+// ignores the target) or a bug upstream.
 func (t Target) Throughput() float64 {
 	if t.TotalTimeMS == 0 {
 		return 0
@@ -110,6 +120,21 @@ type Decision struct {
 	// Evals is the number of predictor evaluations spent on this
 	// decision; the engine converts it to time and energy overhead.
 	Evals int
+
+	// The remaining fields are observability metadata: the engine folds
+	// them into the obs.DecisionEvent/obs.FallbackEvent it emits. They do
+	// not affect the simulation.
+
+	// SearchIters is the number of per-kernel configuration searches run
+	// (MPC window length, 1 for an exhaustive sweep, 0 for search-free
+	// decisions).
+	SearchIters int
+	// Horizon is the prediction-horizon length used (0 when the policy
+	// has no horizon concept or could not afford one).
+	Horizon int
+	// Fallback, when non-empty, names the degraded path this decision
+	// took (one of the obs.Fallback* reasons).
+	Fallback string
 }
 
 // Observation is the measured outcome of one kernel invocation, fed back
@@ -283,6 +308,12 @@ func (r *Result) Evals() int {
 type Engine struct {
 	Space hw.Space
 	Cost  CostModel
+	// Obs receives structured runtime events (decisions, kernel
+	// completions, fallbacks) and is threaded into policies that emit
+	// their own (horizon changes, model errors). Nil disables
+	// observability; the instrumented paths then cost one comparison per
+	// kernel.
+	Obs obs.Observer
 	// Thermal, when non-nil, simulates die temperature and thermal
 	// throttling: each kernel's execution is stretched by the current
 	// throttle factor and heats the die with its average power. The
@@ -300,9 +331,30 @@ func NewEngine(space hw.Space) *Engine {
 
 // Run executes app under policy p against the performance target. The
 // info.FirstRun flag is passed through to the policy.
+//
+// A nil or empty app is rejected with a descriptive error rather than
+// silently producing an empty result and a zero-throughput target
+// downstream (see Target.Throughput).
 func (e *Engine) Run(app *workload.App, p Policy, target Target, firstRun bool) (*Result, error) {
+	if app == nil {
+		return nil, fmt.Errorf("sim: Run called with nil app (policy %s)", p.Name())
+	}
+	if len(app.Kernels) == 0 {
+		return nil, fmt.Errorf("sim: app %q has no kernels to run under policy %s — an empty app would yield a zero performance target", app.Name, p.Name())
+	}
 	if err := app.Validate(); err != nil {
 		return nil, err
+	}
+	o := e.Obs
+	observed := obs.Enabled(o)
+	if in, ok := p.(obs.Instrumentable); ok {
+		// Always (re)set: a policy previously run under an instrumented
+		// engine must not keep streaming to the old observer.
+		if observed {
+			in.SetObserver(o)
+		} else {
+			in.SetObserver(obs.Nop{})
+		}
 	}
 	p.Begin(RunInfo{
 		AppName:    app.Name,
@@ -373,6 +425,42 @@ func (e *Engine) Run(app *workload.App, p Policy, target Target, firstRun bool) 
 			ThrottleFactor:   throttle,
 		}
 		res.Records = append(res.Records, rec)
+		if observed {
+			o.OnDecision(obs.DecisionEvent{
+				Policy:      res.Policy,
+				App:         app.Name,
+				Index:       i,
+				Config:      d.Config,
+				Evals:       d.Evals,
+				SearchIters: d.SearchIters,
+				Horizon:     d.Horizon,
+				OverheadMS:  ovMS,
+				KnobChanges: knobChanges,
+			})
+			if d.Fallback != "" {
+				o.OnFallback(obs.FallbackEvent{
+					Policy: res.Policy, App: app.Name, Index: i, Reason: d.Fallback,
+				})
+			}
+			o.OnKernelDone(obs.KernelEvent{
+				Policy:           res.Policy,
+				App:              app.Name,
+				Index:            i,
+				Kernel:           rec.Kernel,
+				Config:           rec.Config,
+				TimeMS:           rec.TimeMS,
+				OverheadMS:       rec.OverheadMS,
+				CPUPhaseMS:       rec.CPUPhaseMS,
+				Insts:            rec.Insts,
+				GPUEnergyMJ:      rec.GPUEnergyMJ,
+				CPUEnergyMJ:      rec.CPUEnergyMJ,
+				OverheadEnergyMJ: rec.OverheadEnergyMJ,
+				CPUPhaseEnergyMJ: rec.CPUPhaseEnergyMJ,
+				Evals:            rec.Evals,
+				TempC:            rec.TempC,
+				ThrottleFactor:   rec.ThrottleFactor,
+			})
+		}
 		p.Observe(Observation{
 			Index:      i,
 			Counters:   k.Counters(),

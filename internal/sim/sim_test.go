@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"mpcdvfs/internal/hw"
@@ -125,8 +126,42 @@ func TestRunRejectsConfigOutsideSpace(t *testing.T) {
 func TestRunRejectsInvalidApp(t *testing.T) {
 	e := NewEngine(hw.DefaultSpace())
 	bad := workload.App{Name: "empty"}
-	if _, err := e.Run(&bad, NewTurboCore(), Target{}, true); err == nil {
-		t.Error("empty app accepted")
+	_, err := e.Run(&bad, NewTurboCore(), Target{}, true)
+	if err == nil {
+		t.Fatal("empty app accepted")
+	}
+	if !strings.Contains(err.Error(), "empty") || !strings.Contains(err.Error(), "turbo-core") {
+		t.Errorf("empty-app error should name the app and policy, got: %v", err)
+	}
+	if _, err := e.Run(nil, NewTurboCore(), Target{}, true); err == nil {
+		t.Error("nil app accepted")
+	}
+	if _, _, err := e.Baseline(&bad); err == nil {
+		t.Error("Baseline accepted an empty app")
+	}
+	if _, err := e.RunRepeated(&bad, NewTurboCore(), Target{}, 2); err == nil {
+		t.Error("RunRepeated accepted an empty app")
+	}
+}
+
+// TestTargetThroughputZeroGuard pins the documented contract: a
+// zero-duration target (the value an empty baseline would produce)
+// reports zero throughput instead of dividing by zero, and real targets
+// report insts-per-ms. Policies rely on the guard to detect an unusable
+// target rather than chase NaN/Inf.
+func TestTargetThroughputZeroGuard(t *testing.T) {
+	if got := (Target{}).Throughput(); got != 0 {
+		t.Errorf("zero target throughput = %v, want 0", got)
+	}
+	if got := (Target{TotalInsts: 100}).Throughput(); got != 0 {
+		t.Errorf("zero-time target throughput = %v, want 0 (not +Inf)", got)
+	}
+	got := Target{TotalInsts: 100, TotalTimeMS: 4}.Throughput()
+	if got != 25 {
+		t.Errorf("throughput = %v, want 25 insts/ms", got)
+	}
+	if math.IsNaN((Target{TotalTimeMS: -1}).Throughput()) {
+		t.Error("negative-time target produced NaN")
 	}
 }
 

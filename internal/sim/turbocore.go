@@ -3,6 +3,7 @@ package sim
 import (
 	"mpcdvfs/internal/hw"
 	"mpcdvfs/internal/kernel"
+	"mpcdvfs/internal/obs"
 	"mpcdvfs/internal/workload"
 )
 
@@ -54,15 +55,18 @@ func (t *TurboCore) Decide(int) Decision {
 	// Reactive thermal guard: a hot die sheds CPU power first (the CPU
 	// only busy-waits during kernels), stepping down harder past the
 	// throttle point.
+	fallback := ""
 	switch {
 	case t.lastTempC > tcTempHotC:
 		cfg.CPU = hw.P7
+		fallback = obs.FallbackThermalGuard
 	case t.lastTempC > tcTempWarnC && cfg.CPU < hw.P5:
 		cfg.CPU = hw.P5
+		fallback = obs.FallbackThermalGuard
 	}
 	// Turbo Core is implemented in hardware/firmware; it costs no
 	// predictor evaluations.
-	return Decision{Config: cfg, Evals: 0}
+	return Decision{Config: cfg, Evals: 0, Fallback: fallback}
 }
 
 // Observe implements Policy.

@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mpcdvfs/internal/sim"
+)
+
+// JSONLLine is one line of the streaming trace format: run identity plus
+// a single kernel record. Unlike WriteJSON's buffered document, every
+// line is self-describing, so a long run can be tailed live
+// (tail -f trace.jsonl | jq) and several runs can share one file.
+type JSONLLine struct {
+	App    string           `json:"app"`
+	Policy string           `json:"policy"`
+	Record sim.KernelRecord `json:"record"`
+}
+
+// WriteJSONL appends one line per kernel record of res to w. Call it
+// once per run on a shared writer to stream consecutive runs into one
+// tailable file; ReadJSONL reassembles them.
+func WriteJSONL(w io.Writer, res *sim.Result) error {
+	enc := json.NewEncoder(w)
+	for _, rec := range res.Records {
+		if err := enc.Encode(JSONLLine{App: res.App, Policy: res.Policy, Record: rec}); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadJSONL decodes a stream written by WriteJSONL, grouping consecutive
+// lines with the same app and policy back into runs (in the exported
+// JSONRun form, summaries recomputed from the records). A kernel index
+// that does not increase starts a new run, so repeated invocations of
+// the same app under the same policy stay separate.
+func ReadJSONL(r io.Reader) ([]JSONRun, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var runs []JSONRun
+	var cur *sim.Result
+	lastIdx := -1
+	flush := func() {
+		if cur != nil {
+			runs = append(runs, FromResult(cur))
+			cur = nil
+		}
+	}
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var line JSONLLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return nil, fmt.Errorf("trace: bad JSONL line: %w", err)
+		}
+		if cur == nil || cur.App != line.App || cur.Policy != line.Policy || line.Record.Index <= lastIdx {
+			flush()
+			cur = &sim.Result{App: line.App, Policy: line.Policy}
+		}
+		lastIdx = line.Record.Index
+		cur.Records = append(cur.Records, line.Record)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	flush()
+	return runs, nil
+}

@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"mpcdvfs/internal/hw"
+	"mpcdvfs/internal/sim"
+	"mpcdvfs/internal/workload"
+)
+
+// TestJSONLRoundTrip streams two distinct runs into one writer and reads
+// them back: identities, record payloads and recomputed summaries must
+// survive.
+func TestJSONLRoundTrip(t *testing.T) {
+	res := sampleRun(t)
+	app2, err := workload.ByName("Spmv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(hw.DefaultSpace())
+	res2, _, err := eng.Baseline(&app2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSONL(&buf, res2); err != nil {
+		t.Fatal(err)
+	}
+
+	runs, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("%d runs, want 2", len(runs))
+	}
+	for i, want := range []*sim.Result{res, res2} {
+		got := runs[i]
+		if got.App != want.App || got.Policy != want.Policy {
+			t.Errorf("run %d identity = %s/%s", i, got.App, got.Policy)
+		}
+		if len(got.Records) != len(want.Records) {
+			t.Fatalf("run %d: %d records, want %d", i, len(got.Records), len(want.Records))
+		}
+		if got.Records[1] != want.Records[1] {
+			t.Errorf("run %d record 1 mismatch", i)
+		}
+		if math.Abs(got.EnergyMJ-want.TotalEnergyMJ()) > 1e-9 {
+			t.Errorf("run %d energy %v != %v", i, got.EnergyMJ, want.TotalEnergyMJ())
+		}
+	}
+}
+
+// TestJSONLSplitsRepeatedRuns: the same app/policy streamed twice must
+// come back as two runs (index reset detection), not one merged run.
+func TestJSONLSplitsRepeatedRuns(t *testing.T) {
+	res := sampleRun(t)
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSONL(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	runs, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("%d runs, want 2 (repeated runs must not merge)", len(runs))
+	}
+	if len(runs[0].Records) != len(res.Records) || len(runs[1].Records) != len(res.Records) {
+		t.Errorf("record counts %d/%d, want %d each",
+			len(runs[0].Records), len(runs[1].Records), len(res.Records))
+	}
+}
+
+// TestJSONLTolerance: blank lines are skipped, garbage lines error.
+func TestJSONLTolerance(t *testing.T) {
+	res := sampleRun(t)
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	withBlank := strings.ReplaceAll(buf.String(), "\n", "\n\n")
+	runs, err := ReadJSONL(strings.NewReader(withBlank))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 || len(runs[0].Records) != len(res.Records) {
+		t.Error("blank lines broke the stream")
+	}
+	if _, err := ReadJSONL(strings.NewReader("{nope\n")); err == nil {
+		t.Error("garbage line accepted")
+	}
+}
