@@ -1,0 +1,137 @@
+// Benchmarks for the parallel hot paths: tree-parallel Random Forest
+// training, batched inference, the sharded exhaustive configuration
+// sweep, and the LRU prediction cache. Serial and parallel variants are
+// paired so the speedup (or, on a single-CPU host, the coordination
+// overhead) is a one-line benchstat comparison:
+//
+//	go test -run '^$' -bench '^BenchmarkPar' -benchmem
+//
+// Every parallel path is deterministic — these pairs measure cost only;
+// the results are byte-identical by construction (see the property
+// tests in internal/rf, internal/core and determinism_test.go).
+package mpcdvfs_test
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mpcdvfs"
+	"mpcdvfs/internal/core"
+	"mpcdvfs/internal/hw"
+	"mpcdvfs/internal/kernel"
+	"mpcdvfs/internal/predict"
+	"mpcdvfs/internal/rf"
+)
+
+// parBenchData is the shared training set for the rf benchmarks: large
+// enough that tree growth dominates goroutine coordination.
+var parBenchData = sync.OnceValues(func() ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(17))
+	n, d := 1500, 8
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		x := make([]float64, d)
+		for j := range x {
+			x[j] = rng.Float64()
+		}
+		X[i] = x
+		y[i] = math.Sin(3*x[0])*x[1] + x[2] - 0.5*x[3] + 0.05*rng.NormFloat64()
+	}
+	return X, y
+})
+
+func benchParTrain(b *testing.B, workers int) {
+	X, y := parBenchData()
+	cfg := rf.DefaultConfig(17)
+	cfg.NumTrees = 16
+	cfg.Workers = workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rf.Train(X, y, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParTrainSerial(b *testing.B)   { benchParTrain(b, 1) }
+func BenchmarkParTrainWorkers4(b *testing.B) { benchParTrain(b, 4) }
+
+func benchParPredictBatch(b *testing.B, workers int) {
+	X, y := parBenchData()
+	cfg := rf.DefaultConfig(17)
+	cfg.NumTrees = 16
+	f, err := rf.Train(X, y, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.PredictBatch(X, workers)
+	}
+}
+
+func BenchmarkParPredictBatchSerial(b *testing.B)   { benchParPredictBatch(b, 1) }
+func BenchmarkParPredictBatchWorkers4(b *testing.B) { benchParPredictBatch(b, 4) }
+
+// parBenchModel is a small Random Forest predictor shared by the sweep
+// and cache benchmarks — a real forest walk per evaluation, so the
+// sweep's per-task cost is representative.
+var parBenchModel = sync.OnceValues(func() (*predict.RandomForest, error) {
+	opt := mpcdvfs.DefaultTrainOptions(17)
+	opt.NumKernels = 12
+	opt.Forest = rf.Config{
+		NumTrees: 8, MaxDepth: 8, MinLeaf: 2, NumThresh: 12,
+		SampleFrac: 1.0, Seed: 17,
+	}
+	return predict.TrainRandomForest(opt)
+})
+
+func benchParExhaustive(b *testing.B, workers int) {
+	m, err := parBenchModel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := core.NewOptimizer(m, hw.DefaultSpace())
+	opt.Workers = workers
+	cs := kernel.NewBalanced("bench", 1).Counters()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = opt.ExhaustiveSearch(cs, math.Inf(1))
+	}
+}
+
+func BenchmarkParExhaustiveSerial(b *testing.B)   { benchParExhaustive(b, 1) }
+func BenchmarkParExhaustiveWorkers4(b *testing.B) { benchParExhaustive(b, 4) }
+
+// The cache pair measures a full MPC replay of Spmv with and without
+// the prediction LRU; repeated horizon evaluations of the same
+// (counters, config) pairs are where the cache pays off, serial or not.
+func benchParMPCCache(b *testing.B, opts ...mpcdvfs.MPCOption) {
+	m, err := parBenchModel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := mpcdvfs.NewSystem()
+	app, err := mpcdvfs.BenchmarkByName("Spmv")
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, target, err := sys.Baseline(&app)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.RunRepeated(&app, sys.NewMPC(m, opts...), target, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParMPCCacheOff(b *testing.B) { benchParMPCCache(b) }
+func BenchmarkParMPCCacheOn(b *testing.B) {
+	benchParMPCCache(b, mpcdvfs.WithPredictionCache(predict.DefaultCacheSize))
+}

@@ -30,6 +30,7 @@ import (
 	"mpcdvfs"
 	"mpcdvfs/internal/cli"
 	"mpcdvfs/internal/obs"
+	"mpcdvfs/internal/par"
 	"mpcdvfs/internal/predict"
 )
 
@@ -42,6 +43,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "Random Forest training seed")
 	interval := flag.Duration("interval", 100*time.Millisecond, "pause between workload replays")
 	traceOut := flag.String("trace-out", "", "stream runtime events as JSONL to this file (tailable)")
+	workers := flag.Int("workers", 0, "worker goroutines for RF training and sharded config search (0 = all CPUs, 1 = serial; decisions are identical either way)")
+	cacheSize := flag.Int("predict-cache", 0, "LRU prediction cache capacity for MPC policies (0 = off; decisions are identical either way)")
 	logLevel := flag.String("log-level", "info", "log level: debug | info | warn | error")
 	flag.Parse()
 
@@ -49,19 +52,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	if err := run(*addr, *appsFlag, *polName, *useOracle, *modelPath, *seed, *interval, *traceOut); err != nil {
+	par.SetDefault(*workers)
+	if err := run(*addr, *appsFlag, *polName, *useOracle, *modelPath, *seed, *interval, *traceOut, *cacheSize); err != nil {
 		slog.Error("mpcserve failed", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, appsFlag, polName string, useOracle bool, modelPath string, seed int64, interval time.Duration, traceOut string) error {
+func run(addr, appsFlag, polName string, useOracle bool, modelPath string, seed int64, interval time.Duration, traceOut string, cacheSize int) error {
 	apps, err := selectApps(appsFlag)
 	if err != nil {
 		return err
 	}
 
 	reg := mpcdvfs.NewMetricsRegistry()
+	par.Instrument(reg)
 	observers := []mpcdvfs.Observer{mpcdvfs.NewMetricsObserver(reg), obs.NewSlog(nil)}
 	if traceOut != "" {
 		f, err := os.Create(traceOut)
@@ -154,7 +159,15 @@ func run(addr, appsFlag, polName string, useOracle bool, modelPath string, seed 
 		case "ppk":
 			pol = sys.NewPPK(model)
 		case "mpc":
-			pol = sys.NewMPC(model)
+			var opts []mpcdvfs.MPCOption
+			if cacheSize > 0 {
+				opts = append(opts, mpcdvfs.WithPredictionCache(cacheSize))
+			}
+			m := sys.NewMPC(model, opts...)
+			if c := m.PredictionCache(); c != nil {
+				c.Instrument(reg)
+			}
+			pol = m
 		default:
 			return fmt.Errorf("unknown policy %q (want turbo-core, ppk or mpc)", polName)
 		}

@@ -25,6 +25,8 @@ import (
 	"mpcdvfs"
 	"mpcdvfs/internal/cli"
 	"mpcdvfs/internal/obs"
+	"mpcdvfs/internal/par"
+	"mpcdvfs/internal/policy"
 	"mpcdvfs/internal/predict"
 	"mpcdvfs/internal/trace"
 )
@@ -42,6 +44,8 @@ func main() {
 	traceJSONL := flag.String("trace-out", "", "stream every run's per-kernel records as JSONL to this file")
 	powerOut := flag.String("powertrace", "", "write the last run's 1ms power-controller samples to this CSV file")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /health and /debug/pprof on this address while running")
+	workers := flag.Int("workers", 0, "worker goroutines for RF training and sharded config search (0 = all CPUs, 1 = serial; decisions are identical either way)")
+	cacheSize := flag.Int("predict-cache", 0, "LRU prediction cache capacity for MPC policies (0 = off; decisions are identical either way)")
 	logLevel := flag.String("log-level", "info", "log level: debug | info | warn | error")
 	flag.Parse()
 
@@ -49,6 +53,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	par.SetDefault(*workers)
 
 	if *list {
 		for _, a := range mpcdvfs.Benchmarks() {
@@ -63,8 +68,10 @@ func main() {
 	}
 
 	sys := mpcdvfs.NewSystem()
+	var reg *mpcdvfs.MetricsRegistry
 	if *metricsAddr != "" {
-		reg := mpcdvfs.NewMetricsRegistry()
+		reg = mpcdvfs.NewMetricsRegistry()
+		par.Instrument(reg)
 		sys.SetObserver(mpcdvfs.MultiObserver(mpcdvfs.NewMetricsObserver(reg), obs.NewSlog(nil)))
 		defer cli.ServeMetrics(*metricsAddr, reg).Close()
 	}
@@ -95,7 +102,12 @@ func main() {
 		}
 	}
 
+	mpcOpts := []mpcdvfs.MPCOption{}
+	if *cacheSize > 0 {
+		mpcOpts = append(mpcOpts, mpcdvfs.WithPredictionCache(*cacheSize))
+	}
 	var pol mpcdvfs.Policy
+	var mpcPol *policy.MPC
 	switch *polName {
 	case "turbo-core":
 		pol = sys.NewTurboCore()
@@ -104,17 +116,30 @@ func main() {
 	case "to":
 		pol = sys.NewTheoreticallyOptimal(&app)
 	case "mpc":
-		pol = sys.NewMPC(model)
+		mpcPol = sys.NewMPC(model, mpcOpts...)
+		pol = mpcPol
 	case "mpc-full":
-		pol = sys.NewMPC(model, mpcdvfs.WithFullHorizon())
+		mpcPol = sys.NewMPC(model, append(mpcOpts, mpcdvfs.WithFullHorizon())...)
+		pol = mpcPol
 	default:
 		slog.Error("unknown policy", "policy", *polName)
 		os.Exit(2)
+	}
+	if mpcPol != nil && reg != nil {
+		if c := mpcPol.PredictionCache(); c != nil {
+			c.Instrument(reg)
+		}
 	}
 
 	results, err := sys.RunRepeated(&app, pol, target, *runs)
 	if err != nil {
 		fatal(err)
+	}
+	if mpcPol != nil {
+		if c := mpcPol.PredictionCache(); c != nil {
+			h, m, ev, size := c.Stats()
+			slog.Info("prediction cache", "hits", h, "misses", m, "evictions", ev, "entries", size)
+		}
 	}
 
 	fmt.Printf("app %s, policy %s, target throughput %.3g insts/ms\n",

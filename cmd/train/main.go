@@ -17,6 +17,7 @@ import (
 
 	"mpcdvfs/internal/cli"
 	"mpcdvfs/internal/hw"
+	"mpcdvfs/internal/par"
 	"mpcdvfs/internal/predict"
 	"mpcdvfs/internal/workload"
 )
@@ -26,6 +27,7 @@ func main() {
 	kernels := flag.Int("kernels", 150, "synthetic training kernels")
 	seed := flag.Int64("seed", 20170204, "training seed")
 	noise := flag.Float64("noise", 0.08, "measurement noise fraction on training targets")
+	workers := flag.Int("workers", 0, "worker goroutines for parallel tree growth (0 = all CPUs, 1 = serial; output is identical either way)")
 	logLevel := flag.String("log-level", "info", "log level: debug | info | warn | error")
 	flag.Parse()
 
@@ -33,12 +35,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	par.SetDefault(*workers)
 
 	opt := predict.DefaultTrainOptions(*seed)
 	opt.NumKernels = *kernels
 	opt.NoiseFrac = *noise
+	opt.Workers = *workers
 
-	slog.Info("training", "kernels", opt.NumKernels, "configurations", opt.Space.Size())
+	slog.Info("training", "kernels", opt.NumKernels, "configurations", opt.Space.Size(), "workers", par.Resolve(*workers))
 	model, err := predict.TrainRandomForest(opt)
 	if err != nil {
 		slog.Error(err.Error())

@@ -1,0 +1,102 @@
+package mpcdvfs_test
+
+import (
+	"testing"
+
+	"mpcdvfs"
+	"mpcdvfs/internal/rf"
+)
+
+// smallRF trains a fast, reduced Random Forest predictor for the
+// determinism replays below; accuracy does not matter here, only that
+// the model is shared across the policies being compared.
+func smallRF(t *testing.T) mpcdvfs.Model {
+	t.Helper()
+	opt := mpcdvfs.DefaultTrainOptions(9)
+	opt.NumKernels = 12
+	opt.Forest = rf.Config{
+		NumTrees: 8, MaxDepth: 8, MinLeaf: 2, NumThresh: 12,
+		SampleFrac: 1.0, Seed: 9,
+	}
+	m, err := mpcdvfs.TrainRandomForest(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// replay runs app under a fresh MPC with the given options for three
+// invocations (profile + two steady) and returns the results.
+func replay(t *testing.T, model mpcdvfs.Model, appName string, opts ...mpcdvfs.MPCOption) []*mpcdvfs.Result {
+	t.Helper()
+	sys := mpcdvfs.NewSystem()
+	app, err := mpcdvfs.BenchmarkByName(appName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, target, err := sys.Baseline(&app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := sys.RunRepeated(&app, sys.NewMPC(model, opts...), target, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+// requireIdentical asserts two replays made exactly the same per-kernel
+// decisions with the same accounting.
+func requireIdentical(t *testing.T, label string, want, got []*mpcdvfs.Result) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d runs vs %d", label, len(got), len(want))
+	}
+	for r := range want {
+		if len(want[r].Records) != len(got[r].Records) {
+			t.Fatalf("%s run %d: record counts differ", label, r)
+		}
+		for i := range want[r].Records {
+			if got[r].Records[i] != want[r].Records[i] {
+				t.Fatalf("%s run %d kernel %d:\n got %+v\nwant %+v",
+					label, r, i, got[r].Records[i], want[r].Records[i])
+			}
+		}
+		if got[r].TotalEnergyMJ() != want[r].TotalEnergyMJ() || got[r].TotalTimeMS() != want[r].TotalTimeMS() {
+			t.Fatalf("%s run %d: totals differ", label, r)
+		}
+	}
+}
+
+// End-to-end determinism: full MPC replays make byte-identical decisions
+// whether the optimizer runs serial or sharded, with the exhaustive
+// sweep (the path that actually parallelizes) and with the hill climb.
+func TestMPCWorkersDeterminism(t *testing.T) {
+	model := smallRF(t)
+	for _, app := range []string{"Spmv", "kmeans"} {
+		serial := replay(t, model, app, mpcdvfs.WithExhaustiveSearch(), mpcdvfs.WithWorkers(1))
+		for _, workers := range []int{2, 4} {
+			sharded := replay(t, model, app, mpcdvfs.WithExhaustiveSearch(), mpcdvfs.WithWorkers(workers))
+			requireIdentical(t, app, serial, sharded)
+		}
+	}
+}
+
+// End-to-end determinism: the prediction cache changes how many times
+// the forest is walked, never what any walk returns — cache-on replays
+// must equal cache-off replays record for record, including the
+// reported evaluation counts.
+func TestMPCPredictionCacheDeterminism(t *testing.T) {
+	model := smallRF(t)
+	for _, app := range []string{"Spmv", "lbm"} {
+		off := replay(t, model, app)
+		on := replay(t, model, app, mpcdvfs.WithPredictionCache(4096))
+		requireIdentical(t, app, off, on)
+
+		// And combined with sharded exhaustive search.
+		offEx := replay(t, model, app, mpcdvfs.WithExhaustiveSearch(), mpcdvfs.WithWorkers(1))
+		onEx := replay(t, model, app, mpcdvfs.WithExhaustiveSearch(), mpcdvfs.WithWorkers(4),
+			mpcdvfs.WithPredictionCache(4096))
+		requireIdentical(t, app+"/exhaustive", offEx, onEx)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"mpcdvfs/internal/counters"
 	"mpcdvfs/internal/hw"
+	"mpcdvfs/internal/par"
 	"mpcdvfs/internal/predict"
 )
 
@@ -19,6 +20,15 @@ type Optimizer struct {
 	// bound improves; the evaluation count explodes by the |S|/Σ|knob|
 	// factor the paper quotes as ~19×.
 	UseExhaustive bool
+	// Workers shards the exhaustive sweep across goroutines: <= 0 uses
+	// the process default (par.Default), 1 forces the serial sweep. The
+	// sharded sweep reduces to the same argmin as the serial one — ties
+	// break toward the lower Space.At index in both — and reports the
+	// same evaluation count, so results are byte-identical for every
+	// value. Requires Model.PredictKernel to be safe for concurrent
+	// calls (every predictor in internal/predict is). The greedy hill
+	// climb is inherently sequential and ignores this field.
+	Workers int
 	// failSafe is the guard configuration, clamped into Space.
 	failSafe hw.Config
 }
@@ -171,6 +181,9 @@ func (o *Optimizer) ExhaustiveSearch(cs counters.Set, headroomMS float64) climbR
 }
 
 func (o *Optimizer) exhaustive(cache *evalCache, headroomMS float64) climbResult {
+	if workers := par.Resolve(o.Workers); workers > 1 {
+		return o.exhaustiveSharded(cache, headroomMS, workers)
+	}
 	best := climbResult{Config: o.failSafe, Feasible: false}
 	bestE := 0.0
 	o.Space.ForEach(func(c hw.Config) {
@@ -183,6 +196,60 @@ func (o *Optimizer) exhaustive(cache *evalCache, headroomMS float64) climbResult
 			bestE = e
 		}
 	})
+	best.Evals = cache.evals
+	if !best.Feasible {
+		est, _ := cache.eval(o.failSafe)
+		best.Config, best.Est, best.Evals = o.failSafe, est, cache.evals
+	}
+	return best
+}
+
+// exhaustiveSharded is the parallel exhaustive sweep: the configuration
+// space is partitioned across workers, every configuration is evaluated
+// into its own index-addressed slot, and a serial reduction in
+// Space.At order recovers exactly the serial sweep's argmin (strictly
+// smaller energy wins, so ties keep the lower index), evaluation count
+// and cache contents.
+//
+// During the fan-out the decision cache is read-only (concurrent map
+// reads are safe; pre-seeded entries — e.g. the fail-safe from
+// OptimizeWindow — are reused without re-evaluation); new entries are
+// merged back serially so downstream searches on the same cache behave
+// as if the serial sweep had run.
+func (o *Optimizer) exhaustiveSharded(cache *evalCache, headroomMS float64, workers int) climbResult {
+	cfgs := o.Space.Configs()
+	type slot struct {
+		est    predict.Estimate
+		e      float64
+		cached bool
+	}
+	slots := make([]slot, len(cfgs))
+	par.ForEach(workers, len(cfgs), func(i int) {
+		c := cfgs[i]
+		if v, ok := cache.seen[c]; ok {
+			slots[i] = slot{est: v.est, e: v.e, cached: true}
+			return
+		}
+		est := o.Model.PredictKernel(cache.cs, c)
+		slots[i] = slot{est: est, e: predict.EnergyMJ(est, c)}
+	})
+
+	best := climbResult{Config: o.failSafe, Feasible: false}
+	bestE := 0.0
+	for i, c := range cfgs {
+		s := slots[i]
+		if !s.cached {
+			cache.seen[c] = cachedEval{s.est, s.e}
+			cache.evals++
+		}
+		if s.est.TimeMS > headroomMS {
+			continue
+		}
+		if !best.Feasible || s.e < bestE {
+			best = climbResult{Config: c, Est: s.est, Feasible: true}
+			bestE = s.e
+		}
+	}
 	best.Evals = cache.evals
 	if !best.Feasible {
 		est, _ := cache.eval(o.failSafe)

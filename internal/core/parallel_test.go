@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mpcdvfs/internal/counters"
+	"mpcdvfs/internal/hw"
+	"mpcdvfs/internal/kernel"
+	"mpcdvfs/internal/predict"
+)
+
+// Property: the sharded exhaustive sweep reduces to exactly the serial
+// result — same argmin, same estimate, same evaluation count, same
+// feasibility — for random kernels and headrooms, across worker counts.
+func TestShardedExhaustiveMatchesSerial(t *testing.T) {
+	space := hw.DefaultSpace()
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 25; trial++ {
+		k := kernel.Random("k", rng)
+		o := predict.NewOracle()
+		o.Register(k)
+
+		// Headrooms from hopeless (nothing feasible) to unconstrained.
+		head := k.TimeMS(hw.FailSafe()) * (0.2 + rng.Float64()*2.5)
+
+		serial := NewOptimizer(o, space)
+		serial.Workers = 1
+		want := serial.ExhaustiveSearch(k.Counters(), head)
+
+		for _, workers := range []int{2, 3, 8} {
+			sharded := NewOptimizer(o, space)
+			sharded.Workers = workers
+			got := sharded.ExhaustiveSearch(k.Counters(), head)
+			if got != want {
+				t.Fatalf("trial %d workers=%d: sharded %+v != serial %+v (head=%v)",
+					trial, workers, got, want, head)
+			}
+		}
+	}
+}
+
+// constModel predicts the same estimate for every configuration, so
+// every feasible configuration ties on energy apart from the CPU power
+// term; within one CPU state the tie is total. The argmin must then be
+// the lowest Space.At index — the serial sweep's tie-break — for every
+// worker count.
+type constModel struct{ est predict.Estimate }
+
+func (constModel) Name() string { return "const" }
+func (m constModel) PredictKernel(counters.Set, hw.Config) predict.Estimate {
+	return m.est
+}
+
+func TestShardedExhaustiveTieBreak(t *testing.T) {
+	space := hw.DefaultSpace()
+	m := constModel{est: predict.Estimate{TimeMS: 1, GPUPowerW: 10}}
+
+	serial := NewOptimizer(m, space)
+	serial.Workers = 1
+	want := serial.ExhaustiveSearch(counters.Set{}, 2)
+
+	for _, workers := range []int{2, 4, 16} {
+		sharded := NewOptimizer(m, space)
+		sharded.Workers = workers
+		got := sharded.ExhaustiveSearch(counters.Set{}, 2)
+		if got != want {
+			t.Fatalf("workers=%d: tie broken differently: %+v != %+v", workers, got, want)
+		}
+	}
+}
+
+// Property: a full OptimizeWindow step under the exhaustive search is
+// byte-identical between serial and sharded optimizers — configuration,
+// estimate and total evaluation count — for random windows and targets.
+// This exercises the cache pre-seeding path: OptimizeWindow evaluates
+// the fail-safe before the sweep runs, so the sharded sweep must reuse
+// that entry without recounting it.
+func TestOptimizeWindowShardedMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	space := hw.DefaultSpace()
+	for trial := 0; trial < 15; trial++ {
+		win, o := randomWindow(rng)
+		sumI, sumT := 0.0, 0.0
+		for _, w := range win {
+			sumI += w.ExpInsts
+			sumT += w.Rec.TimeMS
+		}
+		tp := rng.Float64() * 2 * sumI / sumT
+
+		serial := NewOptimizer(o, space)
+		serial.UseExhaustive = true
+		serial.Workers = 1
+		wCfg, wEst, wEvals := serial.OptimizeWindow(win, NewTracker(tp))
+
+		for _, workers := range []int{2, 4} {
+			sharded := NewOptimizer(o, space)
+			sharded.UseExhaustive = true
+			sharded.Workers = workers
+			gCfg, gEst, gEvals := sharded.OptimizeWindow(win, NewTracker(tp))
+			if gCfg != wCfg || gEst != wEst || gEvals != wEvals {
+				t.Fatalf("trial %d workers=%d: (%v %+v %d) != serial (%v %+v %d)",
+					trial, workers, gCfg, gEst, gEvals, wCfg, wEst, wEvals)
+			}
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package par
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"mpcdvfs/internal/metrics"
+)
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		for _, n := range []int{0, 1, 2, 7, 128} {
+			hits := make([]atomic.Int32, n)
+			ForEach(workers, n, func(i int) { hits[i].Add(1) })
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachIndexedSlotsMatchSerial(t *testing.T) {
+	const n = 500
+	want := make([]int, n)
+	ForEach(1, n, func(i int) { want[i] = i * i })
+	got := make([]int, n)
+	ForEach(4, n, func(i int) { got[i] = i * i })
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("slot %d: parallel %d != serial %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic did not propagate", workers)
+				}
+				if s, ok := r.(string); !ok || !strings.Contains(s, "boom") {
+					t.Fatalf("workers=%d: unexpected panic value %v", workers, r)
+				}
+			}()
+			ForEach(workers, 16, func(i int) {
+				if i == 7 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}
+
+func TestResolveAndDefault(t *testing.T) {
+	defer SetDefault(0)
+	if Resolve(3) != 3 {
+		t.Fatal("Resolve must pass explicit counts through")
+	}
+	if Default() < 1 {
+		t.Fatal("unpinned Default must be at least 1")
+	}
+	SetDefault(5)
+	if Default() != 5 || Resolve(0) != 5 || Resolve(-2) != 5 {
+		t.Fatalf("pinned default not honored: Default=%d", Default())
+	}
+	SetDefault(0)
+	if Default() < 1 {
+		t.Fatal("SetDefault(0) must restore the GOMAXPROCS default")
+	}
+}
+
+func TestSnapshotAndInstrument(t *testing.T) {
+	reg := metrics.New()
+	Instrument(reg)
+	defer instr.Store(nil)
+
+	s0, p0, t0 := Snapshot()
+	ForEach(1, 10, func(int) {})
+	ForEach(4, 10, func(int) {})
+	s1, p1, t1 := Snapshot()
+	if s1 != s0+1 {
+		t.Fatalf("serial batches: got %d, want %d", s1, s0+1)
+	}
+	if p1 != p0+1 {
+		t.Fatalf("parallel batches: got %d, want %d", p1, p0+1)
+	}
+	if t1 != t0+20 {
+		t.Fatalf("tasks: got %d, want %d", t1, t0+20)
+	}
+
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`mpcdvfs_par_batches_total{mode="serial"} 1`,
+		`mpcdvfs_par_batches_total{mode="parallel"} 1`,
+		`mpcdvfs_par_tasks_total 20`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -24,6 +24,12 @@ type MPC struct {
 	opt   *core.Optimizer
 	calib *predict.Calibrated
 	space hw.Space
+	// cache, when non-nil, is the bounded LRU memoizing the raw
+	// predictor underneath the calibration layer (WithPredictionCache).
+	cache *predict.Cache
+	// cacheCap is the requested cache capacity; consumed by NewMPC
+	// after options are applied (0 = no cache).
+	cacheCap int
 
 	// Alpha is the total performance-loss bound for the adaptive horizon
 	// (default core.DefaultAlpha = 5%).
@@ -94,6 +100,26 @@ func WithExhaustiveSearch() MPCOption {
 // heuristic with plain execution order — the ordering ablation.
 func WithExecutionOrder() MPCOption { return func(m *MPC) { m.naiveOrder = true } }
 
+// WithWorkers shards the policy's exhaustive configuration sweeps
+// across n goroutines (<= 0 uses the process default, 1 is serial).
+// Decisions are byte-identical for every value; see core.Optimizer.
+func WithWorkers(n int) MPCOption { return func(m *MPC) { m.opt.Workers = n } }
+
+// WithPredictionCache memoizes the raw predictor behind a bounded LRU
+// of the given capacity (<= 0 uses predict.DefaultCacheSize), so
+// repeated horizon evaluations of the same (kernel, configuration)
+// point stop re-walking the forest. The cache sits underneath the
+// runtime-feedback calibration layer, which keeps cached entries valid:
+// decisions are byte-identical with the cache on or off.
+func WithPredictionCache(capacity int) MPCOption {
+	return func(m *MPC) {
+		m.cacheCap = capacity
+		if m.cacheCap <= 0 {
+			m.cacheCap = predict.DefaultCacheSize
+		}
+	}
+}
+
 // NewMPC returns an MPC policy using the given predictor and
 // configuration space. Optimization overhead is measured, not assumed:
 // the engine reports the wall time it charged for each decision (after
@@ -112,8 +138,25 @@ func NewMPC(model predict.Model, space hw.Space, opts ...MPCOption) *MPC {
 	for _, o := range opts {
 		o(m)
 	}
+	if m.cacheCap > 0 {
+		// Rebuild the predictor stack with the cache at the bottom:
+		// raw model -> LRU cache -> calibration -> optimizer. Options
+		// already applied to the optimizer (workers, exhaustive mode)
+		// are preserved.
+		m.cache = predict.NewCache(model, m.cacheCap)
+		m.calib = predict.NewCalibrated(m.cache)
+		old := m.opt
+		m.opt = core.NewOptimizer(m.calib, space)
+		m.opt.UseExhaustive = old.UseExhaustive
+		m.opt.Workers = old.Workers
+	}
 	return m
 }
+
+// PredictionCache returns the policy's prediction cache, or nil when
+// WithPredictionCache was not used. Exposed so callers can instrument
+// it into a metrics registry or inspect hit rates.
+func (m *MPC) PredictionCache() *predict.Cache { return m.cache }
 
 // SetObserver implements obs.Instrumentable: the engine threads its
 // observer in before every run so MPC can report horizon changes and

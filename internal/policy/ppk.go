@@ -44,6 +44,14 @@ func NewPPK(m predict.Model, space hw.Space) *PPK {
 // Name implements sim.Policy.
 func (p *PPK) Name() string { return "ppk" }
 
+// SetWorkers shards PPK's exhaustive O(M) sweep across n goroutines
+// (<= 0 uses the process default, 1 is serial); decisions are
+// byte-identical for every value. Returns p for chaining.
+func (p *PPK) SetWorkers(n int) *PPK {
+	p.opt.Workers = n
+	return p
+}
+
 // SetObserver implements obs.Instrumentable: PPK reports per-kernel
 // prediction errors when an observer is attached.
 func (p *PPK) SetObserver(o obs.Observer) {

@@ -1,0 +1,156 @@
+package predict
+
+import (
+	"container/list"
+	"sync"
+
+	"mpcdvfs/internal/counters"
+	"mpcdvfs/internal/hw"
+	"mpcdvfs/internal/metrics"
+)
+
+// DefaultCacheSize is the prediction cache capacity the commands use
+// when `-predict-cache` is enabled without an explicit size: room for
+// every configuration of the paper's 336-point space for a few dozen
+// distinct kernels.
+const DefaultCacheSize = 16384
+
+// Cache memoizes an inner Model behind a bounded LRU keyed by the full
+// (counter set, configuration) pair — the counter set is the kernel's
+// signature as far as any Model is concerned. Repeated MPC horizon
+// evaluations of the same kernel at the same candidate configuration
+// then stop re-walking the forest: across receding-horizon decisions
+// the same (kernel, config) points are re-evaluated every window, and
+// only the first walk pays.
+//
+// Because every Model in this package is deterministic, a hit returns
+// exactly what recomputation would; decisions with the cache on are
+// byte-identical to decisions with it off (proved by the determinism
+// suite). The cache must wrap the *immutable* model — e.g. sit inside
+// Calibrated, not around it — since Calibrated's feedback ratios change
+// between kernels and would make stale entries diverge.
+//
+// Cache is safe for concurrent use; the sharded configuration search
+// calls PredictKernel from many goroutines.
+type Cache struct {
+	inner Model
+	cap   int
+
+	mu  sync.Mutex
+	m   map[cacheKey]*list.Element
+	lru *list.List // front = most recently used
+
+	hits, misses, evictions uint64
+
+	// Optional metrics mirror (Instrument).
+	mHits, mMisses, mEvictions *metrics.Counter
+	mSize                      *metrics.Gauge
+}
+
+type cacheKey struct {
+	cs counters.Set
+	c  hw.Config
+}
+
+type cacheEntry struct {
+	key cacheKey
+	est Estimate
+}
+
+// NewCache wraps inner with a bounded LRU of the given capacity.
+// capacity <= 0 uses DefaultCacheSize.
+func NewCache(inner Model, capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	return &Cache{
+		inner: inner,
+		cap:   capacity,
+		m:     make(map[cacheKey]*list.Element, capacity),
+		lru:   list.New(),
+	}
+}
+
+// Name implements Model.
+func (c *Cache) Name() string { return c.inner.Name() + "+cache" }
+
+// PredictKernel implements Model, consulting the LRU before the inner
+// model.
+func (c *Cache) PredictKernel(cs counters.Set, cfg hw.Config) Estimate {
+	k := cacheKey{cs: cs, c: cfg}
+	c.mu.Lock()
+	if el, ok := c.m[k]; ok {
+		c.lru.MoveToFront(el)
+		est := el.Value.(*cacheEntry).est
+		c.hits++
+		hit := c.mHits
+		c.mu.Unlock()
+		if hit != nil {
+			hit.Inc()
+		}
+		return est
+	}
+	c.mu.Unlock()
+
+	// Miss: evaluate outside the lock so concurrent misses overlap the
+	// expensive forest walks instead of serializing on the mutex.
+	est := c.inner.PredictKernel(cs, cfg)
+
+	c.mu.Lock()
+	c.misses++
+	if _, ok := c.m[k]; !ok { // a concurrent miss may have inserted it
+		c.m[k] = c.lru.PushFront(&cacheEntry{key: k, est: est})
+		if c.lru.Len() > c.cap {
+			old := c.lru.Back()
+			c.lru.Remove(old)
+			delete(c.m, old.Value.(*cacheEntry).key)
+			c.evictions++
+			if c.mEvictions != nil {
+				c.mEvictions.Inc()
+			}
+		}
+	}
+	miss, gauge, size := c.mMisses, c.mSize, c.lru.Len()
+	c.mu.Unlock()
+	if miss != nil {
+		miss.Inc()
+		gauge.Set(float64(size))
+	}
+	return est
+}
+
+// Stats returns the cumulative hit/miss/eviction counts and the current
+// entry count.
+func (c *Cache) Stats() (hits, misses, evictions uint64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions, c.lru.Len()
+}
+
+// Len returns the current number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Cap returns the cache capacity.
+func (c *Cache) Cap() int { return c.cap }
+
+// Instrument mirrors the cache's counters into reg, labeled by the
+// inner model's name: mpcdvfs_predict_cache_events_total{model,event}
+// and mpcdvfs_predict_cache_entries{model}. Call before first use;
+// earlier activity is not backfilled.
+func (c *Cache) Instrument(reg *metrics.Registry) {
+	events := reg.Counter("mpcdvfs_predict_cache_events_total",
+		"Prediction cache lookups by outcome.", "model", "event")
+	entries := reg.Gauge("mpcdvfs_predict_cache_entries",
+		"Entries currently held by the prediction cache.", "model")
+	name := c.inner.Name()
+	c.mu.Lock()
+	c.mHits = events.With(name, "hit")
+	c.mMisses = events.With(name, "miss")
+	c.mEvictions = events.With(name, "eviction")
+	c.mSize = entries.With(name)
+	c.mu.Unlock()
+}

@@ -84,8 +84,12 @@ type TrainOptions struct {
 	NoiseFrac float64
 	// Seed makes training deterministic.
 	Seed int64
+	// Workers is the number of goroutines growing forest trees
+	// concurrently (<= 0 uses the process default, 1 is serial). The
+	// trained model is bit-identical for every value; see package rf.
+	Workers int
 	// Forest overrides the forest hyperparameters; zero value uses
-	// rf.DefaultConfig.
+	// rf.DefaultConfig. A zero Forest.Workers inherits Workers above.
 	Forest rf.Config
 }
 
@@ -148,6 +152,9 @@ func TrainRandomForest(opt TrainOptions) (*RandomForest, error) {
 		// config features; sqrt(d) feature sampling starves the trees of
 		// the config features, so consider half the features per split.
 		fcfg.MaxFeatures = (counters.NumCounters + numConfigFeatures) / 2
+	}
+	if fcfg.Workers == 0 {
+		fcfg.Workers = opt.Workers
 	}
 	tf, err := rf.Train(X, yTime, fcfg)
 	if err != nil {

@@ -1,0 +1,73 @@
+package rf
+
+import (
+	"math"
+	"testing"
+)
+
+// fuzzForest trains a tiny forest whose serialized form seeds the fuzz
+// corpus with a structurally valid input.
+func fuzzForest(tb testing.TB) *Forest {
+	tb.Helper()
+	X, y := makeDataset(60, 3, 0.05, 21, func(x []float64) float64 { return x[0] - x[1] })
+	cfg := Config{NumTrees: 3, MaxDepth: 4, MinLeaf: 1, NumThresh: 6, SampleFrac: 1.0, Seed: 21}
+	f, err := Train(X, y, cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return f
+}
+
+// FuzzForestDeserialize drives UnmarshalBinary with hostile bytes: any
+// input must either be rejected with an error or produce a forest whose
+// Predict terminates without panicking and which round-trips through
+// MarshalBinary unchanged. This is the model-loading path of cmd/mpcsim
+// and cmd/mpcserve (-model), which reads files the runtime did not
+// produce itself.
+func FuzzForestDeserialize(f *testing.F) {
+	valid, err := fuzzForest(f).MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2]) // truncation
+	f.Add([]byte{})
+	f.Add([]byte("not a forest"))
+	corrupt := append([]byte(nil), valid...)
+	for i := len(corrupt) / 2; i < len(corrupt); i += 7 {
+		corrupt[i] ^= 0xff
+	}
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		var g Forest
+		if err := g.UnmarshalBinary(data); err != nil {
+			return // rejected: exactly what hostile input should get
+		}
+		// Accepted: the forest must be usable. Predict must terminate
+		// (validateTree's strictly-forward child invariant) and not
+		// panic for an in-dimension input.
+		x := make([]float64, g.NumFeatures())
+		for i := range x {
+			x[i] = float64(i) * 0.5
+		}
+		p1 := g.Predict(x)
+
+		// And it must survive a marshal/unmarshal round trip intact.
+		out, err := g.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted forest failed to re-marshal: %v", err)
+		}
+		var h Forest
+		if err := h.UnmarshalBinary(out); err != nil {
+			t.Fatalf("re-marshaled forest rejected: %v", err)
+		}
+		p2 := h.Predict(x)
+		if p1 != p2 && !(math.IsNaN(p1) && math.IsNaN(p2)) {
+			t.Fatalf("round trip changed prediction: %v != %v", p2, p1)
+		}
+	})
+}

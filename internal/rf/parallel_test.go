@@ -1,0 +1,136 @@
+package rf
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomConfig draws a small but non-degenerate training configuration.
+func randomConfig(rng *rand.Rand) Config {
+	return Config{
+		NumTrees:    1 + rng.Intn(12),
+		MaxDepth:    1 + rng.Intn(8),
+		MinLeaf:     1 + rng.Intn(3),
+		MaxFeatures: 0,
+		NumThresh:   1 + rng.Intn(16),
+		SampleFrac:  0.5 + rng.Float64()*0.5,
+		Seed:        rng.Int63(),
+	}
+}
+
+// Property: training with any worker count produces a forest that is
+// byte-identical to the serial one — same trees in the same order, same
+// OOB estimate. This is the determinism contract of the seeding scheme
+// documented in the package comment.
+func TestParallelTrainMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 8; trial++ {
+		n := 40 + rng.Intn(160)
+		d := 1 + rng.Intn(6)
+		X, y := makeDataset(n, d, 0.05, rng.Int63(), func(x []float64) float64 {
+			s := 0.0
+			for _, v := range x {
+				s += v
+			}
+			return s
+		})
+		cfg := randomConfig(rng)
+
+		serial := cfg
+		serial.Workers = 1
+		fs, err := Train(X, y, serial)
+		if err != nil {
+			t.Fatalf("trial %d: serial train: %v", trial, err)
+		}
+		bs, err := fs.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for _, workers := range []int{2, 4, 7} {
+			parCfg := cfg
+			parCfg.Workers = workers
+			fp, err := Train(X, y, parCfg)
+			if err != nil {
+				t.Fatalf("trial %d workers=%d: %v", trial, workers, err)
+			}
+			if !reflect.DeepEqual(fs.trees, fp.trees) {
+				t.Fatalf("trial %d workers=%d: trees differ from serial", trial, workers)
+			}
+			bp, err := fp.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(bs, bp) {
+				t.Fatalf("trial %d workers=%d: serialized forest differs from serial", trial, workers)
+			}
+			sm, sok := fs.OOBMAE()
+			pm, pok := fp.OOBMAE()
+			if sok != pok || sm != pm {
+				t.Fatalf("trial %d workers=%d: OOB (%v,%v) != serial (%v,%v)",
+					trial, workers, pm, pok, sm, sok)
+			}
+		}
+	}
+}
+
+// Property: PredictBatch equals row-by-row Predict for every worker
+// count, on arbitrary seeded inputs.
+func TestPredictBatchMatchesPredictQuick(t *testing.T) {
+	X, y := makeDataset(300, 4, 0.05, 11, func(x []float64) float64 {
+		return 2*x[0] - x[1] + x[2]*x[3]
+	})
+	cfg := DefaultConfig(12)
+	cfg.NumTrees = 10
+	f, err := Train(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(seed int64, nRaw uint8, wRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw % 40) // includes the empty batch
+		Xq := make([][]float64, n)
+		for i := range Xq {
+			x := make([]float64, 4)
+			for j := range x {
+				x[j] = rng.Float64()*3 - 1
+			}
+			Xq[i] = x
+		}
+		workers := int(wRaw%6) - 1 // -1..4: default, serial, fan-out
+		got := f.PredictBatch(Xq, workers)
+		if len(got) != n {
+			return false
+		}
+		for i := range Xq {
+			if got[i] != f.Predict(Xq[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(77))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// PredictBatch validates dimensions up front: a bad row must panic
+// before any result is produced, exactly like Predict.
+func TestPredictBatchPanicsOnWrongDim(t *testing.T) {
+	X, y := makeDataset(50, 3, 0, 5, func(x []float64) float64 { return x[0] })
+	cfg := DefaultConfig(6)
+	cfg.NumTrees = 3
+	f, err := Train(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("PredictBatch accepted a wrong-dimension row")
+		}
+	}()
+	f.PredictBatch([][]float64{{1, 2, 3}, {1, 2}}, 4)
+}

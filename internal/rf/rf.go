@@ -5,6 +5,21 @@
 // hardware configurations to predict kernel execution time and power
 // (§IV-A3); this package is the substrate for that predictor, but is
 // fully general.
+//
+// # Seeding scheme and parallel training
+//
+// Training is deterministic given Config.Seed for every value of
+// Config.Workers. All randomness is drawn from a single master
+// rand.Rand seeded with Config.Seed, consumed serially in a fixed
+// order before any tree is grown: for tree t = 0..NumTrees-1, first
+// the ceil(SampleFrac·n) bootstrap sample indices (rng.Intn(n) each),
+// then one rng.Int63() that seeds tree t's private builder RNG. Tree
+// growth then uses only that injected per-tree *rand.Rand (feature
+// subsets per split), so trees can be grown concurrently — or in any
+// order — and still come out bit-identical to a serial pass,
+// tree-for-tree. Out-of-bag accumulation is likewise reduced serially
+// in tree order so the floating-point sums match the serial ones
+// exactly.
 package rf
 
 import (
@@ -13,6 +28,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"mpcdvfs/internal/par"
 )
 
 // Config controls forest training. The zero value is not usable; start
@@ -25,6 +42,11 @@ type Config struct {
 	NumThresh   int     // candidate thresholds per feature per split
 	SampleFrac  float64 // bootstrap sample size as a fraction of n
 	Seed        int64   // RNG seed; training is deterministic given Seed
+	// Workers is the number of goroutines growing trees concurrently:
+	// <= 0 uses the process default (par.Default), 1 forces a serial
+	// pass. The trained forest is bit-identical for every value — see
+	// the package comment for the seeding scheme that guarantees it.
+	Workers int
 }
 
 // DefaultConfig returns a configuration that works well for the kernel
@@ -123,9 +145,30 @@ func (f *Forest) Predict(x []float64) float64 {
 	return s / float64(len(f.trees))
 }
 
+// PredictBatch returns the forest's estimate for every row of X, fanning
+// the rows out across `workers` goroutines (<= 0 uses the process
+// default, 1 is serial). Each row's prediction sums the trees in the
+// same order as Predict, so the result is bit-identical to calling
+// Predict row by row regardless of the worker count. It panics if any
+// row has the wrong dimensionality — checked up front, before any
+// goroutine is spawned, so the panic is synchronous like Predict's.
+func (f *Forest) PredictBatch(X [][]float64, workers int) []float64 {
+	for i, x := range X {
+		if len(x) != f.nFeatures {
+			panic(fmt.Sprintf("rf: PredictBatch row %d has %d features, trained on %d", i, len(x), f.nFeatures))
+		}
+	}
+	out := make([]float64, len(X))
+	par.ForEach(workers, len(X), func(i int) {
+		out[i] = f.Predict(X[i])
+	})
+	return out
+}
+
 // Train grows a forest on (X, y). Rows of X are feature vectors; every
 // row must have the same length. Training is deterministic for a given
-// Config.Seed.
+// Config.Seed, independent of Config.Workers (see the package comment
+// for the seeding scheme).
 func Train(X [][]float64, y []float64, cfg Config) (*Forest, error) {
 	if len(X) != len(y) {
 		return nil, fmt.Errorf("rf: %d feature rows but %d targets", len(X), len(y))
@@ -155,23 +198,40 @@ func Train(X [][]float64, y []float64, cfg Config) (*Forest, error) {
 	oobCnt := make([]int, n)
 	nboot := int(math.Ceil(cfg.SampleFrac * float64(n)))
 
-	b := builder{cfg: cfg, maxFeat: mf, X: X, y: y}
+	// Phase 1 (serial): draw every tree's bootstrap sample and builder
+	// seed from the master RNG, in the exact order a serial pass
+	// consumes them. This is the only place randomness enters training.
+	boot := make([][]int, cfg.NumTrees)
+	seeds := make([]int64, cfg.NumTrees)
+	for t := 0; t < cfg.NumTrees; t++ {
+		idx := make([]int, nboot)
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		boot[t] = idx
+		seeds[t] = rng.Int63()
+	}
+
+	// Phase 2 (parallel): grow each tree from its own injected RNG.
+	// Trees are independent given (bootstrap, seed); each task writes
+	// only its own slot.
+	par.ForEach(cfg.Workers, cfg.NumTrees, func(t int) {
+		b := builder{cfg: cfg, maxFeat: mf, X: X, y: y,
+			rng: rand.New(rand.NewSource(seeds[t]))}
+		b.grow(boot[t], 0)
+		f.trees[t] = tree{Nodes: b.nodes}
+	})
+
+	// Phase 3 (serial): out-of-bag accumulation in tree order, so the
+	// floating-point sums are bit-identical to the serial pass.
 	inBag := make([]bool, n)
 	for t := 0; t < cfg.NumTrees; t++ {
-		// Bootstrap resample (with replacement).
-		idx := make([]int, nboot)
 		for i := range inBag {
 			inBag[i] = false
 		}
-		for i := range idx {
-			j := rng.Intn(n)
-			idx[i] = j
+		for _, j := range boot[t] {
 			inBag[j] = true
 		}
-		b.rng = rand.New(rand.NewSource(rng.Int63()))
-		b.nodes = b.nodes[:0]
-		b.grow(idx, 0)
-		f.trees[t] = tree{Nodes: append([]node(nil), b.nodes...)}
 		for i := 0; i < n; i++ {
 			if !inBag[i] {
 				oobSum[i] += f.trees[t].predict(X[i])

@@ -26,7 +26,13 @@ func (f *Forest) MarshalBinary() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// UnmarshalBinary decodes a forest produced by MarshalBinary.
+// UnmarshalBinary decodes a forest produced by MarshalBinary. Beyond
+// gob decoding, it structurally validates every tree — feature indices
+// within the forest's dimensionality, child indices in range and
+// strictly increasing (the invariant Train's builder establishes, and
+// what guarantees Predict terminates) — so a truncated or hostile input
+// returns an error instead of a forest that panics or loops at
+// prediction time.
 func (f *Forest) UnmarshalBinary(data []byte) error {
 	var w forestWire
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
@@ -35,9 +41,40 @@ func (f *Forest) UnmarshalBinary(data []byte) error {
 	if w.NFeatures <= 0 || len(w.Trees) == 0 {
 		return fmt.Errorf("rf: decoded forest is empty")
 	}
+	for ti, t := range w.Trees {
+		if err := validateTree(t, w.NFeatures); err != nil {
+			return fmt.Errorf("rf: decoded tree %d: %w", ti, err)
+		}
+	}
 	f.trees = w.Trees
 	f.nFeatures = w.NFeatures
 	f.oobMAE = w.OOBMAE
 	f.oobOK = w.OOBOK
+	return nil
+}
+
+// validateTree checks the structural invariants predict relies on:
+// a non-empty node slice, leaf markers or in-range feature indices, and
+// children that point strictly forward in the flat node slice (Train
+// appends children after their parent, so a valid tree is a DAG whose
+// walk makes progress and must terminate).
+func validateTree(t tree, nFeatures int) error {
+	if len(t.Nodes) == 0 {
+		return fmt.Errorf("no nodes")
+	}
+	for i, nd := range t.Nodes {
+		if nd.Feature < 0 {
+			continue // leaf; Thresh carries the mean target
+		}
+		if nd.Feature >= nFeatures {
+			return fmt.Errorf("node %d: feature %d out of range [0,%d)", i, nd.Feature, nFeatures)
+		}
+		if nd.Left <= int32(i) || int(nd.Left) >= len(t.Nodes) {
+			return fmt.Errorf("node %d: left child %d out of range (%d,%d)", i, nd.Left, i, len(t.Nodes))
+		}
+		if nd.Right <= int32(i) || int(nd.Right) >= len(t.Nodes) {
+			return fmt.Errorf("node %d: right child %d out of range (%d,%d)", i, nd.Right, i, len(t.Nodes))
+		}
+	}
 	return nil
 }

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mpcdvfs/internal/sim"
+)
+
+// FuzzTraceJSONL drives ReadJSONL with arbitrary byte streams: it must
+// either return an error or a well-formed slice of runs, never panic.
+// A stream that parses must also survive a write/read round trip with
+// its records intact — the property cmd/mpcsim relies on when replaying
+// -trace-out files produced by earlier runs.
+func FuzzTraceJSONL(f *testing.F) {
+	// A genuine stream: two runs of the same app/policy (index reset
+	// starts the second run), then a different policy.
+	res := &sim.Result{App: "Spmv", Policy: "mpc", Records: []sim.KernelRecord{
+		{Index: 0, Kernel: "k0", TimeMS: 1.5, Insts: 100, GPUEnergyMJ: 2, Evals: 12},
+		{Index: 1, Kernel: "k1", TimeMS: 0.5, Insts: 50, GPUEnergyMJ: 1, Evals: 9},
+	}}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, res); err != nil {
+		f.Fatal(err)
+	}
+	if err := WriteJSONL(&buf, res); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"app":"a","policy":"p","record":{"Index":0}}`))
+	f.Add([]byte(`{"app":"a"`)) // truncated JSON
+	f.Add([]byte("\n\n{}\n"))
+	f.Add([]byte(`{"app":1,"policy":{},"record":[]}`)) // wrong types
+	f.Add([]byte(strings.Repeat("x", 100)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		runs, err := ReadJSONL(bytes.NewReader(data))
+		if err != nil {
+			return // malformed stream rejected, as documented
+		}
+		total := 0
+		for _, r := range runs {
+			if len(r.Records) == 0 {
+				t.Fatalf("parsed run %q/%q has no records", r.App, r.Policy)
+			}
+			total += len(r.Records)
+		}
+
+		// Round trip: re-writing the parsed runs and reading them back
+		// must preserve every record (run boundaries may merge only if
+		// the original stream violated the grouping invariants, which
+		// parsed runs never do).
+		var out bytes.Buffer
+		for _, r := range runs {
+			res := &sim.Result{App: r.App, Policy: r.Policy, Records: r.Records}
+			if err := WriteJSONL(&out, res); err != nil {
+				t.Fatalf("re-writing parsed runs: %v", err)
+			}
+		}
+		again, err := ReadJSONL(&out)
+		if err != nil {
+			t.Fatalf("re-reading written runs: %v", err)
+		}
+		total2 := 0
+		for _, r := range again {
+			total2 += len(r.Records)
+		}
+		if total2 != total {
+			t.Fatalf("round trip changed record count: %d != %d", total2, total)
+		}
+	})
+}
