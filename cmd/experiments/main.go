@@ -20,7 +20,6 @@ import (
 	"log/slog"
 	"os"
 	"strings"
-	"sync"
 
 	"mpcdvfs/internal/cli"
 	"mpcdvfs/internal/experiments"
@@ -76,7 +75,8 @@ func main() {
 		reg := metrics.New()
 		par.Instrument(reg)
 		observers = append(observers, obs.NewMetrics(reg))
-		defer cli.ServeMetrics(*metricsAddr, reg).Close()
+		srv := cli.ServeMetrics(*metricsAddr, reg)
+		defer cli.Close("observability server", srv)
 	}
 	if *traceOut != "" {
 		tf, err := os.Create(*traceOut)
@@ -84,7 +84,7 @@ func main() {
 			slog.Error("cannot create trace output", "path", *traceOut, "err", err)
 			os.Exit(1)
 		}
-		defer tf.Close()
+		defer cli.Close("trace output", tf)
 		jw := obs.NewJSONLWriter(tf)
 		observers = append(observers, jw)
 		defer func() {
@@ -112,30 +112,23 @@ func main() {
 		return
 	}
 
-	// Parallel mode: run concurrently, render in order. The fixture's
-	// caches are mutex- or once-protected.
+	// Parallel mode: run concurrently through the shared pool, render in
+	// order. Each experiment writes only its own index-addressed slot,
+	// and the fixture's caches are mutex- or once-protected.
 	type slot struct {
 		buf bytes.Buffer
 		err error
 	}
 	slots := make([]slot, len(selected))
-	sem := make(chan struct{}, *parallel)
-	var wg sync.WaitGroup
-	for i, r := range selected {
-		wg.Add(1)
-		go func(i int, r experiments.Runner) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			t, err := r.Run(f)
-			if err != nil {
-				slots[i].err = fmt.Errorf("%s: %w", r.ID, err)
-				return
-			}
-			t.Render(&slots[i].buf)
-		}(i, r)
-	}
-	wg.Wait()
+	par.ForEach(*parallel, len(selected), func(i int) {
+		r := selected[i]
+		t, err := r.Run(f)
+		if err != nil {
+			slots[i].err = fmt.Errorf("%s: %w", r.ID, err)
+			return
+		}
+		t.Render(&slots[i].buf)
+	})
 	for i := range slots {
 		if slots[i].err != nil {
 			slog.Error(slots[i].err.Error())

@@ -1,0 +1,129 @@
+// Command mpclint runs the repository's domain-specific static
+// analysis suite (internal/analysis) over every package of a module:
+//
+//	mpclint ./...                 # lint the module containing the cwd
+//	mpclint -checks float-eq,map-order ./...
+//	mpclint -json ./...           # machine-readable diagnostics
+//	mpclint -list                 # show every check with its doc line
+//
+// Diagnostics print as file:line:col: [check-name] message. The exit
+// status is 0 when the tree is clean, 1 when there are findings, and 2
+// on usage or load errors. Individual findings are suppressed, one line
+// at a time, with
+//
+//	//mpclint:ignore <check-name> <reason>
+//
+// as documented in LINT.md. The module is loaded in a single
+// type-check pass: each package is parsed and checked exactly once no
+// matter how many packages import it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mpcdvfs/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mpclint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	checksFlag := fs.String("checks", "all", "comma-separated checks to run, or all")
+	jsonFlag := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	listFlag := fs.Bool("list", false, "list registered checks and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *listFlag {
+		for _, c := range analysis.Checks() {
+			fmt.Fprintf(stdout, "%-20s %s\n", c.Name, c.Doc)
+		}
+		return 0
+	}
+	checks, err := analysis.Select(*checksFlag)
+	if err != nil {
+		fmt.Fprintln(stderr, "mpclint:", err)
+		return 2
+	}
+
+	targets := fs.Args()
+	if len(targets) == 0 {
+		targets = []string{"./..."}
+	}
+	roots := map[string]bool{}
+	var order []string
+	for _, t := range targets {
+		root, err := moduleRoot(strings.TrimSuffix(t, "..."))
+		if err != nil {
+			fmt.Fprintln(stderr, "mpclint:", err)
+			return 2
+		}
+		if !roots[root] {
+			roots[root] = true
+			order = append(order, root)
+		}
+	}
+
+	var all []analysis.Diagnostic
+	for _, root := range order {
+		diags, err := analysis.LintModule(root, checks)
+		if err != nil {
+			fmt.Fprintln(stderr, "mpclint:", err)
+			return 2
+		}
+		all = append(all, diags...)
+	}
+
+	if *jsonFlag {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if all == nil {
+			all = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintln(stderr, "mpclint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range all {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(all) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// moduleRoot resolves a target (a directory, ".", or the stem left by
+// stripping "..." from a ./... pattern) to the enclosing module root:
+// the nearest parent directory, starting at the target itself, that
+// holds a go.mod.
+func moduleRoot(dir string) (string, error) {
+	if dir == "" {
+		dir = "."
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod found in or above %s", abs)
+		}
+		d = parent
+	}
+}

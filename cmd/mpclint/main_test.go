@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mpcdvfs/internal/analysis"
+)
+
+func fixture(check, kind string) string {
+	return filepath.Join("..", "..", "internal", "analysis", "testdata", "src", check, kind)
+}
+
+// TestFixturesDriveExitCodes runs the driver the way CI does against
+// every check's golden fixtures: each findings fixture must fail with
+// exit 1 and name its check, each clean fixture must pass with exit 0.
+func TestFixturesDriveExitCodes(t *testing.T) {
+	for _, c := range analysis.Checks() {
+		c := c
+		t.Run(c.Name+"/findings", func(t *testing.T) {
+			var out, errb bytes.Buffer
+			code := run([]string{"-checks", c.Name, fixture(c.Name, "findings")}, &out, &errb)
+			if code != 1 {
+				t.Fatalf("exit = %d, want 1 (stderr: %s)", code, errb.String())
+			}
+			if !strings.Contains(out.String(), "["+c.Name+"]") {
+				t.Errorf("output does not name check %s:\n%s", c.Name, out.String())
+			}
+		})
+		t.Run(c.Name+"/clean", func(t *testing.T) {
+			var out, errb bytes.Buffer
+			code := run([]string{"-checks", c.Name, fixture(c.Name, "clean")}, &out, &errb)
+			if code != 0 {
+				t.Fatalf("exit = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+			}
+		})
+	}
+}
+
+// TestRepoTreeClean is the acceptance gate: the full suite over the
+// whole module must exit 0. A new finding anywhere in the tree fails
+// this test until it is fixed or suppressed with a reason.
+func TestRepoTreeClean(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{filepath.Join("..", "..") + string(filepath.Separator) + "..."}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("mpclint over the repository tree: exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", "-checks", "float-eq", fixture("float-eq", "findings")}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	var diags []analysis.Diagnostic
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("JSON output holds no diagnostics")
+	}
+	for _, d := range diags {
+		if d.File == "" || d.Line == 0 || d.Check != "float-eq" || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+	}
+}
+
+func TestSelectUnknownCheck(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-checks", "no-such-check", "."}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown check") {
+		t.Errorf("stderr does not explain the unknown check: %s", errb.String())
+	}
+}
+
+func TestListNamesEveryCheck(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	if n := len(analysis.Checks()); n < 6 {
+		t.Fatalf("registry holds %d checks, want at least the 6 shipped ones", n)
+	}
+	for _, c := range analysis.Checks() {
+		if !strings.Contains(out.String(), c.Name) {
+			t.Errorf("-list omits %s", c.Name)
+		}
+	}
+}

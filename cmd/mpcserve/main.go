@@ -73,7 +73,7 @@ func run(addr, appsFlag, polName string, useOracle bool, modelPath string, seed 
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		defer cli.Close("trace output", f)
 		jw := obs.NewJSONLWriter(f)
 		observers = append(observers, jw)
 		defer func() {
@@ -96,7 +96,7 @@ func run(addr, appsFlag, polName string, useOracle bool, modelPath string, seed 
 	// Serve immediately: /health and /metrics answer while the predictor
 	// trains.
 	srv := cli.ServeMetrics(addr, reg)
-	defer srv.Close()
+	defer cli.Close("observability server", srv)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -114,7 +114,7 @@ func run(addr, appsFlag, polName string, useOracle bool, modelPath string, seed 
 			return err
 		}
 		sharedModel, err = predict.LoadModel(mf)
-		mf.Close()
+		cli.Close("model file", mf)
 		if err != nil {
 			return err
 		}

@@ -73,7 +73,8 @@ func main() {
 		reg = mpcdvfs.NewMetricsRegistry()
 		par.Instrument(reg)
 		sys.SetObserver(mpcdvfs.MultiObserver(mpcdvfs.NewMetricsObserver(reg), obs.NewSlog(nil)))
-		defer cli.ServeMetrics(*metricsAddr, reg).Close()
+		srv := cli.ServeMetrics(*metricsAddr, reg)
+		defer cli.Close("observability server", srv)
 	}
 	base, target, err := sys.Baseline(&app)
 	if err != nil {
@@ -90,7 +91,7 @@ func main() {
 			fatal(err)
 		}
 		model, err = predict.LoadModel(mf)
-		mf.Close()
+		cli.Close("model file", mf)
 		if err != nil {
 			fatal(err)
 		}
@@ -169,7 +170,7 @@ func main() {
 		}
 		for _, res := range results {
 			if err := trace.WriteJSONL(f, res); err != nil {
-				f.Close()
+				cli.Close("JSONL trace", f)
 				fatal(err)
 			}
 		}
@@ -184,7 +185,6 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
 		last := results[len(results)-1]
 		if strings.HasSuffix(*traceOut, ".json") {
 			err = trace.WriteJSON(f, last)
@@ -192,6 +192,12 @@ func main() {
 			err = trace.WriteCSV(f, last)
 		}
 		if err != nil {
+			cli.Close("trace output", f)
+			fatal(err)
+		}
+		// Explicit close: a failed close on a freshly written trace is
+		// data loss, and fatal's os.Exit would skip a defer anyway.
+		if err := f.Close(); err != nil {
 			fatal(err)
 		}
 		slog.Info("trace written", "path", *traceOut)
@@ -206,8 +212,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
 		if err := trace.WritePowerCSV(f, samples); err != nil {
+			cli.Close("power trace", f)
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
 			fatal(err)
 		}
 		slog.Info("power trace written", "path", *powerOut)

@@ -69,8 +69,13 @@ func main() {
 		slog.Error(err.Error())
 		os.Exit(1)
 	}
-	defer f.Close()
 	if err := predict.SaveModel(f, model); err != nil {
+		slog.Error(err.Error())
+		os.Exit(1)
+	}
+	// Close explicitly: a deferred close would never run past os.Exit,
+	// and a failed close on a freshly written model file is data loss.
+	if err := f.Close(); err != nil {
 		slog.Error(err.Error())
 		os.Exit(1)
 	}

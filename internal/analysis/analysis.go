@@ -1,0 +1,192 @@
+// Package analysis is mpclint's from-scratch static-analysis
+// framework: a stdlib-only (go/ast, go/parser, go/types, go/importer)
+// pluggable analyzer registry plus the module loader and suppression
+// machinery the cmd/mpclint driver is built on.
+//
+// The runtime invariants this repository proves dynamically — no
+// wall-clock or global randomness in decision paths, no map iteration
+// order leaking into results, all goroutine fan-out through
+// internal/par, mpcdvfs_-prefixed metric names — are enforced here as
+// compile-time properties: every check inspects the type-checked AST,
+// so a violation is reported before the code ever runs.
+//
+// A check is a named Check value registered with Register; the driver
+// runs every selected check over every package of the module (each
+// package is parsed and type-checked exactly once, see Loader) and
+// collects Diagnostics. Findings can be suppressed one line at a time
+// with
+//
+//	//mpclint:ignore <check-name> <reason>
+//
+// directives (see ignore.go); a suppression without a reason is itself
+// a finding.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// A Check inspects one type-checked package and reports findings. Name
+// is the stable kebab-case identifier used in diagnostics, the -checks
+// flag and ignore directives.
+type Check struct {
+	Name string
+	Doc  string // one-line description shown by mpclint -list
+	Run  func(*Pass)
+}
+
+// Pass carries everything a single check needs to analyze a single
+// package, and receives its findings.
+type Pass struct {
+	Check *Check
+	Pkg   *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding of the pass's check at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Position: p.Pkg.Fset.Position(pos),
+		Check:    p.Check.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of expression e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.Pkg.Info.TypeOf(e)
+}
+
+// Diagnostic is one finding: a position, the check that produced it and
+// a human-readable message.
+type Diagnostic struct {
+	Position token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Check    string         `json:"check"`
+	Message  string         `json:"message"`
+}
+
+// String renders the driver's text output form:
+// file:line:col: [check] message.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Check, d.Message)
+}
+
+// fill copies the token.Position into the JSON-visible fields.
+func (d *Diagnostic) fill() {
+	d.File, d.Line, d.Col = d.Position.Filename, d.Position.Line, d.Position.Column
+}
+
+// The process-wide check registry. Checks register themselves from
+// init functions in their own files; the registry is read-only after
+// init, so no locking is needed.
+var registry = map[string]*Check{}
+
+// Register adds a check to the registry. It panics on a duplicate or
+// empty name — both are programming errors in the check suite itself.
+func Register(c *Check) {
+	if c.Name == "" || c.Run == nil {
+		panic("analysis: Register with empty name or nil Run")
+	}
+	if _, dup := registry[c.Name]; dup {
+		panic("analysis: duplicate check " + c.Name)
+	}
+	registry[c.Name] = c
+}
+
+// Checks returns every registered check, sorted by name.
+func Checks() []*Check {
+	out := make([]*Check, 0, len(registry))
+	for _, c := range registry {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Lookup returns the registered check with the given name, if any.
+func Lookup(name string) (*Check, bool) {
+	c, ok := registry[name]
+	return c, ok
+}
+
+// Select resolves a -checks flag value: "all" (or "") selects every
+// registered check, otherwise the value is a comma-separated list of
+// check names. Unknown names are an error listing the valid ones.
+func Select(list string) ([]*Check, error) {
+	list = strings.TrimSpace(list)
+	if list == "" || list == "all" {
+		return Checks(), nil
+	}
+	var out []*Check
+	seen := map[string]bool{}
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		c, ok := registry[name]
+		if !ok {
+			known := make([]string, 0, len(registry))
+			for n := range registry {
+				known = append(known, n)
+			}
+			sort.Strings(known)
+			return nil, fmt.Errorf("unknown check %q (known: %s)", name, strings.Join(known, ", "))
+		}
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-checks selected no checks")
+	}
+	return out, nil
+}
+
+// Run executes the given checks over the given packages, applies
+// //mpclint:ignore suppressions, and returns the surviving diagnostics
+// sorted by file, line, column and check name. Malformed or
+// unknown-check directives are reported as diagnostics of the pseudo
+// check "mpclint-directive" regardless of the selection — a suppression
+// that silently fails to parse would otherwise hide the very findings
+// it mis-targets.
+func Run(pkgs []*Package, checks []*Check) []Diagnostic {
+	var diags []Diagnostic
+	var dirs []Directive
+	for _, pkg := range pkgs {
+		for _, c := range checks {
+			c.Run(&Pass{Check: c, Pkg: pkg, diags: &diags})
+		}
+		d, bad := Directives(pkg.Fset, pkg.Files)
+		dirs = append(dirs, d...)
+		diags = append(diags, bad...)
+	}
+	diags = Suppress(diags, dirs)
+	for i := range diags {
+		diags[i].fill()
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+	return diags
+}

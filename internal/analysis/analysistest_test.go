@@ -1,0 +1,130 @@
+package analysis
+
+// The golden fixture harness: every check gets a findings fixture and a
+// clean fixture under testdata/src/<check>/{findings,clean}, each a
+// tiny self-contained module (its own go.mod) so package import paths —
+// which several checks scope on — are under the fixture's control.
+//
+// Expected findings are written as trailing comments on the offending
+// line:
+//
+//	out = append(out, k) // want `appends in iteration order`
+//
+// Each backquoted segment is a regexp; the diagnostics on a line must
+// match the wants on that line one-to-one.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// lintFixture runs exactly one check over the fixture module at
+// testdata/src/<dir>.
+func lintFixture(t *testing.T, checkName, dir string) []Diagnostic {
+	t.Helper()
+	c, ok := Lookup(checkName)
+	if !ok {
+		t.Fatalf("no registered check %q", checkName)
+	}
+	root, err := filepath.Abs(filepath.Join("testdata", "src", dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := LintModule(root, []*Check{c})
+	if err != nil {
+		t.Fatalf("linting fixture %s: %v", dir, err)
+	}
+	return diags
+}
+
+var wantLineRE = regexp.MustCompile(`// want (.*)$`)
+var wantPatRE = regexp.MustCompile("`([^`]+)`")
+
+type wantKey struct {
+	file string
+	line int
+}
+
+// collectWants scans every .go file under root for // want comments.
+func collectWants(t *testing.T, root string) map[wantKey][]string {
+	t.Helper()
+	wants := map[wantKey][]string{}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantLineRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			k := wantKey{path, i + 1}
+			for _, pat := range wantPatRE.FindAllStringSubmatch(m[1], -1) {
+				wants[k] = append(wants[k], pat[1])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}
+
+// matchWants verifies diagnostics against want comments one-to-one.
+func matchWants(t *testing.T, diags []Diagnostic, wants map[wantKey][]string) {
+	t.Helper()
+	unmatched := map[wantKey][]string{}
+	for k, v := range wants {
+		unmatched[k] = append([]string(nil), v...)
+	}
+	for _, d := range diags {
+		k := wantKey{d.File, d.Line}
+		pats := unmatched[k]
+		hit := -1
+		for i, pat := range pats {
+			if regexp.MustCompile(pat).MatchString(d.Message) {
+				hit = i
+				break
+			}
+		}
+		if hit < 0 {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		unmatched[k] = append(pats[:hit], pats[hit+1:]...)
+	}
+	for k, pats := range unmatched {
+		for _, pat := range pats {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, pat)
+		}
+	}
+}
+
+// testCheck is the golden pair every check's test file calls: the
+// findings fixture must produce exactly its want-annotated diagnostics
+// (and at least one), the clean fixture must produce none.
+func testCheck(t *testing.T, checkName string) {
+	t.Run("findings", func(t *testing.T) {
+		dir := filepath.Join(checkName, "findings")
+		diags := lintFixture(t, checkName, dir)
+		if len(diags) == 0 {
+			t.Fatalf("findings fixture for %s produced no diagnostics", checkName)
+		}
+		root, _ := filepath.Abs(filepath.Join("testdata", "src", dir))
+		matchWants(t, diags, collectWants(t, root))
+	})
+	t.Run("clean", func(t *testing.T) {
+		diags := lintFixture(t, checkName, filepath.Join(checkName, "clean"))
+		for _, d := range diags {
+			t.Errorf("clean fixture for %s produced diagnostic: %s", checkName, d)
+		}
+	})
+}

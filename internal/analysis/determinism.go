@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// decisionPathRE matches the packages whose outputs must replay
+// byte-identically: the MPC optimizer core, the random-forest learner,
+// the policies, the predictors and the simulator. (internal/par is the
+// one place nondeterministic scheduling is allowed, precisely because
+// its callers reduce to deterministic results.)
+var decisionPathRE = regexp.MustCompile(`(^|/)internal/(core|rf|policy|predict|sim)(/|$)`)
+
+func init() {
+	Register(&Check{
+		Name: "determinism",
+		Doc:  "no wall-clock reads, global randomness or racing selects in decision-path packages",
+		Run:  runDeterminism,
+	})
+}
+
+func runDeterminism(p *Pass) {
+	if !decisionPathRE.MatchString(p.Pkg.Path) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(p, n)
+				if fn == nil {
+					return true
+				}
+				switch full := fn.FullName(); full {
+				case "time.Now", "time.Since", "time.Until":
+					p.Reportf(n.Pos(), "%s reads the wall clock in a decision path; decisions must depend only on replayable inputs (plumb measured times in as data)", full)
+				default:
+					if globalRandFunc(fn) {
+						p.Reportf(n.Pos(), "%s draws from the process-global random source; use an explicitly seeded *rand.Rand threaded through the call (see rf.Config.Seed)", full)
+					}
+				}
+			case *ast.SelectStmt:
+				comm := 0
+				for _, cl := range n.Body.List {
+					if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
+						comm++
+					}
+				}
+				if comm >= 2 {
+					p.Reportf(n.Pos(), "select with %d channel cases chooses pseudo-randomly when several are ready; decision paths must not branch on scheduler nondeterminism", comm)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// globalRandFunc reports whether fn is a package-level math/rand (or
+// math/rand/v2) function drawing from the shared global source.
+// Constructors (New, NewSource, ...) are deterministic given their seed
+// and stay allowed.
+func globalRandFunc(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil || (pkg.Path() != "math/rand" && pkg.Path() != "math/rand/v2") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return false // a method on an explicitly seeded *rand.Rand / Source
+	}
+	return !strings.HasPrefix(fn.Name(), "New")
+}

@@ -1,0 +1,5 @@
+package analysis
+
+import "testing"
+
+func TestDeterminism(t *testing.T) { testCheck(t, "determinism") }

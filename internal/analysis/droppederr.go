@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+func init() {
+	Register(&Check{
+		Name: "dropped-error",
+		Doc:  "no silently discarded error results on non-exempt calls",
+		Run:  runDroppedError,
+	})
+}
+
+// droppedErrExempt lists callees (by types.Func.FullName) whose error
+// result is conventionally unactionable in this repository: the fmt
+// print family (stdout/stderr and in-memory buffers) and the
+// never-failing Write methods of strings.Builder and bytes.Buffer.
+// An explicit `_ =` assignment is always accepted — the check targets
+// silent drops, not visible, deliberate ones.
+var droppedErrExempt = map[string]bool{
+	"fmt.Print":    true,
+	"fmt.Printf":   true,
+	"fmt.Println":  true,
+	"fmt.Fprint":   true,
+	"fmt.Fprintf":  true,
+	"fmt.Fprintln": true,
+
+	"(*strings.Builder).Write":       true,
+	"(*strings.Builder).WriteString": true,
+	"(*strings.Builder).WriteByte":   true,
+	"(*strings.Builder).WriteRune":   true,
+	"(*bytes.Buffer).Write":          true,
+	"(*bytes.Buffer).WriteString":    true,
+	"(*bytes.Buffer).WriteByte":      true,
+	"(*bytes.Buffer).WriteRune":      true,
+
+	// bufio.Writer latches its first error and turns every later write
+	// into a no-op, so the idiomatic single Flush-error check at the end
+	// of the write sequence observes everything; Flush itself stays
+	// checked.
+	"(*bufio.Writer).Write":       true,
+	"(*bufio.Writer).WriteString": true,
+	"(*bufio.Writer).WriteByte":   true,
+	"(*bufio.Writer).WriteRune":   true,
+}
+
+func runDroppedError(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+					flagDroppedErr(p, call, "")
+				}
+			case *ast.DeferStmt:
+				flagDroppedErr(p, n.Call, "deferred ")
+			case *ast.GoStmt:
+				flagDroppedErr(p, n.Call, "spawned ")
+			}
+			return true
+		})
+	}
+}
+
+// flagDroppedErr reports call if it returns an error that the statement
+// form necessarily discards.
+func flagDroppedErr(p *Pass, call *ast.CallExpr, how string) {
+	t := p.TypeOf(call)
+	if t == nil || !returnsError(t) {
+		return
+	}
+	fn := calleeFunc(p, call)
+	name := "call"
+	if fn != nil {
+		if droppedErrExempt[fn.FullName()] {
+			return
+		}
+		name = fn.FullName()
+	}
+	p.Reportf(call.Pos(), "%serror result of %s is silently discarded; handle it, log it, or discard visibly with _ =", how, name)
+}
+
+// returnsError reports whether a call result type contains an error.
+func returnsError(t types.Type) bool {
+	errType := types.Universe.Lookup("error").Type()
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if types.Identical(tuple.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	}
+	return types.Identical(t, errType)
+}

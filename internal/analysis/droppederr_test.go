@@ -1,0 +1,5 @@
+package analysis
+
+import "testing"
+
+func TestDroppedError(t *testing.T) { testCheck(t, "dropped-error") }

@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+)
+
+func init() {
+	Register(&Check{
+		Name: "float-eq",
+		Doc:  "no == or != on floating-point operands outside approved epsilon helpers",
+		Run:  runFloatEq,
+	})
+}
+
+// approvedEqHelperRE matches the names of functions allowed to compare
+// floats exactly: the epsilon/approximate-equality helpers themselves,
+// which need the raw comparison to implement their tolerance (and to
+// short-circuit the identical-value case).
+var approvedEqHelperRE = regexp.MustCompile(`(?i)(approx|almost|nearly|within|epsilon|ulps?)`)
+
+func runFloatEq(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				if gd, isGen := decl.(*ast.GenDecl); isGen {
+					flagFloatEq(p, gd) // package-level var initializers
+				}
+				continue
+			}
+			if approvedEqHelperRE.MatchString(fd.Name.Name) {
+				continue
+			}
+			if fd.Body != nil {
+				flagFloatEq(p, fd.Body)
+			}
+		}
+	}
+}
+
+func flagFloatEq(p *Pass, root ast.Node) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		xt, yt := p.TypeOf(be.X), p.TypeOf(be.Y)
+		if xt == nil || yt == nil || !isFloat(xt) || !isFloat(yt) {
+			return true
+		}
+		// Comparing against the exact-zero constant is a sentinel test
+		// ("was this field ever set"), not float arithmetic; everything
+		// else must go through the documented comparator.
+		if exactZero(p, be.X) || exactZero(p, be.Y) {
+			return true
+		}
+		p.Reportf(be.OpPos, "%s on floating-point operands; rounding makes exact equality meaningless — compare through an epsilon helper (stats.ApproxEqual) or restructure as an ordered test", be.Op)
+		return true
+	})
+}

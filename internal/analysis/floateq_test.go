@@ -1,0 +1,5 @@
+package analysis
+
+import "testing"
+
+func TestFloatEq(t *testing.T) { testCheck(t, "float-eq") }

@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzSuppressionDirective drives arbitrary comment text through the
+// //mpclint:ignore parser and pins its contract: it never panics, it
+// never reports an error for text it does not claim as a directive,
+// every accepted directive has a well-formed check name and a non-empty
+// trimmed reason, and re-rendering an accepted directive in canonical
+// form parses back to the same check and reason.
+func FuzzSuppressionDirective(f *testing.F) {
+	for _, seed := range []string{
+		"//mpclint:ignore pooled-concurrency long-lived server goroutine",
+		"//mpclint:ignore float-eq exact tie documented in DESIGN.md",
+		"//mpclint:ignore\tdropped-error\tbest-effort cleanup",
+		"//mpclint:ignore",
+		"//mpclint:ignore determinism",
+		"//mpclint:ignore BAD_NAME reason",
+		"// mpclint:ignore determinism space before verb",
+		"//mpclint:ignored determinism longer word",
+		"// a comment mentioning mpclint:ignore in prose",
+		"/* mpclint:ignore determinism block form */",
+		"//",
+		"",
+		"//mpclint:ignore determinism  ",
+		"//mpclint:ignore x y",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		check, reason, ok, err := ParseDirective(text)
+		if err != nil && !ok {
+			t.Fatalf("error %v for text not claimed as a directive: %q", err, text)
+		}
+		if !ok || err != nil {
+			return
+		}
+		if !checkNameRE.MatchString(check) {
+			t.Fatalf("accepted invalid check name %q from %q", check, text)
+		}
+		if trimmed := strings.TrimSpace(reason); trimmed == "" || trimmed != reason {
+			t.Fatalf("accepted untrimmed or empty reason %q from %q", reason, text)
+		}
+		canon := DirectivePrefix + " " + check + " " + reason
+		c2, r2, ok2, err2 := ParseDirective(canon)
+		if !ok2 || err2 != nil {
+			t.Fatalf("canonical form %q rejected: %v", canon, err2)
+		}
+		norm := func(s string) string { return strings.Join(strings.Fields(s), " ") }
+		if c2 != check || norm(r2) != norm(reason) {
+			t.Fatalf("canonical round-trip changed directive: (%q,%q) -> (%q,%q)", check, reason, c2, r2)
+		}
+	})
+}

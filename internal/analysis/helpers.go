@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// calleeFunc resolves the function or method a call expression invokes,
+// or nil when the callee is not a declared function (a conversion, a
+// builtin, a called function value of unknown origin).
+func calleeFunc(p *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := p.Pkg.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := p.Pkg.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isBuiltin reports whether a call invokes the named Go builtin
+// (append, len, ...).
+func isBuiltin(p *Pass, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := p.Pkg.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// isFloat reports whether t is a floating-point type (after unwrapping
+// named types).
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// exactZero reports whether e is a compile-time constant equal to
+// exactly zero — the one float value a bit-exact comparison against is
+// deliberate (an unset-sentinel test), not an arithmetic one.
+func exactZero(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}
+
+// namedReceiver unwraps the receiver type of a method selector down to
+// its named type, dereferencing one pointer level.
+func namedReceiver(t types.Type) *types.Named {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// declaredOutside reports whether obj was declared outside the source
+// range [from, to] — i.e. the identifier refers to state that outlives
+// the statement under inspection.
+func declaredOutside(obj types.Object, from, to ast.Node) bool {
+	if obj == nil {
+		return false
+	}
+	pos := obj.Pos()
+	return pos < from.Pos() || pos > to.End()
+}

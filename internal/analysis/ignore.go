@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// DirectivePrefix is the comment form that suppresses one finding:
+//
+//	//mpclint:ignore <check-name> <reason>
+//
+// Like all Go tool directives it allows no space between // and the
+// verb. A directive is line-anchored: it suppresses findings of the
+// named check on its own source line (trailing-comment placement) and
+// on the line directly below it (own-line placement) — nothing else.
+// It is check-scoped: <check-name> must name one registered check, so a
+// directive can never blanket-silence the suite. The reason is
+// mandatory and non-empty; a suppression that cannot say why it exists
+// is reported as a finding itself (pseudo-check "mpclint-directive").
+const DirectivePrefix = "//mpclint:ignore"
+
+// DirectiveCheck is the pseudo-check name under which malformed or
+// unknown-check directives are reported. It is always on: a typo in a
+// suppression must not silently re-enable the finding it targets while
+// hiding the typo.
+const DirectiveCheck = "mpclint-directive"
+
+var checkNameRE = regexp.MustCompile(`^[a-z][a-z0-9-]*$`)
+
+// Directive is one parsed //mpclint:ignore comment.
+type Directive struct {
+	Check  string
+	Reason string
+	File   string
+	Line   int // line the comment itself is on
+}
+
+// ParseDirective parses the text of one comment (as ast.Comment.Text
+// stores it, including the // or /* markers). It returns ok=false when
+// the comment is not an mpclint directive at all; err != nil when it
+// tries to be one but is malformed. Malformed cases: block-comment
+// form, space between // and the verb, a missing or invalid check
+// name, or an empty reason.
+func ParseDirective(text string) (check, reason string, ok bool, err error) {
+	const verb = "mpclint:ignore"
+	body, isLine := strings.CutPrefix(text, "//")
+	if !isLine {
+		inner := strings.TrimSuffix(strings.TrimPrefix(text, "/*"), "*/")
+		if strings.HasPrefix(strings.TrimSpace(inner), verb) {
+			return "", "", true, fmt.Errorf("mpclint:ignore must be a line comment (//) so it anchors to one line")
+		}
+		return "", "", false, nil
+	}
+	rest, anchored := strings.CutPrefix(body, verb)
+	if !anchored {
+		// `// mpclint:ignore ...` is a directive with an illegal space;
+		// a comment that merely mentions the verb mid-sentence is prose.
+		if strings.HasPrefix(strings.TrimSpace(body), verb) {
+			return "", "", true, fmt.Errorf("malformed directive: write %q with no space between // and the verb", DirectivePrefix)
+		}
+		return "", "", false, nil
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		// e.g. //mpclint:ignored — some other word, not our verb.
+		return "", "", false, nil
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", "", true, fmt.Errorf("directive names no check: want %q", DirectivePrefix+" <check> <reason>")
+	}
+	check = fields[0]
+	if !checkNameRE.MatchString(check) {
+		return "", "", true, fmt.Errorf("invalid check name %q in directive (want lowercase kebab-case)", check)
+	}
+	reason = strings.TrimSpace(strings.Join(fields[1:], " "))
+	if reason == "" {
+		return "", "", true, fmt.Errorf("directive for check %q has no reason; suppressions must say why", check)
+	}
+	return check, reason, true, nil
+}
+
+// Directives extracts every suppression directive from the files,
+// returning the well-formed ones and a diagnostic for each malformed or
+// unknown-check one.
+func Directives(fset *token.FileSet, files []*ast.File) ([]Directive, []Diagnostic) {
+	var dirs []Directive
+	var bad []Diagnostic
+	report := func(pos token.Pos, msg string) {
+		bad = append(bad, Diagnostic{
+			Position: fset.Position(pos),
+			Check:    DirectiveCheck,
+			Message:  msg,
+		})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				check, reason, ok, err := ParseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				if err != nil {
+					report(c.Pos(), err.Error())
+					continue
+				}
+				if _, known := Lookup(check); !known {
+					report(c.Pos(), fmt.Sprintf("directive suppresses unknown check %q", check))
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				dirs = append(dirs, Directive{
+					Check:  check,
+					Reason: reason,
+					File:   pos.Filename,
+					Line:   pos.Line,
+				})
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// Suppress drops every diagnostic matched by a directive: same file,
+// same check, and a line equal to the directive's line or the line
+// directly below it. Directive diagnostics (DirectiveCheck) are never
+// suppressed.
+func Suppress(diags []Diagnostic, dirs []Directive) []Diagnostic {
+	if len(dirs) == 0 {
+		return diags
+	}
+	type key struct {
+		file  string
+		check string
+		line  int
+	}
+	covered := make(map[key]bool, 2*len(dirs))
+	for _, d := range dirs {
+		covered[key{d.File, d.Check, d.Line}] = true
+		covered[key{d.File, d.Check, d.Line + 1}] = true
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if d.Check != DirectiveCheck &&
+			covered[key{d.Position.Filename, d.Check, d.Position.Line}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		name   string
+		text   string
+		check  string
+		reason string
+		ok     bool
+		errHas string // "" means no error
+	}{
+		{name: "valid", text: "//mpclint:ignore float-eq exact tie-break documented in DESIGN.md",
+			check: "float-eq", reason: "exact tie-break documented in DESIGN.md", ok: true},
+		{name: "valid with tabs", text: "//mpclint:ignore\tpooled-concurrency\tserver goroutine",
+			check: "pooled-concurrency", reason: "server goroutine", ok: true},
+		{name: "plain comment", text: "// just a comment", ok: false},
+		{name: "prose mention", text: "// suppressions use mpclint:ignore comments", ok: false},
+		{name: "longer verb is a different word", text: "//mpclint:ignored float-eq reason", ok: false},
+		{name: "space before verb", text: "// mpclint:ignore float-eq reason",
+			ok: true, errHas: "no space between"},
+		{name: "no check", text: "//mpclint:ignore",
+			ok: true, errHas: "names no check"},
+		{name: "no check trailing space", text: "//mpclint:ignore   ",
+			ok: true, errHas: "names no check"},
+		{name: "missing reason", text: "//mpclint:ignore float-eq",
+			ok: true, errHas: "has no reason"},
+		{name: "blank reason", text: "//mpclint:ignore float-eq \t ",
+			ok: true, errHas: "has no reason"},
+		{name: "invalid check name", text: "//mpclint:ignore Float_EQ some reason",
+			ok: true, errHas: "invalid check name"},
+		{name: "block comment", text: "/* mpclint:ignore float-eq reason */",
+			ok: true, errHas: "line comment"},
+		{name: "block comment prose", text: "/* docs may mention mpclint:ignore freely */", ok: false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			check, reason, ok, err := ParseDirective(c.text)
+			if ok != c.ok {
+				t.Fatalf("ok = %v, want %v (err %v)", ok, c.ok, err)
+			}
+			if c.errHas == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+			} else {
+				if err == nil || !strings.Contains(err.Error(), c.errHas) {
+					t.Fatalf("error = %v, want containing %q", err, c.errHas)
+				}
+				return
+			}
+			if !ok {
+				return
+			}
+			if check != c.check || reason != c.reason {
+				t.Fatalf("parsed (%q, %q), want (%q, %q)", check, reason, c.check, c.reason)
+			}
+		})
+	}
+}
+
+// TestSuppressLineAnchoring pins the anchoring contract directly: a
+// directive covers its own line and the next, in its own file, for its
+// own check only — and directive diagnostics are unsuppressable.
+func TestSuppressLineAnchoring(t *testing.T) {
+	diag := func(file string, line int, check string) Diagnostic {
+		return Diagnostic{Position: token.Position{Filename: file, Line: line}, Check: check, Message: "m"}
+	}
+	dirs := []Directive{{Check: "float-eq", Reason: "r", File: "a.go", Line: 10}}
+	cases := []struct {
+		name       string
+		d          Diagnostic
+		suppressed bool
+	}{
+		{"same line", diag("a.go", 10, "float-eq"), true},
+		{"next line", diag("a.go", 11, "float-eq"), true},
+		{"two lines below", diag("a.go", 12, "float-eq"), false},
+		{"line above", diag("a.go", 9, "float-eq"), false},
+		{"other check", diag("a.go", 10, "map-order"), false},
+		{"other file", diag("b.go", 10, "float-eq"), false},
+		{"directive diagnostic", diag("a.go", 10, DirectiveCheck), false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := Suppress([]Diagnostic{c.d}, dirs)
+			if suppressed := len(got) == 0; suppressed != c.suppressed {
+				t.Errorf("suppressed = %v, want %v", suppressed, c.suppressed)
+			}
+		})
+	}
+}
+
+// TestIgnoreFixture runs the pooled-concurrency check over the mixed
+// suppression fixture: the harness asserts that correctly anchored
+// directives silence their finding and everything else survives,
+// including the diagnostics for the malformed and unknown-check
+// directives themselves.
+func TestIgnoreFixture(t *testing.T) {
+	diags := lintFixture(t, "pooled-concurrency", filepath.Join("ignore", "mixed"))
+	if len(diags) == 0 {
+		t.Fatal("ignore fixture produced no diagnostics")
+	}
+	root, err := filepath.Abs(filepath.Join("testdata", "src", "ignore", "mixed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchWants(t, diags, collectWants(t, root))
+}

@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+func init() {
+	Register(&Check{
+		Name: "map-order",
+		Doc:  "no map iteration order leaking into slices, aggregates or output",
+		Run:  runMapOrder,
+	})
+}
+
+func runMapOrder(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := p.TypeOf(rng.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if reason := mapOrderLeak(p, fd.Body, rng); reason != "" {
+					p.Reportf(rng.Pos(), "range over map %s; iterate a sorted key slice instead so the result is independent of map iteration order", reason)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// mapOrderLeak inspects the body of a range-over-map for the ways
+// iteration order escapes into results: building a slice, writing
+// output, or aggregating an order-dependent min/max/argmin. It returns
+// a short description of the first leak found, or "". The one blessed
+// pattern — appending keys to a slice that is then handed to a sort
+// call later in the same function — is recognized and not flagged,
+// since sorting erases the iteration order the append captured.
+func mapOrderLeak(p *Pass, funcBody *ast.BlockStmt, rng *ast.RangeStmt) string {
+	var reason string
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if writesOutput(p, n) {
+				reason = "writes output in iteration order"
+				return false
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				lhs := ast.Unparen(lhs)
+				if ix, ok := lhs.(*ast.IndexExpr); ok {
+					if bt := p.TypeOf(ix.X); bt != nil {
+						if _, isSlice := bt.Underlying().(*types.Slice); isSlice {
+							reason = "assigns slice elements in iteration order"
+							return false
+						}
+					}
+				}
+				if i < len(n.Rhs) {
+					if call, ok := ast.Unparen(n.Rhs[i]).(*ast.CallExpr); ok && isBuiltin(p, call, "append") {
+						if id, ok := lhs.(*ast.Ident); ok && sortedAfter(p, funcBody, p.objectOf(id), rng.End()) {
+							continue // collect-then-sort: order is erased
+						}
+						reason = "appends in iteration order"
+						return false
+					}
+				}
+			}
+		case *ast.IfStmt:
+			if hasRelationalCond(n.Cond) && assignsOutside(p, n.Body, rng) {
+				reason = "aggregates a min/max under a relational test (argmin ties depend on iteration order)"
+				return false
+			}
+		}
+		return true
+	})
+	return reason
+}
+
+// objectOf resolves an identifier to its object via Uses or Defs.
+func (p *Pass) objectOf(id *ast.Ident) types.Object {
+	if obj := p.Pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.Pkg.Info.Defs[id]
+}
+
+// sortedAfter reports whether obj is passed to a sort/slices sorting
+// function somewhere after pos in the same function body.
+func sortedAfter(p *Pass, funcBody *ast.BlockStmt, obj types.Object, pos token.Pos) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || len(call.Args) == 0 || found {
+			return !found
+		}
+		fn := calleeFunc(p, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if path := fn.Pkg().Path(); path != "sort" && path != "slices" {
+			return true
+		}
+		if !strings.Contains(fn.Name(), "Sort") && !strings.HasPrefix(fn.Name(), "Stable") &&
+			fn.Name() != "Strings" && fn.Name() != "Ints" && fn.Name() != "Float64s" && fn.Name() != "Slice" {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && p.objectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// writesOutput reports whether the call is an ordered write: the fmt
+// Fprint family or a Write* method (builders, buffers, writers).
+func writesOutput(p *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(p, call)
+	if fn == nil {
+		return false
+	}
+	if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "fmt" && strings.HasPrefix(fn.Name(), "F") {
+		return true // Fprint, Fprintf, Fprintln
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return strings.HasPrefix(fn.Name(), "Write")
+	}
+	return false
+}
+
+// hasRelationalCond reports whether the condition contains an ordered
+// comparison (<, >, <=, >=).
+func hasRelationalCond(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if be, ok := n.(*ast.BinaryExpr); ok {
+			switch be.Op {
+			case token.LSS, token.GTR, token.LEQ, token.GEQ:
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// assignsOutside reports whether any statement in body assigns to a
+// variable declared outside the range statement — the signature of an
+// aggregate (best/bestKey) carried across iterations.
+func assignsOutside(p *Pass, body ast.Node, rng *ast.RangeStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return !found
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if v, isVar := p.objectOf(id).(*types.Var); isVar && declaredOutside(v, rng, rng) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

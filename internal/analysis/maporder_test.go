@@ -1,0 +1,5 @@
+package analysis
+
+import "testing"
+
+func TestMapOrder(t *testing.T) { testCheck(t, "map-order") }

@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"regexp"
+	"strings"
+)
+
+// metricNameRE is the repository's metric-naming contract: every series
+// the runtime exports carries the mpcdvfs_ prefix so dashboards and
+// alerts can select the whole subsystem with one matcher.
+var metricNameRE = regexp.MustCompile(`^mpcdvfs_[a-z0-9_]+$`)
+
+// registrarMethods are the metrics.Registry methods that mint a new
+// series from their first (name) argument.
+var registrarMethods = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+
+func init() {
+	Register(&Check{
+		Name: "metric-name",
+		Doc:  "metric registrations must use literal names matching ^mpcdvfs_[a-z0-9_]+$",
+		Run:  runMetricName,
+	})
+}
+
+func runMetricName(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || !registrarMethods[sel.Sel.Name] {
+				return true
+			}
+			recv := p.TypeOf(sel.X)
+			if recv == nil {
+				return true
+			}
+			named := namedReceiver(recv)
+			if named == nil || named.Obj().Name() != "Registry" ||
+				named.Obj().Pkg() == nil || !strings.HasSuffix(named.Obj().Pkg().Path(), "internal/metrics") {
+				return true
+			}
+			tv, ok := p.Pkg.Info.Types[call.Args[0]]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				p.Reportf(call.Args[0].Pos(), "metric name passed to Registry.%s is not a compile-time constant; use a literal so the mpcdvfs_ naming contract is checkable", sel.Sel.Name)
+				return true
+			}
+			if name := constant.StringVal(tv.Value); !metricNameRE.MatchString(name) {
+				p.Reportf(call.Args[0].Pos(), "metric name %q violates the naming contract %s", name, metricNameRE)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,5 @@
+package analysis
+
+import "testing"
+
+func TestMetricName(t *testing.T) { testCheck(t, "metric-name") }

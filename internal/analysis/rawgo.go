@@ -1,0 +1,34 @@
+package analysis
+
+import (
+	"go/ast"
+	"regexp"
+)
+
+// pooledExemptRE matches the two packages allowed to start goroutines
+// directly: internal/par owns the worker pool every fan-out must go
+// through, and internal/obs owns the asynchronous observer plumbing
+// whose delivery is outside any determinism contract.
+var pooledExemptRE = regexp.MustCompile(`(^|/)internal/(par|obs)(/|$)`)
+
+func init() {
+	Register(&Check{
+		Name: "pooled-concurrency",
+		Doc:  "no raw go statements outside internal/par and internal/obs",
+		Run:  runPooledConcurrency,
+	})
+}
+
+func runPooledConcurrency(p *Pass) {
+	if pooledExemptRE.MatchString(p.Pkg.Path) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				p.Reportf(g.Pos(), "raw go statement outside internal/par: fan-out must use par.ForEach so worker counts, accounting and panic propagation stay uniform (long-lived service goroutines may suppress with a reason)")
+			}
+			return true
+		})
+	}
+}

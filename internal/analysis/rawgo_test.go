@@ -1,0 +1,5 @@
+package analysis
+
+import "testing"
+
+func TestPooledConcurrency(t *testing.T) { testCheck(t, "pooled-concurrency") }

@@ -1,0 +1,14 @@
+// Package app is outside the decision-path set, where measuring wall
+// time and using ambient randomness is legitimate (harnesses, CLIs).
+package app
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Elapsed() time.Duration {
+	start := time.Now()
+	_ = rand.Int()
+	return time.Since(start)
+}

@@ -1,0 +1,17 @@
+// Package core shows the allowed forms inside a decision path: an
+// explicitly seeded rand.Rand, methods on it, and a select that cannot
+// race because it has a single channel case.
+package core
+
+import "math/rand"
+
+func Decide(seed int64, ch chan int) float64 {
+	rng := rand.New(rand.NewSource(seed)) // constructors are deterministic given the seed
+	x := rng.Float64()                    // method on a seeded *rand.Rand, not the global source
+	select {
+	case v := <-ch:
+		x += float64(v)
+	default:
+	}
+	return x
+}

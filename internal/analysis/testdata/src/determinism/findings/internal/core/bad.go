@@ -1,0 +1,23 @@
+// Package core is a decision-path package (import path matches
+// internal/core), so wall-clock reads, global randomness and racing
+// selects are findings.
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Decide(ch1, ch2 chan int) float64 {
+	start := time.Now()                // want `time\.Now reads the wall clock`
+	_ = time.Since(start)              // want `time\.Since reads the wall clock`
+	x := rand.Float64()                // want `rand\.Float64 draws from the process-global random source`
+	rand.Shuffle(2, func(i, j int) {}) // want `rand\.Shuffle draws from the process-global random source`
+	select {                           // want `select with 2 channel cases chooses pseudo-randomly`
+	case v := <-ch1:
+		x += float64(v)
+	case v := <-ch2:
+		x -= float64(v)
+	}
+	return x
+}

@@ -1,0 +1,28 @@
+package p
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+func work() error { return nil }
+
+func run() error {
+	if err := work(); err != nil {
+		return err
+	}
+	_ = work() // explicit discard is visible intent
+	var sb strings.Builder
+	sb.WriteString("exempt: never fails")
+	var buf bytes.Buffer
+	buf.WriteByte('x')
+	fmt.Println("exempt: stdout print family")
+	fmt.Fprintf(&buf, "exempt: %s", "fmt family")
+	defer func() {
+		if err := work(); err != nil {
+			fmt.Println("cleanup failed:", err)
+		}
+	}()
+	return nil
+}

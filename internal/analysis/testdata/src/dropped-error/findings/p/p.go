@@ -1,0 +1,17 @@
+package p
+
+func work() error { return nil }
+
+func run() {
+	work()       // want `error result of fix/p\.work is silently discarded`
+	defer work() // want `deferred error result of fix/p\.work is silently discarded`
+}
+
+type closer struct{}
+
+func (c *closer) Close() error { return nil }
+
+func cleanup(c *closer) {
+	defer c.Close() // want `deferred error result of \(\*fix/p\.closer\)\.Close is silently discarded`
+	c.Close()       // want `error result of \(\*fix/p\.closer\)\.Close is silently discarded`
+}

@@ -1,0 +1,35 @@
+package p
+
+import "math"
+
+const eps = 1e-9
+
+// approxEqual is an approved epsilon helper (name matches the approved
+// comparator pattern), so its internal exact comparison is allowed.
+func approxEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= eps
+}
+
+// Unset uses the exact-zero sentinel, the one deliberate bit-exact
+// comparison.
+func Unset(throughput float64) bool {
+	return throughput == 0
+}
+
+// Close routes a tolerance decision through the helper.
+func Close(a, b float64) bool {
+	return approxEqual(a, b)
+}
+
+// Ints compares integers — not the check's business.
+func Ints(a, b int) bool {
+	return a == b
+}
+
+// Ordered tests don't need epsilons.
+func Ordered(e, bestE float64) bool {
+	return e < bestE
+}

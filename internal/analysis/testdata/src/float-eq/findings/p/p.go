@@ -1,0 +1,27 @@
+package p
+
+type reading struct{ watts float64 }
+
+// Same compares measured floats bit-exactly outside any helper.
+func Same(a, b float64) bool {
+	return a == b // want `== on floating-point operands`
+}
+
+// Changed uses != on a float field.
+func Changed(r reading, prev float64) bool {
+	return r.watts != prev // want `!= on floating-point operands`
+}
+
+// TieBreak hides the comparison inside an expression.
+func TieBreak(e, bestE float64, i, bestI int) int {
+	if e == bestE && i < bestI { // want `== on floating-point operands`
+		return i
+	}
+	return bestI
+}
+
+// NonZeroSentinel compares against a non-zero constant: still flagged —
+// only the exact-zero sentinel is exempt.
+func NonZeroSentinel(x float64) bool {
+	return x == 0.3 // want `== on floating-point operands`
+}

@@ -1,0 +1,28 @@
+// Package app exercises suppression anchoring end-to-end against the
+// pooled-concurrency check: trailing and own-line directives suppress,
+// everything else — wrong line, wrong check, malformed form — does not.
+package app
+
+func spawn(f func()) {
+	go f() //mpclint:ignore pooled-concurrency long-lived service goroutine, not fan-out work
+
+	//mpclint:ignore pooled-concurrency own-line directive anchors to the next line
+	go f()
+
+	//mpclint:ignore pooled-concurrency two lines above the violation, so it must NOT suppress
+
+	go f() // want `raw go statement outside internal/par`
+
+	//mpclint:ignore determinism wrong check, must not suppress pooled-concurrency
+	go f() // want `raw go statement outside internal/par`
+}
+
+func spawnMore(f func()) {
+	go f() // want `raw go statement outside internal/par`
+
+	// mpclint:ignore pooled-concurrency the accidental space makes this malformed // want `malformed directive`
+	go f() // want `raw go statement outside internal/par`
+
+	//mpclint:ignore no-such-check a reason cannot rescue an unknown check name // want `unknown check`
+	go f() // want `raw go statement outside internal/par`
+}

@@ -1,0 +1,68 @@
+package p
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// SortedKeys is the blessed collect-then-sort pattern: the append runs
+// in map order, but the sort erases it before the slice escapes.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Argmin iterates the sorted key slice, so ties deterministically go to
+// the smallest key.
+func Argmin(m map[string]float64) string {
+	best := ""
+	bestV := 0.0
+	first := true
+	for _, k := range SortedKeys2(m) {
+		if v := m[k]; first || v < bestV {
+			best, bestV, first = k, v, false
+		}
+	}
+	return best
+}
+
+// SortedKeys2 shows sort.Slice also counting as a sort.
+func SortedKeys2(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Dump writes in sorted-key order.
+func Dump(w io.Writer, m map[string]int) {
+	for _, k := range SortedKeys(m) {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// Sum is a commutative aggregate: iteration order cannot change the
+// result, so reading the map directly stays allowed.
+func Sum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Invert writes to another map — order-independent.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}

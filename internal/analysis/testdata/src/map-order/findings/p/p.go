@@ -1,0 +1,44 @@
+package p
+
+import (
+	"fmt"
+	"io"
+)
+
+// Keys leaks iteration order into the returned slice (never sorted).
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `appends in iteration order`
+		out = append(out, k)
+	}
+	return out
+}
+
+// Argmin breaks ties by whichever key the runtime yields first.
+func Argmin(m map[string]float64) string {
+	best := ""
+	bestV := 0.0
+	first := true
+	for k, v := range m { // want `aggregates a min/max under a relational test`
+		if first || v < bestV {
+			best, bestV, first = k, v, false
+		}
+	}
+	return best
+}
+
+// Dump renders entries in nondeterministic order.
+func Dump(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `writes output in iteration order`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// Fill writes slice slots in iteration order.
+func Fill(dst []string, m map[int]string) {
+	i := 0
+	for _, v := range m { // want `assigns slice elements in iteration order`
+		dst[i] = v
+		i++
+	}
+}

@@ -1,0 +1,19 @@
+package app
+
+import "fix/internal/metrics"
+
+const batches = "mpcdvfs_batches_total"
+
+// register uses literal (or constant) names carrying the mpcdvfs_
+// prefix; a same-named method on an unrelated type is not a
+// registration.
+func register(reg *metrics.Registry, db *store) {
+	reg.Counter(batches, "constants are checkable too")
+	reg.Gauge("mpcdvfs_queue_depth", "literal")
+	reg.Histogram("mpcdvfs_latency_ms", "literal", []float64{1, 5, 10})
+	db.Counter("anything goes", "not the metrics registry")
+}
+
+type store struct{}
+
+func (s *store) Counter(name, help string) {}

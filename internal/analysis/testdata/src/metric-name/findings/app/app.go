@@ -1,0 +1,10 @@
+package app
+
+import "fix/internal/metrics"
+
+func register(reg *metrics.Registry, suffix string) {
+	reg.Counter("requests_total", "missing prefix") // want `metric name "requests_total" violates the naming contract`
+	reg.Gauge("mpcdvfs_Bad_Case", "uppercase")      // want `metric name "mpcdvfs_Bad_Case" violates the naming contract`
+	reg.Histogram("mpcdvfs-dashes", "dashes", nil)  // want `metric name "mpcdvfs-dashes" violates the naming contract`
+	reg.Counter("mpcdvfs_"+suffix, "computed")      // want `not a compile-time constant`
+}

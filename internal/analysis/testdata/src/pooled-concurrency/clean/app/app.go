@@ -1,0 +1,8 @@
+package app
+
+import "fix/internal/par"
+
+// Fan routes its fan-out through the pool instead of raw goroutines.
+func Fan(jobs []func()) {
+	par.ForEach(len(jobs), func(i int) { jobs[i]() })
+}

@@ -1,0 +1,11 @@
+// Package obs owns asynchronous observer delivery, the second exempt
+// package.
+package obs
+
+func Stream(events <-chan int, sink func(int)) {
+	go func() {
+		for e := range events {
+			sink(e)
+		}
+	}()
+}

@@ -1,0 +1,17 @@
+// Package par is the worker pool: the one fan-out site allowed to
+// start goroutines directly.
+package par
+
+import "sync"
+
+func ForEach(n int, fn func(i int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}

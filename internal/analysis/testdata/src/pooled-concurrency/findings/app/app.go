@@ -1,0 +1,22 @@
+package app
+
+import "sync"
+
+// Fan spawns raw goroutines for fan-out work that belongs in
+// par.ForEach.
+func Fan(jobs []func()) {
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j func()) { // want `raw go statement outside internal/par`
+			defer wg.Done()
+			j()
+		}(j)
+	}
+	wg.Wait()
+}
+
+// Fire spawns a naked goroutine.
+func Fire(f func()) {
+	go f() // want `raw go statement outside internal/par`
+}

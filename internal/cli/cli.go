@@ -6,6 +6,7 @@ package cli
 
 import (
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
@@ -68,11 +69,20 @@ func NewObsMux(reg *metrics.Registry) *http.ServeMux {
 // because its scrape endpoint vanished.
 func ServeMetrics(addr string, reg *metrics.Registry) *http.Server {
 	srv := &http.Server{Addr: addr, Handler: NewObsMux(reg)}
-	go func() {
+	go func() { //mpclint:ignore pooled-concurrency long-lived HTTP accept loop for the whole process, not index fan-out work; par.ForEach would block the caller
 		slog.Info("serving observability endpoint", "addr", addr)
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			slog.Error("metrics server failed", "addr", addr, "err", err)
 		}
 	}()
 	return srv
+}
+
+// Close closes c and logs any error under the given label. It is the
+// companion for defers (trace files, the observability server) where
+// the close error has no return path but must not vanish silently.
+func Close(what string, c io.Closer) {
+	if err := c.Close(); err != nil {
+		slog.Warn("close failed", "what", what, "err", err)
+	}
 }

@@ -15,6 +15,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"sort"
 
 	"mpcdvfs/internal/counters"
 	"mpcdvfs/internal/hw"
@@ -138,10 +139,24 @@ func (db *Database) Save(w io.Writer) error {
 		Magic: dbMagic,
 		CPUs:  db.space.CPUs, NBs: db.space.NBs, GPUs: db.space.GPUs, CUs: db.space.CUs,
 	}
-	for sig, recs := range db.entries {
+	// Serialize in sorted-signature order so the saved bytes are
+	// deterministic rather than following map iteration order.
+	sigs := make([]counters.Signature, 0, len(db.entries))
+	for sig := range db.entries {
+		sigs = append(sigs, sig)
+	}
+	sort.Slice(sigs, func(i, j int) bool {
+		for k := range sigs[i] {
+			if sigs[i][k] != sigs[j][k] {
+				return sigs[i][k] < sigs[j][k]
+			}
+		}
+		return false
+	})
+	for _, sig := range sigs {
 		wire.Sigs = append(wire.Sigs, sig)
 		wire.Counters = append(wire.Counters, db.counters[sig])
-		wire.Entries = append(wire.Entries, recs)
+		wire.Entries = append(wire.Entries, db.entries[sig])
 	}
 	if err := gob.NewEncoder(w).Encode(wire); err != nil {
 		return fmt.Errorf("measure: save: %w", err)

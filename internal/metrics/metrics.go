@@ -173,7 +173,7 @@ func equalFloats(a, b []float64) bool {
 		return false
 	}
 	for i := range a {
-		if a[i] != b[i] {
+		if a[i] != b[i] { //mpclint:ignore float-eq re-registration must see bit-identical bucket boundaries; a tolerance would silently merge distinct histograms
 			return false
 		}
 	}

@@ -198,7 +198,7 @@ func (t *TheoreticallyOptimal) dpPass(times, energies [][]float64, cfgs []hw.Con
 			}
 			e := energies[i][j]
 			for b := w; b <= bins; b++ {
-				if dp[b-w] == inf {
+				if dp[b-w] >= inf {
 					continue
 				}
 				if cand := dp[b-w] + e; cand < next[b] {

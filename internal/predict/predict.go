@@ -85,6 +85,9 @@ func EnergyMJ(e Estimate, c hw.Config) float64 {
 // paper's limit study (§II-E) and Theoretically Optimal scheme.
 type Oracle struct {
 	byCounters map[counters.Set]kernel.Kernel
+	// order keeps registration order so nearest-neighbour fallback ties
+	// resolve deterministically instead of by map iteration order.
+	order []counters.Set
 }
 
 // NewOracle returns an empty oracle.
@@ -92,7 +95,13 @@ func NewOracle() *Oracle { return &Oracle{byCounters: map[counters.Set]kernel.Ke
 
 // Register gives the oracle perfect knowledge of k (including its current
 // input scale).
-func (o *Oracle) Register(k kernel.Kernel) { o.byCounters[k.Counters()] = k }
+func (o *Oracle) Register(k kernel.Kernel) {
+	cs := k.Counters()
+	if _, seen := o.byCounters[cs]; !seen {
+		o.order = append(o.order, cs)
+	}
+	o.byCounters[cs] = k
+}
 
 // Len returns the number of registered kernels.
 func (o *Oracle) Len() int { return len(o.byCounters) }
@@ -119,12 +128,15 @@ func (o *Oracle) nearest(cs counters.Set) kernel.Kernel {
 	}
 	var best kernel.Kernel
 	bestD := math.Inf(1)
-	for reg, k := range o.byCounters {
+	for _, reg := range o.order {
+		k := o.byCounters[reg]
 		d := 0.0
 		for i := range cs {
 			dd := math.Log1p(math.Max(0, cs[i])) - math.Log1p(math.Max(0, reg[i]))
 			d += dd * dd
 		}
+		// Strict < keeps the earliest-registered kernel on equal
+		// distances, so the fallback replays identically run to run.
 		if d < bestD {
 			bestD, best = d, k
 		}

@@ -307,7 +307,7 @@ func (b *builder) grow(idx []int, depth int) int32 {
 
 func constant(y []float64, idx []int) bool {
 	for _, i := range idx[1:] {
-		if y[i] != y[idx[0]] {
+		if y[i] != y[idx[0]] { //mpclint:ignore float-eq leaf purity is deliberately bit-exact; an epsilon would change which trees are grown and break the byte-identical-forest guarantee
 			return false
 		}
 	}
@@ -330,7 +330,7 @@ func (b *builder) bestSplit(idx []int) (feat int, thr float64, ok bool) {
 			vals[i] = b.X[s][f]
 		}
 		sort.Float64s(vals)
-		if vals[0] == vals[len(vals)-1] {
+		if vals[0] == vals[len(vals)-1] { //mpclint:ignore float-eq constant-feature test over sorted values is deliberately bit-exact, like every split decision
 			continue
 		}
 		nth := b.cfg.NumThresh
@@ -344,7 +344,7 @@ func (b *builder) bestSplit(idx []int) (feat int, thr float64, ok bool) {
 				pos = len(vals) - 2
 			}
 			cand := (vals[pos] + vals[pos+1]) / 2
-			if cand == prev || cand <= vals[0] || cand > vals[len(vals)-1] {
+			if cand == prev || cand <= vals[0] || cand > vals[len(vals)-1] { //mpclint:ignore float-eq candidate thresholds are deduplicated bit-exactly so the grown forest is reproducible byte for byte
 				continue
 			}
 			prev = cand

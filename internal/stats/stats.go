@@ -14,6 +14,24 @@ import (
 // ErrEmpty is returned by aggregations over empty inputs.
 var ErrEmpty = errors.New("stats: empty input")
 
+// ApproxEqual is the repository's documented float comparator: it
+// reports whether a and b agree to within eps, absolutely for values
+// near zero and relatively otherwise. Code outside epsilon helpers must
+// not compare floats with == or != (enforced by mpclint's float-eq
+// check); route tolerance decisions through this function so every
+// caller breaks ties the same way.
+func ApproxEqual(a, b, eps float64) bool {
+	if a == b {
+		return true // covers infinities and exact ties
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale <= 1 {
+		return diff <= eps
+	}
+	return diff <= eps*scale
+}
+
 // Mean returns the arithmetic mean of xs, or 0 for empty input.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
