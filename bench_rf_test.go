@@ -1,0 +1,99 @@
+// Paired benchmarks of the Random Forest inference engines: the
+// reference tree-walking path versus the compiled flat-node path, at
+// the three granularities the MPC runtime exercises — one scalar
+// prediction, one batched space evaluation, and one full 336-config
+// exhaustive sweep (the per-decision inner loop). Both engines are
+// bit-identical by contract, so every pair measures the same work.
+//
+// Regenerate BENCH_rf.json with:
+//
+//	go test -run '^$' -bench '^BenchmarkRF' -benchmem
+package mpcdvfs_test
+
+import (
+	"math"
+	"testing"
+
+	"mpcdvfs/internal/core"
+	"mpcdvfs/internal/experiments"
+	"mpcdvfs/internal/hw"
+	"mpcdvfs/internal/kernel"
+	"mpcdvfs/internal/predict"
+)
+
+// benchRF fetches the fixture's shared forest in the requested engine
+// mode and restores the compiled default when the benchmark ends (other
+// benchmarks and tests share this model).
+func benchRF(b *testing.B, compiled bool) *predict.RandomForest {
+	b.Helper()
+	m, err := experiments.Shared().RF()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.SetCompiled(compiled)
+	b.Cleanup(func() { m.SetCompiled(true) })
+	return m
+}
+
+// benchRFPredictKernel measures one scalar time+power prediction — the
+// unit the overhead cost model charges per evaluation.
+func benchRFPredictKernel(b *testing.B, compiled bool) {
+	m := benchRF(b, compiled)
+	cs := kernel.NewBalanced("bench", 1).Counters()
+	cfg := hw.FailSafe()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.PredictKernel(cs, cfg)
+	}
+}
+
+func BenchmarkRFPredictKernelTreeWalk(b *testing.B) { benchRFPredictKernel(b, false) }
+func BenchmarkRFPredictKernelCompiled(b *testing.B) { benchRFPredictKernel(b, true) }
+
+// benchRFSpace measures evaluating one kernel at every configuration of
+// the default 336-point space: the compiled engine's batched
+// PredictSpace against the equivalent scalar PredictKernel loop.
+func benchRFSpace(b *testing.B, compiled bool) {
+	m := benchRF(b, compiled)
+	cs := kernel.NewBalanced("bench", 1).Counters()
+	space := hw.DefaultSpace()
+	dst := make([]predict.Estimate, space.Size())
+	cfgs := space.Configs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if compiled {
+			if !m.PredictSpace(cs, space, dst) {
+				b.Fatal("PredictSpace declined on a compiled model")
+			}
+		} else {
+			for j, c := range cfgs {
+				dst[j] = m.PredictKernel(cs, c)
+			}
+		}
+	}
+}
+
+func BenchmarkRFSpaceEvalTreeWalk(b *testing.B) { benchRFSpace(b, false) }
+func BenchmarkRFSpaceEvalCompiled(b *testing.B) { benchRFSpace(b, true) }
+
+// benchRFExhaustiveSweep measures the full per-decision inner loop —
+// Optimizer.ExhaustiveSearch over the 336-configuration space,
+// including the decision cache and argmin reduction — single-threaded
+// in both modes so the pair isolates the inference engine, not
+// goroutine fan-out.
+func benchRFExhaustiveSweep(b *testing.B, compiled bool) {
+	m := benchRF(b, compiled)
+	cs := kernel.NewBalanced("bench", 1).Counters()
+	opt := core.NewOptimizer(m, hw.DefaultSpace())
+	opt.Workers = 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = opt.ExhaustiveSearch(cs, math.Inf(1))
+	}
+}
+
+func BenchmarkRFExhaustiveSweepTreeWalk(b *testing.B) { benchRFExhaustiveSweep(b, false) }
+func BenchmarkRFExhaustiveSweepCompiled(b *testing.B) { benchRFExhaustiveSweep(b, true) }

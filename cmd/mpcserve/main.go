@@ -45,6 +45,7 @@ func main() {
 	traceOut := flag.String("trace-out", "", "stream runtime events as JSONL to this file (tailable)")
 	workers := flag.Int("workers", 0, "worker goroutines for RF training and sharded config search (0 = all CPUs, 1 = serial; decisions are identical either way)")
 	cacheSize := flag.Int("predict-cache", 0, "LRU prediction cache capacity for MPC policies (0 = off; decisions are identical either way)")
+	noCompiledRF := flag.Bool("no-compiled-rf", false, "disable the compiled-forest inference fast path and walk the trees (decisions are bit-identical either way; escape hatch for A/B timing)")
 	logLevel := flag.String("log-level", "info", "log level: debug | info | warn | error")
 	flag.Parse()
 
@@ -53,13 +54,13 @@ func main() {
 		os.Exit(2)
 	}
 	par.SetDefault(*workers)
-	if err := run(*addr, *appsFlag, *polName, *useOracle, *modelPath, *seed, *interval, *traceOut, *cacheSize); err != nil {
+	if err := run(*addr, *appsFlag, *polName, *useOracle, *modelPath, *seed, *interval, *traceOut, *cacheSize, *noCompiledRF); err != nil {
 		slog.Error("mpcserve failed", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, appsFlag, polName string, useOracle bool, modelPath string, seed int64, interval time.Duration, traceOut string, cacheSize int) error {
+func run(addr, appsFlag, polName string, useOracle bool, modelPath string, seed int64, interval time.Duration, traceOut string, cacheSize int, noCompiledRF bool) error {
 	apps, err := selectApps(appsFlag)
 	if err != nil {
 		return err
@@ -127,6 +128,12 @@ func run(addr, appsFlag, polName string, useOracle bool, modelPath string, seed 
 			return err
 		}
 		slog.Info("predictor trained", "took", time.Since(start).Round(time.Millisecond))
+	}
+	if noCompiledRF {
+		if rfm, ok := sharedModel.(*predict.RandomForest); ok {
+			rfm.SetCompiled(false)
+			slog.Info("compiled-forest fast path disabled; walking trees")
+		}
 	}
 
 	// One replayer per app: MPC keeps per-app pattern knowledge across

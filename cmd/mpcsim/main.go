@@ -46,6 +46,7 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /health and /debug/pprof on this address while running")
 	workers := flag.Int("workers", 0, "worker goroutines for RF training and sharded config search (0 = all CPUs, 1 = serial; decisions are identical either way)")
 	cacheSize := flag.Int("predict-cache", 0, "LRU prediction cache capacity for MPC policies (0 = off; decisions are identical either way)")
+	noCompiledRF := flag.Bool("no-compiled-rf", false, "disable the compiled-forest inference fast path and walk the trees (decisions are bit-identical either way; escape hatch for A/B timing)")
 	logLevel := flag.String("log-level", "info", "log level: debug | info | warn | error")
 	flag.Parse()
 
@@ -100,6 +101,12 @@ func main() {
 		model, err = mpcdvfs.TrainRandomForest(mpcdvfs.DefaultTrainOptions(*seed))
 		if err != nil {
 			fatal(err)
+		}
+	}
+	if *noCompiledRF {
+		if rfm, ok := model.(*predict.RandomForest); ok {
+			rfm.SetCompiled(false)
+			slog.Info("compiled-forest fast path disabled; walking trees")
 		}
 	}
 

@@ -19,6 +19,7 @@ import (
 	"mpcdvfs/internal/hw"
 	"mpcdvfs/internal/par"
 	"mpcdvfs/internal/predict"
+	"mpcdvfs/internal/rf"
 	"mpcdvfs/internal/workload"
 )
 
@@ -28,6 +29,7 @@ func main() {
 	seed := flag.Int64("seed", 20170204, "training seed")
 	noise := flag.Float64("noise", 0.08, "measurement noise fraction on training targets")
 	workers := flag.Int("workers", 0, "worker goroutines for parallel tree growth (0 = all CPUs, 1 = serial; output is identical either way)")
+	compileCheck := flag.Bool("compile-check", true, "verify the compiled-forest fast path is bit-identical to tree walking before saving (exit 2 on mismatch)")
 	logLevel := flag.String("log-level", "info", "log level: debug | info | warn | error")
 	flag.Parse()
 
@@ -63,6 +65,31 @@ func main() {
 	}
 	fmt.Printf("%-14s  %9.1f%%  %9.1f%%   (paper: 25%% / 12%%)\n",
 		"mean", 100*tSum/float64(len(ks)), 100*pSum/float64(len(ks)))
+
+	// Self-check the compiled inference fast path against the canonical
+	// tree-walking forests before the model is persisted: the runtime
+	// trusts compiled predictions only because they are bit-exact, so a
+	// divergence here is a hard failure, not a warning.
+	if *compileCheck {
+		const samples = 4096
+		tf, pf := model.Forests()
+		tc, pc := model.CompiledForests()
+		for _, fc := range []struct {
+			name     string
+			forest   *rf.Forest
+			compiled *rf.CompiledForest
+		}{
+			{"time", tf, tc},
+			{"power", pf, pc},
+		} {
+			if err := fc.compiled.SelfCheck(fc.forest, samples, *seed); err != nil {
+				slog.Error("compiled forest self-check failed", "forest", fc.name, "err", err)
+				os.Exit(2)
+			}
+			fmt.Printf("compiled %-5s forest: %d trees, %d-node pool, bit-identical on %d probes\n",
+				fc.name, fc.compiled.NumTrees(), fc.compiled.NumNodes(), samples)
+		}
+	}
 
 	f, err := os.Create(*out)
 	if err != nil {

@@ -1,6 +1,7 @@
 package mpcdvfs_test
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 	"mpcdvfs"
 	"mpcdvfs/internal/predict"
 	"mpcdvfs/internal/rf"
+	"mpcdvfs/internal/trace"
 )
 
 var updateGolden = flag.Bool("update", false, "regenerate testdata/golden (model and expected replay)")
@@ -166,5 +168,67 @@ func TestGoldenMPCReplay(t *testing.T) {
 			t.Errorf("run %d totals drifted: %s ms / %s mJ, want %s / %s",
 				r, g.TotalTimeMS, g.TotalEnergyMJ, w.TotalTimeMS, w.TotalEnergyMJ)
 		}
+	}
+}
+
+// TestGoldenCompiledVsTreeWalk replays the committed model through the
+// full MPC pipeline twice — once on the default compiled-forest fast
+// path and once with compiled inference disabled (the -no-compiled-rf
+// escape hatch) — and requires the two JSONL traces to be
+// byte-identical. This is the end-to-end statement of the compiled
+// contract: which inference engine runs is unobservable in any output.
+func TestGoldenCompiledVsTreeWalk(t *testing.T) {
+	modelPath := filepath.Join("testdata", "golden", "model.bin")
+
+	replay := func(compiled bool) []byte {
+		t.Helper()
+		mf, err := os.Open(modelPath)
+		if err != nil {
+			t.Fatalf("%v (regenerate with go test -run TestGoldenMPCReplay -update)", err)
+		}
+		model, err := predict.LoadModel(mf)
+		mf.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		model.SetCompiled(compiled)
+
+		sys := mpcdvfs.NewSystem()
+		app, err := mpcdvfs.BenchmarkByName("Spmv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, target, err := sys.Baseline(&app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, err := sys.RunRepeated(&app, sys.NewMPC(model), target, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		for _, res := range results {
+			if err := trace.WriteJSONL(&buf, res); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return buf.Bytes()
+	}
+
+	fast := replay(true)
+	ref := replay(false)
+	if len(fast) == 0 {
+		t.Fatal("empty replay trace")
+	}
+	if !bytes.Equal(fast, ref) {
+		// Locate the first differing line for a readable failure.
+		fl := bytes.Split(fast, []byte("\n"))
+		rl := bytes.Split(ref, []byte("\n"))
+		for i := 0; i < len(fl) && i < len(rl); i++ {
+			if !bytes.Equal(fl[i], rl[i]) {
+				t.Fatalf("JSONL traces diverge at line %d:\ncompiled:  %s\ntree-walk: %s", i+1, fl[i], rl[i])
+			}
+		}
+		t.Fatalf("JSONL traces differ in length: compiled %d lines, tree-walk %d", len(fl), len(rl))
 	}
 }

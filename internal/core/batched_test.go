@@ -1,0 +1,197 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mpcdvfs/internal/hw"
+	"mpcdvfs/internal/kernel"
+	"mpcdvfs/internal/predict"
+)
+
+var (
+	batchedRFOnce sync.Once
+	batchedRF     *predict.RandomForest
+	batchedRFErr  error
+)
+
+// batchedModel trains one small Random Forest shared across the batched-
+// sweep tests (the batched path only exists for compiled-forest models).
+func batchedModel(t *testing.T) *predict.RandomForest {
+	t.Helper()
+	batchedRFOnce.Do(func() {
+		opt := predict.DefaultTrainOptions(31)
+		opt.NumKernels = 12
+		batchedRF, batchedRFErr = predict.TrainRandomForest(opt)
+	})
+	if batchedRFErr != nil {
+		t.Fatal(batchedRFErr)
+	}
+	return batchedRF
+}
+
+func sameClimbResult(t *testing.T, label string, got, want climbResult) {
+	t.Helper()
+	if got.Config != want.Config || got.Evals != want.Evals || got.Feasible != want.Feasible ||
+		math.Float64bits(got.Est.TimeMS) != math.Float64bits(want.Est.TimeMS) ||
+		math.Float64bits(got.Est.GPUPowerW) != math.Float64bits(want.Est.GPUPowerW) {
+		t.Fatalf("%s: batched %+v != serial %+v", label, got, want)
+	}
+}
+
+// TestExhaustiveBatchedMatchesSerial checks the three-way contract of
+// the exhaustive sweep: the batched compiled path, the serial scalar
+// path (compiled inference disabled) and the tree-walking serial path
+// all return byte-identical results — configuration, estimate bits,
+// evaluation count and feasibility — across kernels and headrooms,
+// including the infeasible fail-safe fallback.
+func TestExhaustiveBatchedMatchesSerial(t *testing.T) {
+	m := batchedModel(t)
+	defer m.SetCompiled(true)
+	space := hw.DefaultSpace()
+	rng := rand.New(rand.NewSource(9))
+
+	kernels := []kernel.Kernel{
+		kernel.NewComputeBound("c", 1), kernel.NewMemoryBound("m", 1),
+		kernel.NewPeak("p", 1), kernel.Random("r", rng),
+	}
+	for _, k := range kernels {
+		cs := k.Counters()
+		// Headrooms: unconstrained, moderately tight (around the
+		// fail-safe's own predicted time), and impossible.
+		m.SetCompiled(true)
+		fsTime := m.PredictKernel(cs, space.Clamp(hw.FailSafe())).TimeMS
+		for _, head := range []float64{math.Inf(1), fsTime * 1.05, fsTime * 0.5, -1} {
+			m.SetCompiled(true)
+			batched := NewOptimizer(m, space).ExhaustiveSearch(cs, head)
+
+			m.SetCompiled(false)
+			serial := NewOptimizer(m, space)
+			serial.Workers = 1
+			want := serial.ExhaustiveSearch(cs, head)
+
+			sameClimbResult(t, k.Name(), batched, want)
+			if want.Evals < space.Size() {
+				t.Fatalf("%s: serial sweep reports %d evals, want >= %d", k.Name(), want.Evals, space.Size())
+			}
+		}
+	}
+}
+
+// TestExhaustiveBatchedThroughCalibrated checks the batched path
+// through the full policy model stack minus the cache (Calibrated over
+// RandomForest, with a feedback ratio installed) against the
+// scalar sweep over the identical stack.
+func TestExhaustiveBatchedThroughCalibrated(t *testing.T) {
+	m := batchedModel(t)
+	defer m.SetCompiled(true)
+	space := hw.DefaultSpace()
+	k := kernel.NewMemoryBound("mb", 1)
+	cs := k.Counters()
+
+	cal := predict.NewCalibrated(m)
+	raw := m.PredictKernel(cs, space.At(0))
+	cal.Feedback(cs, space.At(0), raw.TimeMS*1.3, raw.GPUPowerW*0.9)
+
+	m.SetCompiled(true)
+	batched := NewOptimizer(cal, space).ExhaustiveSearch(cs, math.Inf(1))
+	m.SetCompiled(false)
+	serial := NewOptimizer(cal, space)
+	serial.Workers = 1
+	want := serial.ExhaustiveSearch(cs, math.Inf(1))
+	sameClimbResult(t, "calibrated", batched, want)
+}
+
+// TestExhaustiveBatchedCacheSemantics checks the decision-cache
+// contract of the batched sweep: pre-seeded entries are reused without
+// counting an evaluation, new entries land in the cache with the same
+// values the scalar path would store, and the final count matches.
+func TestExhaustiveBatchedCacheSemantics(t *testing.T) {
+	m := batchedModel(t)
+	space := hw.DefaultSpace()
+	cs := kernel.NewComputeBound("cb", 1).Counters()
+
+	run := func(compiled bool) (*evalCache, climbResult) {
+		m.SetCompiled(compiled)
+		o := NewOptimizer(m, space)
+		o.Workers = 1
+		cache := newEvalCache(o, cs)
+		cache.eval(o.failSafe) // pre-seed, as OptimizeWindow does
+		res := o.exhaustive(cache, math.Inf(1))
+		return cache, res
+	}
+	bCache, bRes := run(true)
+	sCache, sRes := run(false)
+	m.SetCompiled(true)
+
+	sameClimbResult(t, "pre-seeded", bRes, sRes)
+	if bRes.Evals != space.Size() {
+		t.Fatalf("evals = %d with a pre-seeded fail-safe, want %d (seeded entry must not recount)",
+			bRes.Evals, space.Size())
+	}
+	if len(bCache.seen) != len(sCache.seen) {
+		t.Fatalf("batched cache holds %d entries, serial %d", len(bCache.seen), len(sCache.seen))
+	}
+	for c, sv := range sCache.seen {
+		bv, ok := bCache.seen[c]
+		if !ok {
+			t.Fatalf("config %+v missing from batched cache", c)
+		}
+		if math.Float64bits(bv.e) != math.Float64bits(sv.e) ||
+			math.Float64bits(bv.est.TimeMS) != math.Float64bits(sv.est.TimeMS) ||
+			math.Float64bits(bv.est.GPUPowerW) != math.Float64bits(sv.est.GPUPowerW) {
+			t.Fatalf("config %+v: batched cache %+v != serial %+v", c, bv, sv)
+		}
+	}
+}
+
+// TestExhaustiveBatchedDeclinesScalarModels checks the fallback: a
+// model without a batched path (the oracle) routes through the scalar
+// sweep untouched.
+func TestExhaustiveBatchedDeclinesScalarModels(t *testing.T) {
+	k := kernel.NewBalanced("b", 1)
+	o := NewOptimizer(oracleFor(k), hw.DefaultSpace())
+	if _, ok := o.exhaustiveBatched(newEvalCache(o, k.Counters()), math.Inf(1)); ok {
+		t.Fatal("batched sweep accepted a model with no SpaceEvaluator")
+	}
+	res := o.ExhaustiveSearch(k.Counters(), math.Inf(1))
+	if !res.Feasible || res.Evals != o.Space.Size() {
+		t.Fatalf("scalar fallback broken: %+v", res)
+	}
+}
+
+// TestEvalCacheHitZeroAlloc pins the warm decision-cache path at zero
+// allocations: within one decision, re-evaluating a seen configuration
+// is a map hit and nothing else.
+func TestEvalCacheHitZeroAlloc(t *testing.T) {
+	k := kernel.NewBalanced("b", 1)
+	o := NewOptimizer(oracleFor(k), hw.DefaultSpace())
+	cache := newEvalCache(o, k.Counters())
+	cfg := o.failSafe
+	cache.eval(cfg) // miss once
+	if allocs := testing.AllocsPerRun(200, func() { cache.eval(cfg) }); allocs != 0 {
+		t.Fatalf("warm evalCache.eval allocates %v times per call, want 0", allocs)
+	}
+}
+
+// TestExhaustiveBatchedSweepZeroAllocSteadyState pins the whole batched
+// sweep reduction (minus the per-decision cache, which each decision
+// owns) at a bounded, arena-free steady state: after the first sweep
+// builds the optimizer and model arenas, a sweep's only allocations are
+// the decision cache's own map growth.
+func TestExhaustiveBatchedSweepZeroAllocSteadyState(t *testing.T) {
+	m := batchedModel(t)
+	m.SetCompiled(true)
+	space := hw.DefaultSpace()
+	cs := kernel.NewPeak("pk", 1).Counters()
+	o := NewOptimizer(m, space)
+	o.exhaustive(newEvalCache(o, cs), math.Inf(1)) // warm up arenas
+
+	cache := newEvalCache(o, cs)
+	o.exhaustive(cache, math.Inf(1)) // fill this decision's cache
+	if allocs := testing.AllocsPerRun(20, func() { o.exhaustive(cache, math.Inf(1)) }); allocs != 0 {
+		t.Fatalf("warm batched exhaustive allocates %v times per sweep, want 0", allocs)
+	}
+}

@@ -31,6 +31,17 @@ type Optimizer struct {
 	Workers int
 	// failSafe is the guard configuration, clamped into Space.
 	failSafe hw.Config
+
+	// Batched-sweep arena, built lazily on the first exhaustive sweep
+	// against a model with a batched path (predict.SpaceEvaluator):
+	// the space's configurations in At order and a reusable estimate
+	// buffer, so steady-state sweeps cost one batched model call and
+	// zero arena allocations. Optimizer methods are not safe for
+	// concurrent use (they never were — the per-decision eval cache is
+	// shared state); the internal sharded sweep remains race-free.
+	sweepSpace hw.Space
+	sweepCfgs  []hw.Config
+	sweepEsts  []predict.Estimate
 }
 
 // NewOptimizer returns an optimizer over the given model and space.
@@ -181,6 +192,9 @@ func (o *Optimizer) ExhaustiveSearch(cs counters.Set, headroomMS float64) climbR
 }
 
 func (o *Optimizer) exhaustive(cache *evalCache, headroomMS float64) climbResult {
+	if res, ok := o.exhaustiveBatched(cache, headroomMS); ok {
+		return res
+	}
 	if workers := par.Resolve(o.Workers); workers > 1 {
 		return o.exhaustiveSharded(cache, headroomMS, workers)
 	}
@@ -202,6 +216,65 @@ func (o *Optimizer) exhaustive(cache *evalCache, headroomMS float64) climbResult
 		best.Config, best.Est, best.Evals = o.failSafe, est, cache.evals
 	}
 	return best
+}
+
+// exhaustiveBatched is the compiled-forest fast path of the exhaustive
+// sweep: when the model can evaluate a whole space in one call
+// (predict.SpaceEvaluator — the Random Forest's space-vectorized
+// compiled inference, forwarded through the calibration layer), the 336
+// scalar predictor calls collapse into one batched call, and a serial
+// reduction in Space.At order recovers exactly the serial sweep's
+// argmin, evaluation count and cache contents — the same reduce the
+// sharded sweep uses, so all three strategies are byte-identical and
+// the batched one takes precedence (it beats goroutine fan-out at any
+// core count by making the serial work itself cheap).
+//
+// Pre-seeded cache entries (e.g. the fail-safe from OptimizeWindow) are
+// reused without counting an evaluation, exactly as the scalar paths
+// do; the batched prediction for such a configuration is identical
+// anyway, because every model in the stack is deterministic.
+//
+// ok is false when the model has no usable batched path — then the
+// caller falls through to the sharded or serial sweep.
+func (o *Optimizer) exhaustiveBatched(cache *evalCache, headroomMS float64) (res climbResult, ok bool) {
+	se, sok := o.Model.(predict.SpaceEvaluator)
+	if !sok {
+		return climbResult{}, false
+	}
+	if o.sweepCfgs == nil || !o.sweepSpace.Equal(o.Space) {
+		o.sweepSpace = o.Space
+		o.sweepCfgs = o.Space.Configs()
+		o.sweepEsts = make([]predict.Estimate, len(o.sweepCfgs))
+	}
+	if !se.PredictSpace(cache.cs, o.Space, o.sweepEsts) {
+		return climbResult{}, false
+	}
+	best := climbResult{Config: o.failSafe, Feasible: false}
+	bestE := 0.0
+	for i, c := range o.sweepCfgs {
+		est := o.sweepEsts[i]
+		var e float64
+		if v, hit := cache.seen[c]; hit {
+			est, e = v.est, v.e
+		} else {
+			e = predict.EnergyMJ(est, c)
+			cache.seen[c] = cachedEval{est, e}
+			cache.evals++
+		}
+		if est.TimeMS > headroomMS {
+			continue
+		}
+		if !best.Feasible || e < bestE {
+			best = climbResult{Config: c, Est: est, Feasible: true}
+			bestE = e
+		}
+	}
+	best.Evals = cache.evals
+	if !best.Feasible {
+		est, _ := cache.eval(o.failSafe)
+		best.Config, best.Est, best.Evals = o.failSafe, est, cache.evals
+	}
+	return best, true
 }
 
 // exhaustiveSharded is the parallel exhaustive sweep: the configuration

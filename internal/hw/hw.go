@@ -234,6 +234,39 @@ func FullSpace() Space {
 // Size returns the number of configurations in the space.
 func (s Space) Size() int { return len(s.CPUs) * len(s.NBs) * len(s.GPUs) * len(s.CUs) }
 
+// Equal reports whether the two spaces enumerate exactly the same
+// configurations in the same At order (identical per-knob state lists,
+// element for element). Callers that precompute per-configuration state
+// — e.g. the batched predictor's config-feature arena — use this to
+// detect when a cached layout can be reused.
+func (s Space) Equal(o Space) bool {
+	if len(s.CPUs) != len(o.CPUs) || len(s.NBs) != len(o.NBs) ||
+		len(s.GPUs) != len(o.GPUs) || len(s.CUs) != len(o.CUs) {
+		return false
+	}
+	for i, v := range s.CPUs {
+		if o.CPUs[i] != v {
+			return false
+		}
+	}
+	for i, v := range s.NBs {
+		if o.NBs[i] != v {
+			return false
+		}
+	}
+	for i, v := range s.GPUs {
+		if o.GPUs[i] != v {
+			return false
+		}
+	}
+	for i, v := range s.CUs {
+		if o.CUs[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
 // KnobStates returns the per-knob cardinalities |cpu|, |nb|, |gpu|, |cu|.
 // Their sum is the per-kernel evaluation cost of greedy hill climbing; the
 // product is the cost of an exhaustive sweep (paper §IV-A1).

@@ -166,6 +166,42 @@ func TestSpaceIndexRejectsForeign(t *testing.T) {
 	}
 }
 
+func TestSpaceEqual(t *testing.T) {
+	if !DefaultSpace().Equal(DefaultSpace()) {
+		t.Error("DefaultSpace not equal to itself")
+	}
+	if !FullSpace().Equal(FullSpace()) {
+		t.Error("FullSpace not equal to itself")
+	}
+	if DefaultSpace().Equal(FullSpace()) {
+		t.Error("default and full spaces compare equal")
+	}
+	if (Space{}).Equal(DefaultSpace()) || !(Space{}).Equal(Space{}) {
+		t.Error("empty-space comparisons wrong")
+	}
+	// Same lengths, one differing element per axis.
+	for axis := 0; axis < 4; axis++ {
+		s := DefaultSpace()
+		switch axis {
+		case 0:
+			s.CPUs = append([]CPUPState(nil), s.CPUs...)
+			s.CPUs[0] = s.CPUs[len(s.CPUs)-1]
+		case 1:
+			s.NBs = append([]NBState(nil), s.NBs...)
+			s.NBs[0] = s.NBs[len(s.NBs)-1]
+		case 2:
+			s.GPUs = append([]GPUState(nil), s.GPUs...)
+			s.GPUs[0] = s.GPUs[len(s.GPUs)-1]
+		case 3:
+			s.CUs = append([]int8(nil), s.CUs...)
+			s.CUs[0] = s.CUs[len(s.CUs)-1]
+		}
+		if s.Equal(DefaultSpace()) || DefaultSpace().Equal(s) {
+			t.Errorf("axis %d: spaces with a differing element compare equal", axis)
+		}
+	}
+}
+
 func TestFailSafeInDefaultSpace(t *testing.T) {
 	fs := FailSafe()
 	want := Config{CPU: P7, NB: NB2, GPU: DPM4, CUs: 8}

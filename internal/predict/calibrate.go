@@ -43,6 +43,27 @@ func (c *Calibrated) PredictKernel(cs counters.Set, cfg hw.Config) Estimate {
 	return e
 }
 
+// PredictSpace implements SpaceEvaluator by forwarding to the wrapped
+// model's batched path and applying the kernel's correction ratio to
+// every estimate — the same two multiplications the scalar path
+// performs, so batched and scalar calibrated predictions stay
+// bit-identical. Returns false when the inner model has no usable
+// batched path (then the optimizer's scalar fallback runs, preserving
+// e.g. the prediction cache's per-configuration hit/miss sequence).
+func (c *Calibrated) PredictSpace(cs counters.Set, space hw.Space, dst []Estimate) bool {
+	se, ok := c.inner.(SpaceEvaluator)
+	if !ok || !se.PredictSpace(cs, space, dst) {
+		return false
+	}
+	if r, ok := c.ratios[counters.SignatureOf(cs)]; ok {
+		for i := range dst {
+			dst[i].TimeMS *= r.time
+			dst[i].GPUPowerW *= r.power
+		}
+	}
+	return true
+}
+
 // Feedback records the measured outcome of one executed kernel and
 // updates its correction ratio. Non-positive measurements or predictions
 // are ignored.

@@ -1,0 +1,216 @@
+package predict
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mpcdvfs/internal/counters"
+	"mpcdvfs/internal/hw"
+	"mpcdvfs/internal/kernel"
+)
+
+// quickRF trains a small forest pair fast enough for unit tests that
+// only need a structurally real model, not paper-grade accuracy.
+func quickRF(t *testing.T) *RandomForest {
+	t.Helper()
+	opt := DefaultTrainOptions(77)
+	opt.NumKernels = 12
+	m, err := TrainRandomForest(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestPredictKernelCompiledEquivalence checks that the compiled default
+// path and the reference tree-walking path agree bit for bit across a
+// population of kernels and the full configuration space — the
+// invariant that makes the fast path unobservable in any replay.
+func TestPredictKernelCompiledEquivalence(t *testing.T) {
+	m := quickRF(t)
+	defer m.SetCompiled(true)
+	rng := rand.New(rand.NewSource(5))
+	space := hw.DefaultSpace()
+	for i := 0; i < 6; i++ {
+		cs := kernel.Random("eq", rng).Counters()
+		space.ForEach(func(c hw.Config) {
+			m.SetCompiled(true)
+			fast := m.PredictKernel(cs, c)
+			m.SetCompiled(false)
+			ref := m.PredictKernel(cs, c)
+			if math.Float64bits(fast.TimeMS) != math.Float64bits(ref.TimeMS) ||
+				math.Float64bits(fast.GPUPowerW) != math.Float64bits(ref.GPUPowerW) {
+				t.Fatalf("kernel %d config %+v: compiled %+v != tree-walk %+v", i, c, fast, ref)
+			}
+		})
+	}
+}
+
+// TestPredictSpaceMatchesScalar checks the batched sweep against a
+// scalar PredictKernel loop: same configurations, same order, same
+// bits.
+func TestPredictSpaceMatchesScalar(t *testing.T) {
+	m := quickRF(t)
+	space := hw.DefaultSpace()
+	rng := rand.New(rand.NewSource(6))
+	dst := make([]Estimate, space.Size())
+	for i := 0; i < 4; i++ {
+		cs := kernel.Random("sp", rng).Counters()
+		if !m.PredictSpace(cs, space, dst) {
+			t.Fatal("PredictSpace returned false on a compiled model")
+		}
+		for r, c := range space.Configs() {
+			want := m.PredictKernel(cs, c)
+			if math.Float64bits(dst[r].TimeMS) != math.Float64bits(want.TimeMS) ||
+				math.Float64bits(dst[r].GPUPowerW) != math.Float64bits(want.GPUPowerW) {
+				t.Fatalf("row %d (%+v): batched %+v != scalar %+v", r, c, dst[r], want)
+			}
+		}
+	}
+}
+
+// TestPredictSpaceDisabled checks the contract for the unavailable
+// case: tree-walk mode refuses the batched path and leaves dst alone.
+func TestPredictSpaceDisabled(t *testing.T) {
+	m := quickRF(t)
+	m.SetCompiled(false)
+	defer m.SetCompiled(true)
+	space := hw.DefaultSpace()
+	dst := make([]Estimate, space.Size())
+	sentinel := Estimate{TimeMS: -1, GPUPowerW: -1}
+	for i := range dst {
+		dst[i] = sentinel
+	}
+	cs := kernel.NewPeak("pk", 1).Counters()
+	if m.PredictSpace(cs, space, dst) {
+		t.Fatal("PredictSpace returned true with compiled inference disabled")
+	}
+	for i := range dst {
+		if dst[i] != sentinel {
+			t.Fatalf("dst[%d] touched on the refused path: %+v", i, dst[i])
+		}
+	}
+}
+
+// TestPredictSpaceDstSizePanics pins the up-front size check.
+func TestPredictSpaceDstSizePanics(t *testing.T) {
+	m := quickRF(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("undersized dst did not panic")
+		}
+	}()
+	m.PredictSpace(kernel.NewPeak("pk", 1).Counters(), hw.DefaultSpace(), make([]Estimate, 3))
+}
+
+// TestCalibratedPredictSpaceForwards checks that the feedback wrapper's
+// batched path applies exactly the scalar path's correction — after
+// Feedback installs a ratio, batched and scalar calibrated estimates
+// stay bit-identical.
+func TestCalibratedPredictSpaceForwards(t *testing.T) {
+	m := quickRF(t)
+	cal := NewCalibrated(m)
+	cs := kernel.NewMemoryBound("mb", 1).Counters()
+	space := hw.DefaultSpace()
+	// Install a non-trivial ratio for this kernel's signature.
+	cfg := space.At(0)
+	raw := m.PredictKernel(cs, cfg)
+	cal.Feedback(cs, cfg, raw.TimeMS*1.17, raw.GPUPowerW*0.83)
+	if cal.KnownKernels() != 1 {
+		t.Fatalf("feedback not recorded: %d known kernels", cal.KnownKernels())
+	}
+
+	dst := make([]Estimate, space.Size())
+	if !cal.PredictSpace(cs, space, dst) {
+		t.Fatal("Calibrated.PredictSpace returned false over a compiled model")
+	}
+	for r, c := range space.Configs() {
+		want := cal.PredictKernel(cs, c)
+		if math.Float64bits(dst[r].TimeMS) != math.Float64bits(want.TimeMS) ||
+			math.Float64bits(dst[r].GPUPowerW) != math.Float64bits(want.GPUPowerW) {
+			t.Fatalf("row %d: calibrated batched %+v != scalar %+v", r, dst[r], want)
+		}
+	}
+
+	// A wrapper over a model with no batched path must refuse too.
+	calOracle := NewCalibrated(NewOracle())
+	if calOracle.PredictSpace(cs, space, dst) {
+		t.Fatal("Calibrated.PredictSpace returned true over a scalar-only model")
+	}
+	m.SetCompiled(false)
+	defer m.SetCompiled(true)
+	if cal.PredictSpace(cs, space, dst) {
+		t.Fatal("Calibrated.PredictSpace returned true with the inner fast path disabled")
+	}
+}
+
+// TestPredictKernelZeroAlloc pins the steady-state scalar prediction at
+// zero allocations per call: the feature vector lives on the stack and
+// compiled traversal touches only pre-built pools.
+func TestPredictKernelZeroAlloc(t *testing.T) {
+	m := quickRF(t)
+	cs := kernel.NewComputeBound("cb", 1).Counters()
+	cfg := hw.DefaultSpace().At(17)
+	if allocs := testing.AllocsPerRun(200, func() { _ = m.PredictKernel(cs, cfg) }); allocs != 0 {
+		t.Fatalf("PredictKernel allocates %v times per call, want 0", allocs)
+	}
+}
+
+// TestPredictSpaceZeroAllocSteadyState pins the batched sweep at zero
+// allocations once the arena has been built for the space (the first
+// sweep pays the one-time layout; every per-decision sweep after it is
+// allocation-free).
+func TestPredictSpaceZeroAllocSteadyState(t *testing.T) {
+	m := quickRF(t)
+	space := hw.DefaultSpace()
+	cs := kernel.NewPeak("pk", 1).Counters()
+	dst := make([]Estimate, space.Size())
+	m.PredictSpace(cs, space, dst) // warm up: builds the arena
+	if allocs := testing.AllocsPerRun(50, func() { m.PredictSpace(cs, space, dst) }); allocs != 0 {
+		t.Fatalf("warm PredictSpace allocates %v times per call, want 0", allocs)
+	}
+}
+
+// TestFeaturizeZeroAlloc pins featurizeInto (the hot-path assembly) at
+// zero allocations with a caller-owned buffer.
+func TestFeaturizeZeroAlloc(t *testing.T) {
+	cs := kernel.NewPeak("pk", 1).Counters()
+	cfg := hw.DefaultSpace().At(3)
+	var buf [numRFFeatures]float64
+	if allocs := testing.AllocsPerRun(200, func() { featurizeInto(buf[:], cs, cfg) }); allocs != 0 {
+		t.Fatalf("featurizeInto allocates %v times per call, want 0", allocs)
+	}
+	// The allocating convenience must agree with the in-place form.
+	x := featurize(cs, cfg)
+	for i := range x {
+		if math.Float64bits(x[i]) != math.Float64bits(buf[i]) {
+			t.Fatalf("featurize[%d] = %v, featurizeInto wrote %v", i, x[i], buf[i])
+		}
+	}
+	if len(x) != counters.NumCounters+numConfigFeatures {
+		t.Fatalf("featurize returned %d features, want %d", len(x), numRFFeatures)
+	}
+}
+
+// TestCompiledForestsExposed checks that trained models carry their
+// compiled forests from birth and that the shapes line up.
+func TestCompiledForestsExposed(t *testing.T) {
+	m := quickRF(t)
+	tc, pc := m.CompiledForests()
+	if tc == nil || pc == nil {
+		t.Fatal("trained model missing compiled forests")
+	}
+	tf, pf := m.Forests()
+	if tc.NumTrees() != tf.NumTrees() || tc.NumFeatures() != tf.NumFeatures() {
+		t.Fatalf("time forest compiled shape %d/%d != %d/%d",
+			tc.NumTrees(), tc.NumFeatures(), tf.NumTrees(), tf.NumFeatures())
+	}
+	if pc.NumTrees() != pf.NumTrees() || pc.NumFeatures() != pf.NumFeatures() {
+		t.Fatalf("power forest compiled shape %d/%d != %d/%d",
+			pc.NumTrees(), pc.NumFeatures(), pf.NumTrees(), pf.NumFeatures())
+	}
+	if tc.NumNodes() <= 0 {
+		t.Fatal("empty compiled node pool")
+	}
+}

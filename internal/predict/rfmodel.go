@@ -15,24 +15,47 @@ import (
 // appended to the eight counters.
 const numConfigFeatures = 6
 
-// featurize builds the Random Forest feature vector: log-compressed
-// Table III counters plus the physical configuration features the
+// numRFFeatures is the full Random Forest feature dimensionality:
+// the eight Table III counters followed by the configuration features.
+const numRFFeatures = counters.NumCounters + numConfigFeatures
+
+// counterPrefix writes the log-compressed Table III counters into the
+// first counters.NumCounters slots of x. Within one configuration sweep
+// only the config suffix changes, so the prefix is computed once per
+// kernel and patched — never re-derived per configuration.
+func counterPrefix(x []float64, cs counters.Set) {
+	for i, v := range cs {
+		x[i] = math.Log1p(math.Max(0, v))
+	}
+}
+
+// patchConfig writes the physical configuration features the
 // ground-truth behaviour actually depends on (GPU frequency, shared rail
 // voltage, CU count, NB frequency, memory bandwidth, CPU power estimate
-// for the thermal coupling).
+// for the thermal coupling) into the suffix slots of x, in place.
+func patchConfig(x []float64, c hw.Config) {
+	x[counters.NumCounters+0] = c.GPU.FreqGHz()
+	x[counters.NumCounters+1] = c.RailVoltage()
+	x[counters.NumCounters+2] = float64(c.CUs)
+	x[counters.NumCounters+3] = c.NB.FreqGHz()
+	x[counters.NumCounters+4] = c.NB.MemBWGBs()
+	x[counters.NumCounters+5] = CPUPowerW(c.CPU)
+}
+
+// featurizeInto assembles the full feature vector into the caller-owned
+// x (len numRFFeatures): counter prefix plus config suffix. The hot
+// paths pass a stack buffer here so a prediction allocates nothing.
+func featurizeInto(x []float64, cs counters.Set, c hw.Config) {
+	counterPrefix(x, cs)
+	patchConfig(x, c)
+}
+
+// featurize is the allocating convenience used when rows are being
+// accumulated anyway (training-data generation).
 func featurize(cs counters.Set, c hw.Config) []float64 {
-	x := make([]float64, 0, counters.NumCounters+numConfigFeatures)
-	for _, v := range cs {
-		x = append(x, math.Log1p(math.Max(0, v)))
-	}
-	return append(x,
-		c.GPU.FreqGHz(),
-		c.RailVoltage(),
-		float64(c.CUs),
-		c.NB.FreqGHz(),
-		c.NB.MemBWGBs(),
-		CPUPowerW(c.CPU),
-	)
+	x := make([]float64, numRFFeatures)
+	featurizeInto(x, cs, c)
+	return x
 }
 
 // RandomForest is the paper's deployed predictor: two forests trained
@@ -45,6 +68,19 @@ func featurize(cs counters.Set, c hw.Config) []float64 {
 type RandomForest struct {
 	timeForest  *rf.Forest // log(ms per instruction)
 	powerForest *rf.Forest // GPU+NB watts
+
+	// Compiled fast-path state, rebuilt from the forests at train/load
+	// time — derived, never persisted (SaveModel writes only the
+	// canonical tree form). Compiled inference is bit-identical to
+	// tree walking, so which path runs is unobservable in any output;
+	// treeWalk forces the reference path for A/B checks and the
+	// -no-compiled-rf escape hatch.
+	timeCompiled  *rf.CompiledForest
+	powerCompiled *rf.CompiledForest
+	treeWalk      bool
+
+	// arena holds the reusable batched-sweep buffers for PredictSpace.
+	arena spaceArena
 }
 
 // instsOf recovers the instruction count encoded in a counter set.
@@ -59,13 +95,40 @@ func instsOf(cs counters.Set) float64 {
 // Name implements Model.
 func (m *RandomForest) Name() string { return "random-forest" }
 
-// PredictKernel implements Model.
+// PredictKernel implements Model. The feature vector lives in a stack
+// buffer and the default path walks the compiled forests, so one
+// prediction allocates nothing in steady state (pinned by
+// TestPredictKernelZeroAlloc).
 func (m *RandomForest) PredictKernel(cs counters.Set, c hw.Config) Estimate {
-	x := featurize(cs, c)
-	return Estimate{
-		TimeMS:    math.Exp(m.timeForest.Predict(x)) * instsOf(cs),
-		GPUPowerW: m.powerForest.Predict(x),
+	var buf [numRFFeatures]float64
+	featurizeInto(buf[:], cs, c)
+	var t, p float64
+	if m.treeWalk || m.timeCompiled == nil {
+		t = m.timeForest.Predict(buf[:])
+		p = m.powerForest.Predict(buf[:])
+	} else {
+		t = m.timeCompiled.Predict(buf[:])
+		p = m.powerCompiled.Predict(buf[:])
 	}
+	return Estimate{
+		TimeMS:    math.Exp(t) * instsOf(cs),
+		GPUPowerW: p,
+	}
+}
+
+// SetCompiled selects between the compiled fast path (the default) and
+// the reference tree-walking path. Both produce bit-identical
+// predictions; the switch exists for paired benchmarking and as the
+// commands' -no-compiled-rf escape hatch. Call before handing the model
+// to a policy — the flag is not synchronized against in-flight
+// predictions.
+func (m *RandomForest) SetCompiled(on bool) { m.treeWalk = !on }
+
+// CompiledForests exposes the derived compiled forests (nil only if
+// compilation was impossible, which no trainable configuration
+// triggers).
+func (m *RandomForest) CompiledForests() (timeForest, powerForest *rf.CompiledForest) {
+	return m.timeCompiled, m.powerCompiled
 }
 
 // TrainOptions controls offline Random Forest training.
@@ -165,7 +228,7 @@ func TrainRandomForest(opt TrainOptions) (*RandomForest, error) {
 	if err != nil {
 		return nil, fmt.Errorf("predict: power forest: %w", err)
 	}
-	return &RandomForest{timeForest: tf, powerForest: pf}, nil
+	return NewFromForests(tf, pf)
 }
 
 // Forests exposes the underlying forests (for serialization and
@@ -204,15 +267,27 @@ func (m *RandomForest) FeatureImportance(opt TrainOptions) (timeImp, powerImp []
 }
 
 // NewFromForests reassembles a RandomForest from previously trained or
-// deserialized forests.
+// deserialized forests, compiling both into the flat-node fast path
+// (TrainRandomForest and LoadModel both land here, so every model
+// carries its compiled form from birth).
 func NewFromForests(timeForest, powerForest *rf.Forest) (*RandomForest, error) {
-	want := counters.NumCounters + numConfigFeatures
 	if timeForest == nil || powerForest == nil {
 		return nil, fmt.Errorf("predict: nil forest")
 	}
-	if timeForest.NumFeatures() != want || powerForest.NumFeatures() != want {
+	if timeForest.NumFeatures() != numRFFeatures || powerForest.NumFeatures() != numRFFeatures {
 		return nil, fmt.Errorf("predict: forests expect %d/%d features, want %d",
-			timeForest.NumFeatures(), powerForest.NumFeatures(), want)
+			timeForest.NumFeatures(), powerForest.NumFeatures(), numRFFeatures)
 	}
-	return &RandomForest{timeForest: timeForest, powerForest: powerForest}, nil
+	tc, err := timeForest.Compile()
+	if err != nil {
+		return nil, fmt.Errorf("predict: compile time forest: %w", err)
+	}
+	pc, err := powerForest.Compile()
+	if err != nil {
+		return nil, fmt.Errorf("predict: compile power forest: %w", err)
+	}
+	return &RandomForest{
+		timeForest: timeForest, powerForest: powerForest,
+		timeCompiled: tc, powerCompiled: pc,
+	}, nil
 }

@@ -1,0 +1,101 @@
+package predict
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"mpcdvfs/internal/counters"
+	"mpcdvfs/internal/hw"
+)
+
+// SpaceEvaluator is the optional batched extension of Model: a model
+// that can evaluate one kernel at every configuration of a space in a
+// single call. PredictSpace fills dst (which must hold space.Size()
+// estimates) in hw.Space.At order and returns true, or returns false —
+// touching nothing — when the batched path is unavailable (compiled
+// inference disabled, or a wrapper in the stack that must see every
+// per-configuration call, like the LRU prediction cache).
+//
+// The contract is strict bit-exactness: dst[i] must equal
+// PredictKernel(cs, space.At(i)) bit for bit, so callers may use either
+// path interchangeably without perturbing replays. The optimizer's
+// exhaustive sweep type-asserts for this interface and falls back to
+// scalar evaluation when the assertion or the call fails.
+type SpaceEvaluator interface {
+	PredictSpace(cs counters.Set, space hw.Space, dst []Estimate) bool
+}
+
+// spaceArena is the reusable batched-sweep workspace of a RandomForest:
+// a row-major feature matrix with the per-configuration suffix columns
+// precomputed for every configuration of one space, plus the two forest
+// output vectors. Only the counter-prefix columns change between
+// sweeps, so a steady-state sweep writes the prefix into each row,
+// runs two batched forest evaluations, and allocates nothing.
+//
+// The mutex serializes sweeps (concurrent callers keep their own
+// Optimizer and rarely contend); scalar PredictKernel never touches the
+// arena, so batched and scalar paths stay independently concurrent.
+type spaceArena struct {
+	mu    sync.Mutex
+	space hw.Space  // the space rows was built for
+	rows  []float64 // space.Size() × numRFFeatures, config suffix pre-filled
+	tOut  []float64 // time-forest outputs, one per configuration
+	pOut  []float64 // power-forest outputs, one per configuration
+}
+
+// build lays out the arena for a space: one feature row per
+// configuration in At order, with the six config-derived columns filled
+// by the same patchConfig the scalar path uses (identical expressions,
+// identical values).
+func (a *spaceArena) build(space hw.Space) {
+	n := space.Size()
+	a.space = space
+	a.rows = make([]float64, n*numRFFeatures)
+	a.tOut = make([]float64, n)
+	a.pOut = make([]float64, n)
+	i := 0
+	space.ForEach(func(c hw.Config) {
+		patchConfig(a.rows[i*numRFFeatures:(i+1)*numRFFeatures], c)
+		i++
+	})
+}
+
+// PredictSpace implements SpaceEvaluator with one batched compiled-
+// forest evaluation per forest: the kernel's counter prefix is computed
+// once and patched into every row, the whole matrix runs through the
+// compiled time and power forests tree-by-tree, and each estimate is
+// assembled with exactly the scalar path's final operations
+// (math.Exp(t)·insts, p). Returns false — leaving dst untouched — when
+// compiled inference is disabled (SetCompiled(false)).
+func (m *RandomForest) PredictSpace(cs counters.Set, space hw.Space, dst []Estimate) bool {
+	if m.treeWalk || m.timeCompiled == nil {
+		return false
+	}
+	n := space.Size()
+	if len(dst) != n {
+		panic(fmt.Sprintf("predict: PredictSpace dst holds %d estimates, space has %d configurations", len(dst), n))
+	}
+	if n == 0 {
+		return true
+	}
+	var prefix [counters.NumCounters]float64
+	counterPrefix(prefix[:], cs)
+
+	a := &m.arena
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.rows == nil || !a.space.Equal(space) {
+		a.build(space)
+	}
+	for r := 0; r < n; r++ {
+		copy(a.rows[r*numRFFeatures:r*numRFFeatures+counters.NumCounters], prefix[:])
+	}
+	m.timeCompiled.PredictBatchInto(a.tOut, a.rows)
+	m.powerCompiled.PredictBatchInto(a.pOut, a.rows)
+	insts := instsOf(cs)
+	for r := 0; r < n; r++ {
+		dst[r] = Estimate{TimeMS: math.Exp(a.tOut[r]) * insts, GPUPowerW: a.pOut[r]}
+	}
+	return true
+}

@@ -1,0 +1,229 @@
+package rf
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// CompiledForest is an immutable, cache-friendly compilation of a
+// trained *Forest: every node of every tree lives in one contiguous
+// structure-of-arrays pool (feature index as int16, threshold — or leaf
+// value — as float64, absolute child indices as int32), with one root
+// offset per tree. Traversal is iterative over flat arrays: no
+// recursion, no per-node heap objects, no per-tree slice headers to
+// chase.
+//
+// The compiled form is derived state, never persisted: MarshalBinary
+// stays the canonical wire format, and a CompiledForest is rebuilt from
+// the Forest after every load or train. Its contract is bit-exactness —
+// Predict and PredictBatch return results bit-identical to the
+// tree-walking Forest for every input (the comparisons, the per-tree
+// summation order and the final division are the same operations in the
+// same order), so golden replays, determinism proofs and the mpclint
+// guarantees carry over unchanged.
+//
+// PredictBatch evaluates a row-major flat feature matrix tree-by-tree
+// rather than row-by-row: each tree's node pool stays hot in cache
+// across all rows of the batch, which is where the sweep-level speedup
+// over scalar tree walking comes from (each row still accumulates tree
+// values in tree order, so the sums are bit-identical to scalar calls).
+//
+// A CompiledForest is safe for concurrent use: all fields are
+// immutable after Compile, and the Into variants write only into
+// caller-owned buffers.
+type CompiledForest struct {
+	feature []int16   // split feature per node; -1 marks a leaf
+	thresh  []float64 // split threshold, or the leaf's mean target
+	left    []int32   // absolute pool index of the left child
+	right   []int32   // absolute pool index of the right child
+	roots   []int32   // pool index of each tree's root
+	nTrees  int
+	nFeat   int
+}
+
+// maxCompiledFeatures bounds the feature dimensionality the int16
+// feature column can address.
+const maxCompiledFeatures = math.MaxInt16
+
+// Compile flattens the forest into its compiled form. It fails only on
+// forests that cannot be represented (no trees, or a feature
+// dimensionality beyond the int16 node layout) — never on any forest
+// produced by Train or accepted by UnmarshalBinary with a sane feature
+// count.
+func (f *Forest) Compile() (*CompiledForest, error) {
+	if len(f.trees) == 0 {
+		return nil, fmt.Errorf("rf: cannot compile a forest with no trees")
+	}
+	if f.nFeatures > maxCompiledFeatures {
+		return nil, fmt.Errorf("rf: %d features exceed the compiled int16 node layout (max %d)",
+			f.nFeatures, maxCompiledFeatures)
+	}
+	total := 0
+	for i := range f.trees {
+		total += len(f.trees[i].Nodes)
+	}
+	c := &CompiledForest{
+		feature: make([]int16, total),
+		thresh:  make([]float64, total),
+		left:    make([]int32, total),
+		right:   make([]int32, total),
+		roots:   make([]int32, len(f.trees)),
+		nTrees:  len(f.trees),
+		nFeat:   f.nFeatures,
+	}
+	base := int32(0)
+	for t := range f.trees {
+		c.roots[t] = base
+		for i, nd := range f.trees[t].Nodes {
+			j := base + int32(i)
+			if nd.Feature < 0 {
+				c.feature[j] = -1
+				c.thresh[j] = nd.Thresh
+				continue
+			}
+			c.feature[j] = int16(nd.Feature)
+			c.thresh[j] = nd.Thresh
+			c.left[j] = base + nd.Left
+			c.right[j] = base + nd.Right
+		}
+		base += int32(len(f.trees[t].Nodes))
+	}
+	return c, nil
+}
+
+// NumTrees returns the ensemble size.
+func (c *CompiledForest) NumTrees() int { return c.nTrees }
+
+// NumFeatures returns the feature dimensionality.
+func (c *CompiledForest) NumFeatures() int { return c.nFeat }
+
+// NumNodes returns the total size of the flat node pool across all
+// trees.
+func (c *CompiledForest) NumNodes() int { return len(c.feature) }
+
+// Predict returns the forest's estimate for feature vector x,
+// bit-identical to the tree-walking (*Forest).Predict. It panics if x
+// has the wrong dimensionality.
+func (c *CompiledForest) Predict(x []float64) float64 {
+	if len(x) != c.nFeat {
+		panic(fmt.Sprintf("rf: Predict with %d features, compiled for %d", len(x), c.nFeat))
+	}
+	s := 0.0
+	for _, root := range c.roots {
+		i := root
+		for c.feature[i] >= 0 {
+			if x[c.feature[i]] <= c.thresh[i] {
+				i = c.left[i]
+			} else {
+				i = c.right[i]
+			}
+		}
+		s += c.thresh[i]
+	}
+	return s / float64(c.nTrees)
+}
+
+// PredictBatch evaluates a row-major flat feature matrix (len(X) must
+// be a multiple of NumFeatures; row r is X[r*d : (r+1)*d]) and returns
+// one prediction per row. An empty matrix returns nil without touching
+// the pool. Allocates the result slice; use PredictBatchInto for a
+// zero-allocation steady state.
+func (c *CompiledForest) PredictBatch(X []float64) []float64 {
+	if len(X) == 0 {
+		return nil
+	}
+	return c.PredictBatchInto(make([]float64, len(X)/c.nFeat), X)
+}
+
+// PredictBatchInto is PredictBatch writing into the caller-owned dst,
+// which must hold exactly one slot per row; it returns dst. The batch
+// is evaluated tree-by-tree so each tree's nodes stay cache-hot across
+// all rows, but every row accumulates tree values in tree order and
+// divides once — bit-identical to calling Predict row by row. It panics
+// on a dimensionality or size mismatch, checked up front.
+func (c *CompiledForest) PredictBatchInto(dst []float64, X []float64) []float64 {
+	d := c.nFeat
+	if len(X)%d != 0 {
+		panic(fmt.Sprintf("rf: PredictBatch matrix of %d values is not a multiple of %d features", len(X), d))
+	}
+	rows := len(X) / d
+	if len(dst) != rows {
+		panic(fmt.Sprintf("rf: PredictBatchInto dst holds %d rows, matrix has %d", len(dst), rows))
+	}
+	if rows == 0 {
+		return dst
+	}
+	for r := range dst {
+		dst[r] = 0
+	}
+	for _, root := range c.roots {
+		off := 0
+		for r := 0; r < rows; r++ {
+			x := X[off : off+d : off+d]
+			i := root
+			for c.feature[i] >= 0 {
+				if x[c.feature[i]] <= c.thresh[i] {
+					i = c.left[i]
+				} else {
+					i = c.right[i]
+				}
+			}
+			dst[r] += c.thresh[i]
+			off += d
+		}
+	}
+	div := float64(c.nTrees)
+	for r := range dst {
+		dst[r] /= div
+	}
+	return dst
+}
+
+// SelfCheck verifies the compiled forest against the tree-walking
+// original on `samples` deterministic pseudo-random inputs drawn to
+// straddle every feature's observed threshold range, comparing raw
+// float64 bits: any difference — even in the last ulp — is an error.
+// This is the load/train-time guard cmd/train runs before persisting a
+// model (compiled inference is only trusted because it is bit-exact).
+func (c *CompiledForest) SelfCheck(f *Forest, samples int, seed int64) error {
+	if f.nFeatures != c.nFeat {
+		return fmt.Errorf("rf: self-check against a forest with %d features, compiled for %d", f.nFeatures, c.nFeat)
+	}
+	lo := make([]float64, c.nFeat)
+	hi := make([]float64, c.nFeat)
+	for i := range lo {
+		lo[i] = math.Inf(1)
+		hi[i] = math.Inf(-1)
+	}
+	for i, ft := range c.feature {
+		if ft < 0 {
+			continue
+		}
+		if v := c.thresh[i]; v < lo[ft] {
+			lo[ft] = v
+		}
+		if v := c.thresh[i]; v > hi[ft] {
+			hi[ft] = v
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, c.nFeat)
+	for s := 0; s < samples; s++ {
+		for i := range x {
+			l, h := lo[i], hi[i]
+			if l > h { // feature never split on: any value exercises it
+				l, h = -1, 1
+			}
+			pad := (h-l)*0.25 + 1
+			x[i] = l - pad + rng.Float64()*(h-l+2*pad)
+		}
+		want := f.Predict(x)
+		got := c.Predict(x)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			return fmt.Errorf("rf: compiled forest diverges at sample %d: compiled %v (bits %#x), tree-walk %v (bits %#x)",
+				s, got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,274 @@
+package rf
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// compileOrFatal compiles f, failing the test on error.
+func compileOrFatal(tb testing.TB, f *Forest) *CompiledForest {
+	tb.Helper()
+	c, err := f.Compile()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return c
+}
+
+// bitsEqual reports bit-for-bit float equality (the compiled contract —
+// an approximate comparison would hide exactly the drift this layer
+// must never introduce).
+func bitsEqual(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// TestCompiledEquivalenceProperty trains forests across a grid of
+// shapes (tree counts, depths, dimensionalities, leaf sizes), compiles
+// each, and checks bit-identical predictions on random inputs — wide
+// uniform draws plus the adversarial values a threshold comparison
+// could mis-handle (±Inf, NaN, exact zeros).
+func TestCompiledEquivalenceProperty(t *testing.T) {
+	targets := []func([]float64) float64{
+		func(x []float64) float64 { return x[0] },
+		func(x []float64) float64 { return 3*x[0] - 2*x[len(x)-1] },
+		func(x []float64) float64 { return math.Sin(5*x[0]) * x[len(x)/2] },
+	}
+	seed := int64(1)
+	for _, nTrees := range []int{1, 4, 9} {
+		for _, depth := range []int{1, 4, 10} {
+			for _, d := range []int{1, 3, 14} {
+				seed++
+				fn := targets[int(seed)%len(targets)]
+				X, y := makeDataset(120, d, 0.05, seed, fn)
+				cfg := Config{NumTrees: nTrees, MaxDepth: depth, MinLeaf: 1,
+					NumThresh: 8, SampleFrac: 1.0, Seed: seed, Workers: 1}
+				f, err := Train(X, y, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c := compileOrFatal(t, f)
+				if c.NumTrees() != f.NumTrees() || c.NumFeatures() != f.NumFeatures() {
+					t.Fatalf("compiled shape %d trees/%d features, want %d/%d",
+						c.NumTrees(), c.NumFeatures(), f.NumTrees(), f.NumFeatures())
+				}
+				rng := rand.New(rand.NewSource(seed * 31))
+				special := []float64{0, -0.0, 1, -1, math.Inf(1), math.Inf(-1), math.NaN(), 1e308, -1e308, 5e-324}
+				for trial := 0; trial < 200; trial++ {
+					x := make([]float64, d)
+					for j := range x {
+						if trial%4 == 3 {
+							x[j] = special[rng.Intn(len(special))]
+						} else {
+							x[j] = (rng.Float64() - 0.5) * 4
+						}
+					}
+					want := f.Predict(x)
+					got := c.Predict(x)
+					if !bitsEqual(got, want) {
+						t.Fatalf("trees=%d depth=%d d=%d trial=%d: compiled %v != tree-walk %v",
+							nTrees, depth, d, trial, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCompiledBatchMatchesScalar checks that the tree-outer batched
+// evaluation returns, for every row, exactly the scalar compiled (and
+// therefore tree-walking) prediction.
+func TestCompiledBatchMatchesScalar(t *testing.T) {
+	X, y := makeDataset(200, 5, 0.05, 7, func(x []float64) float64 { return x[0]*x[1] - x[4] })
+	f, err := Train(X, y, Config{NumTrees: 6, MaxDepth: 6, MinLeaf: 1, NumThresh: 8, SampleFrac: 1.0, Seed: 7, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := compileOrFatal(t, f)
+
+	const rows = 64
+	rng := rand.New(rand.NewSource(8))
+	flat := make([]float64, rows*5)
+	for i := range flat {
+		flat[i] = (rng.Float64() - 0.5) * 3
+	}
+	got := c.PredictBatch(flat)
+	if len(got) != rows {
+		t.Fatalf("batch returned %d rows, want %d", len(got), rows)
+	}
+	for r := 0; r < rows; r++ {
+		row := flat[r*5 : (r+1)*5]
+		if want := c.Predict(row); !bitsEqual(got[r], want) {
+			t.Fatalf("row %d: batch %v != scalar %v", r, got[r], want)
+		}
+		if want := f.Predict(row); !bitsEqual(got[r], want) {
+			t.Fatalf("row %d: batch %v != tree-walk %v", r, got[r], want)
+		}
+	}
+
+	// Into variant reuses the caller's buffer and returns it.
+	dst := make([]float64, rows)
+	if out := c.PredictBatchInto(dst, flat); &out[0] != &dst[0] {
+		t.Fatal("PredictBatchInto did not reuse the caller's buffer")
+	}
+	for r := range dst {
+		if !bitsEqual(dst[r], got[r]) {
+			t.Fatalf("row %d: Into %v != Batch %v", r, dst[r], got[r])
+		}
+	}
+}
+
+// TestPredictBatchEmpty pins the n==0 fast paths: no allocation, no
+// worker-pool dispatch, nil result — on both engines.
+func TestPredictBatchEmpty(t *testing.T) {
+	f := fuzzForest(t)
+	c := compileOrFatal(t, f)
+	if out := f.PredictBatch(nil, 0); out != nil {
+		t.Fatalf("Forest.PredictBatch(nil) = %v, want nil", out)
+	}
+	if out := f.PredictBatch([][]float64{}, 4); out != nil {
+		t.Fatalf("Forest.PredictBatch(empty) = %v, want nil", out)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { _ = f.PredictBatch(nil, 0) }); allocs != 0 {
+		t.Fatalf("Forest.PredictBatch(nil) allocates %v times per call, want 0", allocs)
+	}
+	if out := c.PredictBatch(nil); out != nil {
+		t.Fatalf("CompiledForest.PredictBatch(nil) = %v, want nil", out)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { _ = c.PredictBatch(nil) }); allocs != 0 {
+		t.Fatalf("CompiledForest.PredictBatch(nil) allocates %v times per call, want 0", allocs)
+	}
+	if out := c.PredictBatchInto([]float64{}, nil); len(out) != 0 {
+		t.Fatalf("PredictBatchInto(empty) = %v, want empty", out)
+	}
+}
+
+// TestCompiledBatchPanics pins the up-front shape checks.
+func TestCompiledBatchPanics(t *testing.T) {
+	c := compileOrFatal(t, fuzzForest(t)) // 3 features
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("Predict wrong dim", func() { c.Predict(make([]float64, 2)) })
+	expectPanic("PredictBatch ragged", func() { c.PredictBatch(make([]float64, 7)) })
+	expectPanic("PredictBatchInto short dst", func() {
+		c.PredictBatchInto(make([]float64, 1), make([]float64, 6))
+	})
+}
+
+// TestCompiledZeroAlloc pins the steady-state compiled inference paths
+// at zero allocations per operation — the contract the MPC inner loop's
+// per-decision budget is built on.
+func TestCompiledZeroAlloc(t *testing.T) {
+	f := fuzzForest(t)
+	c := compileOrFatal(t, f)
+	x := []float64{0.3, 0.7, 0.1}
+	if allocs := testing.AllocsPerRun(200, func() { _ = c.Predict(x) }); allocs != 0 {
+		t.Fatalf("CompiledForest.Predict allocates %v times per call, want 0", allocs)
+	}
+	rows := 16
+	flat := make([]float64, rows*3)
+	for i := range flat {
+		flat[i] = float64(i%7) * 0.2
+	}
+	dst := make([]float64, rows)
+	if allocs := testing.AllocsPerRun(200, func() { c.PredictBatchInto(dst, flat) }); allocs != 0 {
+		t.Fatalf("CompiledForest.PredictBatchInto allocates %v times per call, want 0", allocs)
+	}
+}
+
+// TestSelfCheck exercises the train-time guard: a faithful compilation
+// passes, a corrupted node pool is caught.
+func TestSelfCheck(t *testing.T) {
+	f := fuzzForest(t)
+	c := compileOrFatal(t, f)
+	if err := c.SelfCheck(f, 2048, 99); err != nil {
+		t.Fatalf("faithful compilation failed self-check: %v", err)
+	}
+	// Corrupt one leaf value: the check must notice.
+	for i, ft := range c.feature {
+		if ft < 0 {
+			c.thresh[i] += 1e-9
+			break
+		}
+	}
+	if err := c.SelfCheck(f, 2048, 99); err == nil {
+		t.Fatal("self-check accepted a corrupted node pool")
+	}
+}
+
+// TestCompileRejectsUnrepresentable covers the two compile errors.
+func TestCompileRejectsUnrepresentable(t *testing.T) {
+	if _, err := (&Forest{}).Compile(); err == nil {
+		t.Fatal("compiled a forest with no trees")
+	}
+	f := &Forest{trees: make([]tree, 1), nFeatures: maxCompiledFeatures + 1}
+	f.trees[0] = tree{Nodes: []node{{Feature: -1, Thresh: 1}}}
+	if _, err := f.Compile(); err == nil {
+		t.Fatal("compiled a forest beyond the int16 feature layout")
+	}
+}
+
+// FuzzCompiledEquivalence drives the bit-exactness contract with
+// fuzzer-chosen forest shapes and raw input bits: any trainable forest,
+// compiled, must predict bit-identically to the tree-walking original
+// on any input — including NaNs, infinities and denormals assembled
+// from the raw bytes.
+func FuzzCompiledEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(4), []byte("0123456789abcdef0123456789abcdef"))
+	f.Add(int64(42), uint8(1), uint8(1), []byte{0, 0, 0, 0, 0, 0, 0xf0, 0x7f})                   // +Inf input
+	f.Add(int64(7), uint8(5), uint8(8), []byte{1, 0, 0, 0, 0, 0, 0xf0, 0xff, 9, 9, 9, 9})        // NaN-adjacent
+	f.Add(int64(-3), uint8(2), uint8(6), []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xef, 0x7f}) // MaxFloat64
+	f.Fuzz(func(t *testing.T, seed int64, nTrees, depth uint8, raw []byte) {
+		nt := int(nTrees)%6 + 1
+		dp := int(depth)%8 + 1
+		const d = 3
+		X, y := makeDataset(40, d, 0.05, seed, func(x []float64) float64 { return x[0] - x[2] })
+		forest, err := Train(X, y, Config{NumTrees: nt, MaxDepth: dp, MinLeaf: 1,
+			NumThresh: 4, SampleFrac: 1.0, Seed: seed, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := forest.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Assemble input rows from the raw bytes, 8 per feature value;
+		// missing bytes repeat deterministically.
+		if len(raw) == 0 {
+			raw = []byte{0}
+		}
+		var rows []float64
+		for r := 0; r < 8; r++ {
+			for j := 0; j < d; j++ {
+				var b [8]byte
+				for k := range b {
+					b[k] = raw[(r*d*8+j*8+k)%len(raw)]
+				}
+				rows = append(rows, math.Float64frombits(binary.LittleEndian.Uint64(b[:])))
+			}
+		}
+		for r := 0; r < 8; r++ {
+			x := rows[r*d : (r+1)*d]
+			want := forest.Predict(x)
+			got := c.Predict(x)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("x=%v: compiled %v (bits %#x) != tree-walk %v (bits %#x)",
+					x, got, math.Float64bits(got), want, math.Float64bits(want))
+			}
+		}
+		batch := c.PredictBatch(rows)
+		for r := range batch {
+			if want := forest.Predict(rows[r*d : (r+1)*d]); math.Float64bits(batch[r]) != math.Float64bits(want) {
+				t.Fatalf("batch row %d: %v != %v", r, batch[r], want)
+			}
+		}
+	})
+}

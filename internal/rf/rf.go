@@ -152,7 +152,13 @@ func (f *Forest) Predict(x []float64) float64 {
 // Predict row by row regardless of the worker count. It panics if any
 // row has the wrong dimensionality — checked up front, before any
 // goroutine is spawned, so the panic is synchronous like Predict's.
+// An empty batch returns nil immediately: no result allocation, no
+// worker resolution, no pool dispatch (CompiledForest.PredictBatch
+// mirrors the same fast path).
 func (f *Forest) PredictBatch(X [][]float64, workers int) []float64 {
+	if len(X) == 0 {
+		return nil
+	}
 	for i, x := range X {
 		if len(x) != f.nFeatures {
 			panic(fmt.Sprintf("rf: PredictBatch row %d has %d features, trained on %d", i, len(x), f.nFeatures))
