@@ -1,0 +1,265 @@
+// Command loadgen is the closed-loop load harness for the mpcserve
+// decision API. It drives N concurrent sessions, each a full simulator
+// replay (sim.Engine) whose policy is a serve.Client, so every decision
+// round-trips the wire exactly as a real client application's would:
+// decide kernel i, run it, observe the outcome, decide kernel i+1.
+//
+// Closed-loop means each session has at most one request in flight —
+// offered load scales with session count, not with an open-loop arrival
+// rate, which keeps the measured latencies honest under backpressure
+// (429 retry waits are counted as client-visible latency).
+//
+// By default loadgen self-hosts an in-process server (training the
+// Random Forest once) so the whole measurement is one command; point
+// -addr at a running mpcserve to measure over real sockets instead.
+//
+// Usage:
+//
+//	loadgen                              # self-host, levels 1,2,4,8
+//	loadgen -levels 2 -replays 1         # quick smoke
+//	loadgen -addr http://localhost:9090  # against a live mpcserve
+//	loadgen -out BENCH_serve.json        # write the report
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"mpcdvfs"
+	"mpcdvfs/internal/cli"
+	"mpcdvfs/internal/par"
+	"mpcdvfs/internal/predict"
+	"mpcdvfs/internal/serve"
+	"mpcdvfs/internal/sim"
+)
+
+// levelReport is one concurrency level's measurement.
+type levelReport struct {
+	Sessions      int     `json:"sessions"`
+	Replays       int     `json:"replays_per_session"`
+	Decisions     int     `json:"decisions"`
+	WallS         float64 `json:"wall_s"`
+	ThroughputDPS float64 `json:"throughput_decisions_per_s"`
+	P50MS         float64 `json:"p50_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	P999MS        float64 `json:"p999_ms"`
+	Retries429    int     `json:"retries_429"`
+}
+
+// report is the BENCH_serve.json schema.
+type report struct {
+	App        string        `json:"app"`
+	Policy     string        `json:"policy"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
+	SelfHosted bool          `json:"self_hosted"`
+	Note       string        `json:"note"`
+	Levels     []levelReport `json:"levels"`
+}
+
+func main() {
+	addr := flag.String("addr", "", "base URL of a running mpcserve (empty: self-host an in-process server)")
+	appName := flag.String("app", "Spmv", "benchmark application each session replays")
+	levelsFlag := flag.String("levels", "1,2,4,8", "comma-separated concurrent session counts to sweep")
+	replays := flag.Int("replays", 2, "replays per session at each level (each replay is one full session)")
+	polName := flag.String("policy", "mpc", "self-host policy: ppk | mpc")
+	seed := flag.Int64("seed", 1, "self-host Random Forest training seed")
+	cacheSize := flag.Int("predict-cache", 0, "self-host per-session LRU prediction cache capacity (0 = off)")
+	queueDepth := flag.Int("queue-depth", serve.DefaultQueueDepth, "self-host per-session queue depth")
+	out := flag.String("out", "", "write the JSON report to this file (default: stdout summary only)")
+	logLevel := flag.String("log-level", "warn", "log level: debug | info | warn | error")
+	flag.Parse()
+
+	if err := cli.InitLogging(*logLevel); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := run(*addr, *appName, *levelsFlag, *replays, *polName, *seed, *cacheSize, *queueDepth, *out); err != nil {
+		slog.Error("loadgen failed", "err", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, appName, levelsFlag string, replays int, polName string, seed int64, cacheSize, queueDepth int, out string) error {
+	levels, err := parseLevels(levelsFlag)
+	if err != nil {
+		return err
+	}
+	app, err := mpcdvfs.BenchmarkByName(appName)
+	if err != nil {
+		return err
+	}
+
+	// The harness needs a local simulator either way: self-hosting shares
+	// it with the server's policies, and every session's closed loop runs
+	// kernels through it.
+	sys := mpcdvfs.NewSystem()
+	_, target, err := sys.Baseline(&app)
+	if err != nil {
+		return err
+	}
+
+	base := addr
+	selfHosted := addr == ""
+	if selfHosted {
+		ts, decider, err := selfHost(sys, polName, seed, cacheSize, queueDepth)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			decider.Shutdown()
+			ts.Close()
+		}()
+		base = ts.URL
+		fmt.Printf("self-hosted decision server at %s (policy %s)\n", base, polName)
+	}
+
+	rep := report{
+		App:        app.Name,
+		Policy:     polName,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		SelfHosted: selfHosted,
+		Note: "closed-loop: one in-flight decision per session; latencies include 429 retry waits. " +
+			"Throughput scaling with session count requires spare cores — on a single-CPU host the " +
+			"sessions time-share one core and aggregate throughput stays flat by construction.",
+	}
+
+	for _, n := range levels {
+		lr, err := runLevel(sys, &app, target, base, n, replays)
+		if err != nil {
+			return err
+		}
+		rep.Levels = append(rep.Levels, lr)
+		fmt.Printf("sessions=%d decisions=%d wall=%.2fs throughput=%.1f dec/s p50=%.3fms p99=%.3fms p999=%.3fms\n",
+			lr.Sessions, lr.Decisions, lr.WallS, lr.ThroughputDPS, lr.P50MS, lr.P99MS, lr.P999MS)
+	}
+
+	if out != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", out)
+	}
+	return nil
+}
+
+// runLevel sweeps one concurrency level: n sessions run their replays
+// concurrently, each through its own serve.Client.
+func runLevel(sys *mpcdvfs.System, app *mpcdvfs.App, target mpcdvfs.Target, base string, n, replays int) (levelReport, error) {
+	lats := make([][]time.Duration, n)
+	errs := make([]error, n)
+	retries := make([]int, n)
+	start := time.Now()
+	par.ForEach(n, n, func(i int) {
+		c := serve.NewClient(base)
+		c.OnDecideLatency = func(d time.Duration) { lats[i] = append(lats[i], d) }
+		for r := 0; r < replays; r++ {
+			if _, err := sys.Run(app, c, target, r == 0); err != nil {
+				errs[i] = err
+				return
+			}
+			if err := c.Close(); err != nil {
+				errs[i] = err
+				return
+			}
+		}
+		retries[i] = c.Retries429
+	})
+	wall := time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			return levelReport{}, fmt.Errorf("session %d/%d: %w", i+1, n, err)
+		}
+	}
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	lr := levelReport{
+		Sessions:      n,
+		Replays:       replays,
+		Decisions:     len(all),
+		WallS:         wall.Seconds(),
+		ThroughputDPS: float64(len(all)) / wall.Seconds(),
+		P50MS:         quantileMS(all, 0.50),
+		P99MS:         quantileMS(all, 0.99),
+		P999MS:        quantileMS(all, 0.999),
+	}
+	for _, r := range retries {
+		lr.Retries429 += r
+	}
+	return lr, nil
+}
+
+// selfHost builds an in-process decision server over httptest, with the
+// same per-session policy stack mpcserve serves.
+func selfHost(sys *mpcdvfs.System, polName string, seed int64, cacheSize, queueDepth int) (*httptest.Server, *serve.Server, error) {
+	slog.Info("training Random Forest predictor for the self-hosted server", "seed", seed)
+	model, err := mpcdvfs.TrainRandomForest(mpcdvfs.DefaultTrainOptions(seed))
+	if err != nil {
+		return nil, nil, err
+	}
+	decider, err := serve.New(serve.Config{
+		Model: model,
+		Tag:   "loadgen seed=" + strconv.FormatInt(seed, 10),
+		NewPolicy: func(m predict.Model) sim.Policy {
+			if polName == "ppk" {
+				return sys.NewPPK(m)
+			}
+			var opts []mpcdvfs.MPCOption
+			if cacheSize > 0 {
+				opts = append(opts, mpcdvfs.WithPredictionCache(cacheSize))
+			}
+			return sys.NewMPC(m, opts...)
+		},
+		QueueDepth: queueDepth,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", decider.Handler())
+	return httptest.NewServer(mux), decider, nil
+}
+
+// quantileMS reads quantile q from a sorted latency slice, in ms.
+func quantileMS(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+// parseLevels parses the -levels flag.
+func parseLevels(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -levels entry %q (want positive integers)", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-levels is empty")
+	}
+	return out, nil
+}

@@ -1,19 +1,33 @@
 // Command mpcserve runs the MPC runtime as a long-lived observable
-// service: it replays benchmark workloads continuously under a
-// power-management policy and exposes the runtime's metrics for
-// Prometheus-style scraping.
+// service with two faces: a replay loop that continuously re-runs
+// benchmark workloads under a policy (the original mode), and a
+// concurrent decision API that serves per-kernel configuration
+// decisions to remote clients over HTTP, one session per client
+// application (internal/serve).
 //
 // Endpoints (on -addr):
 //
-//	/metrics       mpcdvfs_* counters, gauges and histograms
-//	/health        liveness probe
-//	/debug/pprof/  live CPU/heap profiles of the serving process
+//	/metrics            mpcdvfs_* counters, gauges and histograms
+//	/health             liveness probe
+//	/debug/pprof/       live CPU/heap profiles of the serving process
+//	/v1/session         open a decision session (POST)
+//	/v1/decide          decide one kernel invocation (POST)
+//	/v1/observe         feed back a measured kernel outcome (POST)
+//	/v1/session/close   drain and close a session (POST)
+//	/reload             hot-swap the serving model (POST; {"path": ...}
+//	                    loads a cmd/train gob, {} retrains in-process)
+//
+// The decision API needs a shared predictor, so it is served for the
+// RF-backed policies (mpc, ppk) and disabled under -oracle or
+// -policy=turbo-core, whose predictors are per-app or absent.
 //
 // Usage:
 //
-//	mpcserve                       # all benchmarks under MPC (trains RF)
-//	mpcserve -oracle -apps Spmv    # perfect predictor, one app
+//	mpcserve                        # replay all benchmarks + serve API
+//	mpcserve -replay=false          # decision API only
+//	mpcserve -oracle -apps Spmv     # perfect predictor, replay only
 //	curl localhost:9090/metrics
+//	curl -d '{"app":"x","num_kernels":8,"target":{"total_insts":1e9,"total_time_ms":100}}' localhost:9090/v1/session
 package main
 
 import (
@@ -29,23 +43,44 @@ import (
 
 	"mpcdvfs"
 	"mpcdvfs/internal/cli"
+	"mpcdvfs/internal/metrics"
 	"mpcdvfs/internal/obs"
 	"mpcdvfs/internal/par"
 	"mpcdvfs/internal/predict"
+	"mpcdvfs/internal/serve"
+	"mpcdvfs/internal/sim"
 )
 
+type options struct {
+	addr         string
+	apps         string
+	policy       string
+	oracle       bool
+	modelPath    string
+	seed         int64
+	interval     time.Duration
+	traceOut     string
+	cacheSize    int
+	noCompiledRF bool
+	replay       bool
+	queueDepth   int
+}
+
 func main() {
-	addr := flag.String("addr", ":9090", "HTTP listen address for /metrics, /health and /debug/pprof")
-	appsFlag := flag.String("apps", "", "comma-separated benchmarks to replay (default: all)")
-	polName := flag.String("policy", "mpc", "policy: turbo-core | ppk | mpc")
-	useOracle := flag.Bool("oracle", false, "use a perfect predictor instead of the Random Forest")
-	modelPath := flag.String("model", "", "load a model trained with cmd/train instead of training in-process")
-	seed := flag.Int64("seed", 1, "Random Forest training seed")
-	interval := flag.Duration("interval", 100*time.Millisecond, "pause between workload replays")
-	traceOut := flag.String("trace-out", "", "stream runtime events as JSONL to this file (tailable)")
+	var o options
+	flag.StringVar(&o.addr, "addr", ":9090", "HTTP listen address for the decision API, /metrics, /health and /debug/pprof")
+	flag.StringVar(&o.apps, "apps", "", "comma-separated benchmarks to replay (default: all)")
+	flag.StringVar(&o.policy, "policy", "mpc", "policy: turbo-core | ppk | mpc")
+	flag.BoolVar(&o.oracle, "oracle", false, "use a perfect predictor instead of the Random Forest (disables the decision API)")
+	flag.StringVar(&o.modelPath, "model", "", "load a model trained with cmd/train instead of training in-process")
+	flag.Int64Var(&o.seed, "seed", 1, "Random Forest training seed")
+	flag.DurationVar(&o.interval, "interval", 100*time.Millisecond, "pause between workload replays")
+	flag.StringVar(&o.traceOut, "trace-out", "", "stream runtime events as JSONL to this file (tailable)")
 	workers := flag.Int("workers", 0, "worker goroutines for RF training and sharded config search (0 = all CPUs, 1 = serial; decisions are identical either way)")
-	cacheSize := flag.Int("predict-cache", 0, "LRU prediction cache capacity for MPC policies (0 = off; decisions are identical either way)")
-	noCompiledRF := flag.Bool("no-compiled-rf", false, "disable the compiled-forest inference fast path and walk the trees (decisions are bit-identical either way; escape hatch for A/B timing)")
+	flag.IntVar(&o.cacheSize, "predict-cache", 0, "LRU prediction cache capacity for MPC policies (0 = off; decisions are identical either way)")
+	flag.BoolVar(&o.noCompiledRF, "no-compiled-rf", false, "disable the compiled-forest inference fast path and walk the trees (decisions are bit-identical either way; escape hatch for A/B timing)")
+	flag.BoolVar(&o.replay, "replay", true, "run the continuous benchmark replay loop (false: serve the decision API only)")
+	flag.IntVar(&o.queueDepth, "queue-depth", serve.DefaultQueueDepth, "per-session decision queue depth (full queues answer 429)")
 	logLevel := flag.String("log-level", "info", "log level: debug | info | warn | error")
 	flag.Parse()
 
@@ -54,14 +89,14 @@ func main() {
 		os.Exit(2)
 	}
 	par.SetDefault(*workers)
-	if err := run(*addr, *appsFlag, *polName, *useOracle, *modelPath, *seed, *interval, *traceOut, *cacheSize, *noCompiledRF); err != nil {
+	if err := run(o); err != nil {
 		slog.Error("mpcserve failed", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, appsFlag, polName string, useOracle bool, modelPath string, seed int64, interval time.Duration, traceOut string, cacheSize int, noCompiledRF bool) error {
-	apps, err := selectApps(appsFlag)
+func run(o options) error {
+	apps, err := selectApps(o.apps)
 	if err != nil {
 		return err
 	}
@@ -69,8 +104,8 @@ func run(addr, appsFlag, polName string, useOracle bool, modelPath string, seed 
 	reg := mpcdvfs.NewMetricsRegistry()
 	par.Instrument(reg)
 	observers := []mpcdvfs.Observer{mpcdvfs.NewMetricsObserver(reg), obs.NewSlog(nil)}
-	if traceOut != "" {
-		f, err := os.Create(traceOut)
+	if o.traceOut != "" {
+		f, err := os.Create(o.traceOut)
 		if err != nil {
 			return err
 		}
@@ -94,11 +129,6 @@ func run(addr, appsFlag, polName string, useOracle bool, modelPath string, seed 
 		"Speedup of the last replay versus the Turbo Core baseline (>1 is faster).",
 		"policy", "app")
 
-	// Serve immediately: /health and /metrics answer while the predictor
-	// trains.
-	srv := cli.ServeMetrics(addr, reg)
-	defer cli.Close("observability server", srv)
-
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -107,10 +137,10 @@ func run(addr, appsFlag, polName string, useOracle bool, modelPath string, seed 
 
 	var sharedModel mpcdvfs.Model
 	switch {
-	case useOracle, polName == "turbo-core":
+	case o.oracle, o.policy == "turbo-core":
 		// Per-app oracles are built below; turbo-core needs no model.
-	case modelPath != "":
-		mf, err := os.Open(modelPath)
+	case o.modelPath != "":
+		mf, err := os.Open(o.modelPath)
 		if err != nil {
 			return err
 		}
@@ -119,23 +149,107 @@ func run(addr, appsFlag, polName string, useOracle bool, modelPath string, seed 
 		if err != nil {
 			return err
 		}
-		slog.Info("model loaded", "path", modelPath, "name", sharedModel.Name())
+		slog.Info("model loaded", "path", o.modelPath, "name", sharedModel.Name())
 	default:
-		slog.Info("training Random Forest predictor (use -oracle or -model to skip)", "seed", seed)
+		slog.Info("training Random Forest predictor (use -oracle or -model to skip)", "seed", o.seed)
 		start := time.Now()
-		sharedModel, err = mpcdvfs.TrainRandomForest(mpcdvfs.DefaultTrainOptions(seed))
+		sharedModel, err = mpcdvfs.TrainRandomForest(mpcdvfs.DefaultTrainOptions(o.seed))
 		if err != nil {
 			return err
 		}
 		slog.Info("predictor trained", "took", time.Since(start).Round(time.Millisecond))
 	}
-	if noCompiledRF {
+	if o.noCompiledRF {
 		if rfm, ok := sharedModel.(*predict.RandomForest); ok {
 			rfm.SetCompiled(false)
 			slog.Info("compiled-forest fast path disabled; walking trees")
 		}
 	}
 
+	// The decision API serves sessions from the shared model; mount it
+	// next to the observability surface when one exists.
+	mux := cli.NewObsMux(reg)
+	var decider *serve.Server
+	if sharedModel != nil {
+		decider, err = newDecider(o, sys, sharedModel, reg)
+		if err != nil {
+			return err
+		}
+		h := decider.Handler()
+		mux.Handle("/v1/", h)
+		mux.Handle("/reload", h)
+		slog.Info("decision API enabled", "policy", o.policy, "queue_depth", o.queueDepth)
+	} else {
+		slog.Info("decision API disabled (no shared predictor under -oracle/turbo-core)")
+	}
+	srv := cli.ServeMux(o.addr, mux)
+
+	if o.replay {
+		if err := replayLoop(ctx, o, sys, sharedModel, apps, reg, replays, savings, speedup); err != nil {
+			return err
+		}
+	} else {
+		slog.Info("replay loop disabled; serving decisions only")
+		<-ctx.Done()
+	}
+
+	slog.Info("shutting down")
+	if decider != nil {
+		decider.Shutdown() // drain decision sessions before dropping the listener
+	}
+	shctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return srv.Shutdown(shctx)
+}
+
+// newDecider builds the concurrent decision service around the shared
+// model: per-session policies use the exact stack the replay loop uses,
+// which is what keeps served decision streams byte-identical to local
+// replays.
+func newDecider(o options, sys *mpcdvfs.System, sharedModel mpcdvfs.Model, reg *mpcdvfs.MetricsRegistry) (*serve.Server, error) {
+	newPolicy := func(m predict.Model) sim.Policy {
+		switch o.policy {
+		case "ppk":
+			return sys.NewPPK(m)
+		default:
+			var opts []mpcdvfs.MPCOption
+			if o.cacheSize > 0 {
+				opts = append(opts, mpcdvfs.WithPredictionCache(o.cacheSize))
+			}
+			mp := sys.NewMPC(m, opts...)
+			if c := mp.PredictionCache(); c != nil {
+				c.Instrument(reg)
+			}
+			return mp
+		}
+	}
+	tag := "trained seed=" + fmt.Sprint(o.seed)
+	if o.modelPath != "" {
+		tag = o.modelPath
+	}
+	decider, err := serve.New(serve.Config{
+		Model:     sharedModel,
+		Tag:       tag,
+		NewPolicy: newPolicy,
+		Train: func() (predict.Model, error) {
+			return mpcdvfs.TrainRandomForest(mpcdvfs.DefaultTrainOptions(o.seed))
+		},
+		QueueDepth: o.queueDepth,
+	})
+	if err != nil {
+		return nil, err
+	}
+	decider.Instrument(reg)
+	if rfm, ok := sharedModel.(*predict.RandomForest); ok {
+		rfm.InstrumentArenaPool(reg)
+	}
+	return decider, nil
+}
+
+// replayLoop is the original mpcserve behaviour: replay each benchmark
+// continuously under the policy, publishing savings/speedup metrics.
+func replayLoop(ctx context.Context, o options, sys *mpcdvfs.System, sharedModel mpcdvfs.Model, apps []mpcdvfs.App,
+	reg *mpcdvfs.MetricsRegistry, replays *metrics.CounterVec, savings, speedup *metrics.GaugeVec) error {
 	// One replayer per app: MPC keeps per-app pattern knowledge across
 	// replays, so horizon and fallback metrics reflect steady state.
 	type replayer struct {
@@ -156,19 +270,19 @@ func run(addr, appsFlag, polName string, useOracle bool, modelPath string, seed 
 			return err
 		}
 		model := sharedModel
-		if model == nil && polName != "turbo-core" {
+		if model == nil && o.policy != "turbo-core" {
 			model = sys.NewOracle(&app)
 		}
 		var pol mpcdvfs.Policy
-		switch polName {
+		switch o.policy {
 		case "turbo-core":
 			pol = sys.NewTurboCore()
 		case "ppk":
 			pol = sys.NewPPK(model)
 		case "mpc":
 			var opts []mpcdvfs.MPCOption
-			if cacheSize > 0 {
-				opts = append(opts, mpcdvfs.WithPredictionCache(cacheSize))
+			if o.cacheSize > 0 {
+				opts = append(opts, mpcdvfs.WithPredictionCache(o.cacheSize))
 			}
 			m := sys.NewMPC(model, opts...)
 			if c := m.PredictionCache(); c != nil {
@@ -176,12 +290,12 @@ func run(addr, appsFlag, polName string, useOracle bool, modelPath string, seed 
 			}
 			pol = m
 		default:
-			return fmt.Errorf("unknown policy %q (want turbo-core, ppk or mpc)", polName)
+			return fmt.Errorf("unknown policy %q (want turbo-core, ppk or mpc)", o.policy)
 		}
 		reps = append(reps, &replayer{app: app, pol: pol, base: base, target: target, first: true})
 	}
 
-	slog.Info("replay loop started", "apps", len(reps), "policy", polName, "interval", interval)
+	slog.Info("replay loop started", "apps", len(reps), "policy", o.policy, "interval", o.interval)
 	cycles := 0
 	for ctx.Err() == nil {
 		for _, r := range reps {
@@ -203,7 +317,7 @@ func run(addr, appsFlag, polName string, useOracle bool, modelPath string, seed 
 				"savings_pct", c.EnergySavingsPct, "speedup", c.Speedup)
 			select {
 			case <-ctx.Done():
-			case <-time.After(interval):
+			case <-time.After(o.interval):
 			}
 		}
 		cycles++
@@ -211,10 +325,8 @@ func run(addr, appsFlag, polName string, useOracle bool, modelPath string, seed 
 			slog.Info("replay progress", "cycles", cycles)
 		}
 	}
-	slog.Info("shutting down", "cycles", cycles)
-	shctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-	defer cancel()
-	return srv.Shutdown(shctx)
+	slog.Info("replay loop stopped", "cycles", cycles)
+	return nil
 }
 
 // selectApps resolves the -apps flag against the benchmark suite.

@@ -68,11 +68,19 @@ func NewObsMux(reg *metrics.Registry) *http.ServeMux {
 // errors after startup are logged, not fatal: a batch run should not die
 // because its scrape endpoint vanished.
 func ServeMetrics(addr string, reg *metrics.Registry) *http.Server {
-	srv := &http.Server{Addr: addr, Handler: NewObsMux(reg)}
+	return ServeMux(addr, NewObsMux(reg))
+}
+
+// ServeMux starts an HTTP server for mux on addr in a background
+// goroutine — ServeMetrics with a caller-built mux, for commands that
+// mount extra routes (e.g. mpcserve's /v1 decision API) next to the
+// observability surface.
+func ServeMux(addr string, mux *http.ServeMux) *http.Server {
+	srv := &http.Server{Addr: addr, Handler: mux}
 	go func() { //mpclint:ignore pooled-concurrency long-lived HTTP accept loop for the whole process, not index fan-out work; par.ForEach would block the caller
-		slog.Info("serving observability endpoint", "addr", addr)
+		slog.Info("serving HTTP endpoint", "addr", addr)
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-			slog.Error("metrics server failed", "addr", addr, "err", err)
+			slog.Error("HTTP server failed", "addr", addr, "err", err)
 		}
 	}()
 	return srv

@@ -2,7 +2,6 @@ package core
 
 import (
 	"math"
-	"sort"
 
 	"mpcdvfs/internal/hw"
 )
@@ -31,8 +30,7 @@ func (o *Optimizer) BruteForceWindow(win []WindowKernel, tr *Tracker) BruteForce
 	if len(win) == 0 {
 		return BruteForceResult{Config: o.failSafe}
 	}
-	ordered := append([]WindowKernel(nil), win...)
-	sort.SliceStable(ordered, func(a, b int) bool { return ordered[a].ExecIndex < ordered[b].ExecIndex })
+	ordered := o.orderWindow(win, func(a, b WindowKernel) bool { return a.ExecIndex < b.ExecIndex })
 
 	// Window budget: total expected time so that cumulative throughput
 	// through the window still meets the target (Eq. 3).
@@ -52,7 +50,7 @@ func (o *Optimizer) BruteForceWindow(win []WindowKernel, tr *Tracker) BruteForce
 	energies := make([][]float64, len(ordered))
 	evals := 0
 	for i, w := range ordered {
-		cache := newEvalCache(o, w.Rec.Counters)
+		cache := acquireEvalCache(o, w.Rec.Counters)
 		times[i] = make([]float64, len(cfgs))
 		energies[i] = make([]float64, len(cfgs))
 		for j, c := range cfgs {
@@ -61,6 +59,7 @@ func (o *Optimizer) BruteForceWindow(win []WindowKernel, tr *Tracker) BruteForce
 			energies[i][j] = e
 		}
 		evals += cache.evals
+		releaseEvalCache(cache)
 	}
 
 	res := BruteForceResult{Config: o.failSafe, EnergyMJ: math.Inf(1), Evals: evals}

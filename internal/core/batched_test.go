@@ -176,6 +176,52 @@ func TestEvalCacheHitZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestEvalCachePoolWarmZeroAlloc pins the pooled decision-cache
+// lifecycle at zero allocations in steady state: once a pooled cache's
+// map has grown to sweep size, a full acquire / evaluate / release
+// cycle reuses it without touching the allocator (clear() keeps the
+// buckets). This is the per-window-kernel cost OptimizeWindow pays on
+// every receding-horizon step.
+func TestEvalCachePoolWarmZeroAlloc(t *testing.T) {
+	m := batchedModel(t)
+	m.SetCompiled(true)
+	o := NewOptimizer(m, hw.DefaultSpace())
+	cs := kernel.NewBalanced("b", 1).Counters()
+
+	// Grow one pooled cache to full-sweep size, then return it.
+	warm := acquireEvalCache(o, cs)
+	o.Space.ForEach(func(cfg hw.Config) { warm.eval(cfg) })
+	releaseEvalCache(warm)
+
+	cfg := o.failSafe
+	if allocs := testing.AllocsPerRun(200, func() {
+		c := acquireEvalCache(o, cs)
+		c.eval(cfg)
+		releaseEvalCache(c)
+	}); allocs != 0 {
+		t.Fatalf("warm pooled evalCache cycle allocates %v times, want 0", allocs)
+	}
+}
+
+// TestEvalCachePoolResetOnRelease pins the per-kernel isolation of the
+// pool: a released cache comes back empty (no other kernel's entries,
+// zero eval count) even though its map storage is reused.
+func TestEvalCachePoolResetOnRelease(t *testing.T) {
+	k := kernel.NewBalanced("b", 1)
+	o := NewOptimizer(oracleFor(k), hw.DefaultSpace())
+	c := acquireEvalCache(o, k.Counters())
+	c.eval(o.failSafe)
+	if c.evals != 1 || len(c.seen) != 1 {
+		t.Fatalf("fresh cache after one miss: evals=%d entries=%d", c.evals, len(c.seen))
+	}
+	releaseEvalCache(c)
+	c2 := acquireEvalCache(o, k.Counters())
+	defer releaseEvalCache(c2)
+	if c2.evals != 0 || len(c2.seen) != 0 {
+		t.Fatalf("pooled cache not reset: evals=%d entries=%d", c2.evals, len(c2.seen))
+	}
+}
+
 // TestExhaustiveBatchedSweepZeroAllocSteadyState pins the whole batched
 // sweep reduction (minus the per-decision cache, which each decision
 // owns) at a bounded, arena-free steady state: after the first sweep

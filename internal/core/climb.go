@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"sync"
 
 	"mpcdvfs/internal/counters"
 	"mpcdvfs/internal/hw"
@@ -42,6 +43,14 @@ type Optimizer struct {
 	sweepSpace hw.Space
 	sweepCfgs  []hw.Config
 	sweepEsts  []predict.Estimate
+
+	// Window scratch, reused across OptimizeWindow/BruteForceWindow
+	// steps so the receding-horizon hot loop stops re-allocating the
+	// sorted window copy and its per-kernel bookkeeping every decision.
+	// Consistent with the not-concurrent-use contract above.
+	winScratch     []WindowKernel
+	cacheScratch   []*evalCache
+	deficitScratch []float64
 }
 
 // NewOptimizer returns an optimizer over the given model and space.
@@ -80,6 +89,32 @@ func newEvalCache(o *Optimizer, cs counters.Set) *evalCache {
 	return &evalCache{o: o, cs: cs, seen: make(map[hw.Config]cachedEval, 24)}
 }
 
+// evalCachePool recycles decision caches across searches: every
+// OptimizeWindow step used to allocate one evalCache (map included) per
+// window kernel — per-decision garbage that a serving process makes at
+// every request. Pooled caches keep their grown map buckets, so a warm
+// acquire/eval/release cycle allocates nothing (pinned by
+// TestEvalCachePoolWarmZeroAlloc).
+var evalCachePool = sync.Pool{New: func() any { return newEvalCache(nil, counters.Set{}) }}
+
+// acquireEvalCache returns an empty evalCache bound to (o, cs), reusing
+// a pooled one when available. Contents are always per-kernel: caches
+// come back empty because releaseEvalCache clears them.
+func acquireEvalCache(o *Optimizer, cs counters.Set) *evalCache {
+	c := evalCachePool.Get().(*evalCache)
+	c.o, c.cs, c.evals = o, cs, 0
+	return c
+}
+
+// releaseEvalCache resets c and returns it to the pool. The map is
+// cleared (buckets retained) so no kernel's evaluations can leak into
+// another decision, and the optimizer pointer is dropped.
+func releaseEvalCache(c *evalCache) {
+	clear(c.seen)
+	c.o, c.cs, c.evals = nil, counters.Set{}, 0
+	evalCachePool.Put(c)
+}
+
 func (c *evalCache) eval(cfg hw.Config) (predict.Estimate, float64) {
 	if v, ok := c.seen[cfg]; ok {
 		return v.est, v.e
@@ -102,7 +137,9 @@ func (c *evalCache) eval(cfg hw.Config) (predict.Estimate, float64) {
 // configuration cannot meet the headroom, it returns the fail-safe with
 // Feasible=false, the paper's constraint-failure behaviour.
 func (o *Optimizer) HillClimb(cs counters.Set, headroomMS float64) climbResult {
-	return o.hillClimb(newEvalCache(o, cs), headroomMS, true, 0)
+	cache := acquireEvalCache(o, cs)
+	defer releaseEvalCache(cache)
+	return o.hillClimb(cache, headroomMS, true, 0)
 }
 
 // hillClimb runs the search against an existing evaluation cache; Evals
@@ -188,7 +225,9 @@ func (o *Optimizer) hillClimb(cache *evalCache, headroomMS float64, recover bool
 // per-kernel search PPK and the search-cost ablation use. Evals equals
 // the space size.
 func (o *Optimizer) ExhaustiveSearch(cs counters.Set, headroomMS float64) climbResult {
-	return o.exhaustive(newEvalCache(o, cs), headroomMS)
+	cache := acquireEvalCache(o, cs)
+	defer releaseEvalCache(cache)
+	return o.exhaustive(cache, headroomMS)
 }
 
 func (o *Optimizer) exhaustive(cache *evalCache, headroomMS float64) climbResult {
@@ -362,6 +401,20 @@ func (o *Optimizer) search(cache *evalCache, headroomMS float64, recover bool, r
 	return o.hillClimb(cache, headroomMS, recover, refTimeMS)
 }
 
+// orderWindow copies win into the optimizer's reused scratch buffer and
+// stable-sorts it by less. Both window optimizers used to allocate this
+// copy every receding-horizon step; the scratch makes the copy free in
+// steady state while the stable sort keeps the exact tie-break order the
+// allocating version produced (argmin/eval-count parity is pinned by the
+// window invariant tests). The returned slice is valid until the next
+// orderWindow call.
+func (o *Optimizer) orderWindow(win []WindowKernel, less func(a, b WindowKernel) bool) []WindowKernel {
+	o.winScratch = append(o.winScratch[:0], win...)
+	ordered := o.winScratch
+	sort.SliceStable(ordered, func(a, b int) bool { return less(ordered[a], ordered[b]) })
+	return ordered
+}
+
 // WindowKernel is one kernel of an MPC optimization window.
 type WindowKernel struct {
 	ExecIndex int             // position in execution order
@@ -391,9 +444,10 @@ func (o *Optimizer) OptimizeWindow(win []WindowKernel, tr *Tracker) (hw.Config, 
 		est := o.Model.PredictKernel(counters.Set{}, o.failSafe)
 		return o.failSafe, est, 0
 	}
-	// Order the window by search-order rank.
-	ordered := append([]WindowKernel(nil), win...)
-	sort.SliceStable(ordered, func(a, b int) bool { return ordered[a].Rank < ordered[b].Rank })
+	// Order the window by search-order rank, into the reused scratch
+	// copy (stable sort of identical data: identical order every step,
+	// whatever buffer holds it).
+	ordered := o.orderWindow(win, func(a, b WindowKernel) bool { return a.Rank < b.Rank })
 
 	cur := win[0]
 	for _, w := range win[1:] {
@@ -402,21 +456,32 @@ func (o *Optimizer) OptimizeWindow(win []WindowKernel, tr *Tracker) (hw.Config, 
 		}
 	}
 
-	// Per-kernel evaluation caches and fail-safe deficits.
+	// Per-kernel evaluation caches and fail-safe deficits, in reused
+	// scratch; the caches are pooled and returned before this step ends.
 	tp := tr.TargetThroughput()
-	caches := make([]*evalCache, len(ordered))
-	deficit := make([]float64, len(ordered))
+	caches := o.cacheScratch[:0]
+	deficit := o.deficitScratch[:0]
 	remaining := 0.0
-	for i, w := range ordered {
-		caches[i] = newEvalCache(o, w.Rec.Counters)
-		fsEst, _ := caches[i].eval(o.failSafe)
+	for _, w := range ordered {
+		cache := acquireEvalCache(o, w.Rec.Counters)
+		fsEst, _ := cache.eval(o.failSafe)
+		d := 0.0
 		if tp > 0 {
-			if d := fsEst.TimeMS - w.ExpInsts/tp; d > 0 {
-				deficit[i] = d
+			if fd := fsEst.TimeMS - w.ExpInsts/tp; fd > 0 {
+				d = fd
 			}
 		}
-		remaining += deficit[i]
+		caches = append(caches, cache)
+		deficit = append(deficit, d)
+		remaining += d
 	}
+	o.cacheScratch, o.deficitScratch = caches, deficit
+	defer func() {
+		for i, c := range caches {
+			releaseEvalCache(c)
+			caches[i] = nil // no stale cache pointers in the scratch
+		}
+	}()
 
 	spec := tr.Clone()
 	evals := 0

@@ -237,7 +237,10 @@ func (m *MPC) decidePPK() sim.Decision {
 	}
 	head := m.tracker.HeadroomMS(m.last.Insts)
 	res := m.opt.ExhaustiveSearch(m.last.Counters, head)
-	return sim.Decision{Config: res.Config, Evals: res.Evals, SearchIters: 1}
+	return sim.Decision{
+		Config: res.Config, Evals: res.Evals, SearchIters: 1,
+		PredTimeMS: res.Est.TimeMS, PredGPUPowerW: res.Est.GPUPowerW,
+	}
 }
 
 // decideMPC is the steady-state behaviour: adaptive horizon, windowed
@@ -301,8 +304,11 @@ func (m *MPC) decideMPC(i int) sim.Decision {
 		tr = tr.Clone()
 		tr.Add(0, res)
 	}
-	cfg, _, evals := m.opt.OptimizeWindow(win, tr)
-	return sim.Decision{Config: cfg, Evals: evals + extraEvals, SearchIters: len(win), Horizon: h}
+	cfg, est, evals := m.opt.OptimizeWindow(win, tr)
+	return sim.Decision{
+		Config: cfg, Evals: evals + extraEvals, SearchIters: len(win), Horizon: h,
+		PredTimeMS: est.TimeMS, PredGPUPowerW: est.GPUPowerW,
+	}
 }
 
 // computeDeficits fills suffixDeficit from the pattern extractor's

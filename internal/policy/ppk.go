@@ -76,7 +76,10 @@ func (p *PPK) Decide(i int) sim.Decision {
 	}
 	head := p.tracker.HeadroomMS(p.last.Insts)
 	res := p.opt.ExhaustiveSearch(p.last.Counters, head)
-	return sim.Decision{Config: res.Config, Evals: res.Evals, SearchIters: 1}
+	return sim.Decision{
+		Config: res.Config, Evals: res.Evals, SearchIters: 1,
+		PredTimeMS: res.Est.TimeMS, PredGPUPowerW: res.Est.GPUPowerW,
+	}
 }
 
 // Observe implements sim.Policy.

@@ -2,7 +2,11 @@ package predict
 
 import (
 	"container/list"
+	"encoding/binary"
+	"hash/fnv"
+	"math"
 	"sync"
+	"sync/atomic"
 
 	"mpcdvfs/internal/counters"
 	"mpcdvfs/internal/hw"
@@ -14,6 +18,13 @@ import (
 // every configuration of the paper's 336-point space for a few dozen
 // distinct kernels.
 const DefaultCacheSize = 16384
+
+// cacheShardCount is the number of LRU shards (a power of two, so the
+// shard index is a mask of the key hash). Sixteen shards keep the
+// per-shard lock uncontended well past the session concurrency the
+// serving layer targets, while the per-shard LRUs stay large enough
+// that sharded eviction behaves like the single LRU it replaced.
+const cacheShardCount = 16
 
 // Cache memoizes an inner Model behind a bounded LRU keyed by the full
 // (counter set, configuration) pair — the counter set is the kernel's
@@ -30,21 +41,37 @@ const DefaultCacheSize = 16384
 // Calibrated, not around it — since Calibrated's feedback ratios change
 // between kernels and would make stale entries diverge.
 //
-// Cache is safe for concurrent use; the sharded configuration search
-// calls PredictKernel from many goroutines.
+// Cache is safe for concurrent use and sharded for it: the key space is
+// split across cacheShardCount independent LRUs by key hash, each with
+// its own lock, so concurrent sessions sharing one cache stop
+// serializing on a single mutex. Within one goroutine the lookup
+// sequence — and therefore the per-shard hit/miss/eviction sequence —
+// is a pure function of the keys looked up: a single session's replay
+// is identical run to run, cache shared or private (the shard hash is
+// deterministic and seedless).
 type Cache struct {
-	inner Model
-	cap   int
+	inner  Model
+	cap    int
+	shards [cacheShardCount]cacheShard
 
+	// Optional metrics mirror (Instrument); shards read it lock-free.
+	instr atomic.Pointer[cacheInstr]
+}
+
+// cacheShard is one independently locked LRU over a hash partition of
+// the key space.
+type cacheShard struct {
 	mu  sync.Mutex
+	cap int
 	m   map[cacheKey]*list.Element
 	lru *list.List // front = most recently used
 
 	hits, misses, evictions uint64
+}
 
-	// Optional metrics mirror (Instrument).
-	mHits, mMisses, mEvictions *metrics.Counter
-	mSize                      *metrics.Gauge
+type cacheInstr struct {
+	hits, misses, evictions *metrics.Counter
+	size                    *metrics.Gauge
 }
 
 type cacheKey struct {
@@ -52,89 +79,136 @@ type cacheKey struct {
 	c  hw.Config
 }
 
+// shardIndex hashes a key to its shard with FNV-1a over the counter
+// bits and configuration fields. The hash is deterministic and
+// process-independent, so a replay's shard (and eviction) sequence
+// never varies between runs or hosts.
+func shardIndex(k cacheKey) int {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range k.cs {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		_, _ = h.Write(buf[:])
+	}
+	buf[0] = byte(k.c.CPU)
+	buf[1] = byte(k.c.NB)
+	buf[2] = byte(k.c.GPU)
+	buf[3] = byte(k.c.CUs)
+	_, _ = h.Write(buf[:4])
+	return int(h.Sum64() & (cacheShardCount - 1))
+}
+
 type cacheEntry struct {
 	key cacheKey
 	est Estimate
 }
 
-// NewCache wraps inner with a bounded LRU of the given capacity.
-// capacity <= 0 uses DefaultCacheSize.
+// NewCache wraps inner with a bounded LRU of the given total capacity.
+// capacity <= 0 uses DefaultCacheSize. The capacity is distributed
+// across the shards (remainder to the lower shards); every shard holds
+// at least one entry, so a tiny capacity rounds up to cacheShardCount.
 func NewCache(inner Model, capacity int) *Cache {
 	if capacity <= 0 {
 		capacity = DefaultCacheSize
 	}
-	return &Cache{
-		inner: inner,
-		cap:   capacity,
-		m:     make(map[cacheKey]*list.Element, capacity),
-		lru:   list.New(),
+	c := &Cache{inner: inner, cap: capacity}
+	base, extra := capacity/cacheShardCount, capacity%cacheShardCount
+	for i := range c.shards {
+		sc := base
+		if i < extra {
+			sc++
+		}
+		if sc < 1 {
+			sc = 1
+		}
+		c.shards[i] = cacheShard{
+			cap: sc,
+			m:   make(map[cacheKey]*list.Element, sc),
+			lru: list.New(),
+		}
 	}
+	return c
 }
 
 // Name implements Model.
 func (c *Cache) Name() string { return c.inner.Name() + "+cache" }
 
-// PredictKernel implements Model, consulting the LRU before the inner
-// model.
+// PredictKernel implements Model, consulting the key's LRU shard before
+// the inner model.
 func (c *Cache) PredictKernel(cs counters.Set, cfg hw.Config) Estimate {
 	k := cacheKey{cs: cs, c: cfg}
-	c.mu.Lock()
-	if el, ok := c.m[k]; ok {
-		c.lru.MoveToFront(el)
+	s := &c.shards[shardIndex(k)]
+	in := c.instr.Load()
+
+	s.mu.Lock()
+	if el, ok := s.m[k]; ok {
+		s.lru.MoveToFront(el)
 		est := el.Value.(*cacheEntry).est
-		c.hits++
-		hit := c.mHits
-		c.mu.Unlock()
-		if hit != nil {
-			hit.Inc()
+		s.hits++
+		s.mu.Unlock()
+		if in != nil {
+			in.hits.Inc()
 		}
 		return est
 	}
-	c.mu.Unlock()
+	s.mu.Unlock()
 
 	// Miss: evaluate outside the lock so concurrent misses overlap the
-	// expensive forest walks instead of serializing on the mutex.
+	// expensive forest walks instead of serializing on the shard.
 	est := c.inner.PredictKernel(cs, cfg)
 
-	c.mu.Lock()
-	c.misses++
-	if _, ok := c.m[k]; !ok { // a concurrent miss may have inserted it
-		c.m[k] = c.lru.PushFront(&cacheEntry{key: k, est: est})
-		if c.lru.Len() > c.cap {
-			old := c.lru.Back()
-			c.lru.Remove(old)
-			delete(c.m, old.Value.(*cacheEntry).key)
-			c.evictions++
-			if c.mEvictions != nil {
-				c.mEvictions.Inc()
-			}
+	evicted := false
+	s.mu.Lock()
+	s.misses++
+	if _, ok := s.m[k]; !ok { // a concurrent miss may have inserted it
+		s.m[k] = s.lru.PushFront(&cacheEntry{key: k, est: est})
+		if s.lru.Len() > s.cap {
+			old := s.lru.Back()
+			s.lru.Remove(old)
+			delete(s.m, old.Value.(*cacheEntry).key)
+			s.evictions++
+			evicted = true
 		}
 	}
-	miss, gauge, size := c.mMisses, c.mSize, c.lru.Len()
-	c.mu.Unlock()
-	if miss != nil {
-		miss.Inc()
-		gauge.Set(float64(size))
+	s.mu.Unlock()
+	if in != nil {
+		in.misses.Inc()
+		if evicted {
+			in.evictions.Inc()
+		}
+		in.size.Set(float64(c.Len()))
 	}
 	return est
 }
 
 // Stats returns the cumulative hit/miss/eviction counts and the current
-// entry count.
+// entry count, summed across shards.
 func (c *Cache) Stats() (hits, misses, evictions uint64, size int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses, c.evictions, c.lru.Len()
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		hits += s.hits
+		misses += s.misses
+		evictions += s.evictions
+		size += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return hits, misses, evictions, size
 }
 
-// Len returns the current number of cached entries.
+// Len returns the current number of cached entries across all shards.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.lru.Len()
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return n
 }
 
-// Cap returns the cache capacity.
+// Cap returns the cache's total capacity.
 func (c *Cache) Cap() int { return c.cap }
 
 // Instrument mirrors the cache's counters into reg, labeled by the
@@ -147,10 +221,10 @@ func (c *Cache) Instrument(reg *metrics.Registry) {
 	entries := reg.Gauge("mpcdvfs_predict_cache_entries",
 		"Entries currently held by the prediction cache.", "model")
 	name := c.inner.Name()
-	c.mu.Lock()
-	c.mHits = events.With(name, "hit")
-	c.mMisses = events.With(name, "miss")
-	c.mEvictions = events.With(name, "eviction")
-	c.mSize = entries.With(name)
-	c.mu.Unlock()
+	c.instr.Store(&cacheInstr{
+		hits:      events.With(name, "hit"),
+		misses:    events.With(name, "miss"),
+		evictions: events.With(name, "eviction"),
+		size:      entries.With(name),
+	})
 }

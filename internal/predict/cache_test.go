@@ -1,0 +1,242 @@
+package predict
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mpcdvfs/internal/counters"
+	"mpcdvfs/internal/hw"
+)
+
+// countingModel is a deterministic fake Model that records how many
+// times it was consulted; a Cache miss is exactly one inner call.
+type countingModel struct {
+	calls atomic.Uint64
+}
+
+func (m *countingModel) Name() string { return "counting" }
+
+func (m *countingModel) PredictKernel(cs counters.Set, c hw.Config) Estimate {
+	m.calls.Add(1)
+	s := 0.0
+	for _, v := range cs {
+		s += v
+	}
+	return Estimate{
+		TimeMS:    s + float64(c.CPU)*1e3 + float64(c.NB)*1e2 + float64(c.GPU)*10 + float64(c.CUs),
+		GPUPowerW: s * 0.5,
+	}
+}
+
+// lookupSeq builds a deterministic lookup sequence with enough key
+// reuse to exercise hits, misses and (at small capacities) evictions.
+func lookupSeq(seed int64, n int) []cacheKey {
+	rng := rand.New(rand.NewSource(seed))
+	space := hw.DefaultSpace()
+	kernels := make([]counters.Set, 8)
+	for i := range kernels {
+		for j := range kernels[i] {
+			kernels[i][j] = rng.Float64() * 1e6
+		}
+	}
+	seq := make([]cacheKey, n)
+	for i := range seq {
+		seq[i] = cacheKey{
+			cs: kernels[rng.Intn(len(kernels))],
+			c:  space.At(rng.Intn(space.Size())),
+		}
+	}
+	return seq
+}
+
+// runSession replays seq through c, returning the per-lookup hit/miss
+// pattern (true = hit, observed via the inner call counter) and the
+// estimates.
+func runSession(c *Cache, inner *countingModel, seq []cacheKey) (pattern []bool, ests []Estimate) {
+	pattern = make([]bool, len(seq))
+	ests = make([]Estimate, len(seq))
+	for i, k := range seq {
+		before := inner.calls.Load()
+		ests[i] = c.PredictKernel(k.cs, k.c)
+		pattern[i] = inner.calls.Load() == before
+	}
+	return pattern, ests
+}
+
+// TestCacheShardParity pins the replay-identity of the sharded cache:
+// the same lookup sequence against a fresh cache produces the same
+// hit/miss pattern, the same estimates, and the same aggregate stats,
+// run after run and at every capacity class (no evictions, per-shard
+// evictions, minimum one-entry shards).
+func TestCacheShardParity(t *testing.T) {
+	seq := lookupSeq(7, 4000)
+	for _, capacity := range []int{0, 50000, 256, 17, 1} {
+		var (
+			refPattern       []bool
+			refEsts          []Estimate
+			refH, refM, refE uint64
+			refSize          int
+		)
+		for run := 0; run < 3; run++ {
+			inner := &countingModel{}
+			c := NewCache(inner, capacity)
+			pattern, ests := runSession(c, inner, seq)
+			h, m, e, size := c.Stats()
+			if run == 0 {
+				refPattern, refEsts = pattern, ests
+				refH, refM, refE, refSize = h, m, e, size
+				if h+m != uint64(len(seq)) {
+					t.Fatalf("cap %d: hits %d + misses %d != %d lookups", capacity, h, m, len(seq))
+				}
+				if h == 0 || m == 0 {
+					t.Fatalf("cap %d: degenerate sequence (hits %d, misses %d)", capacity, h, m)
+				}
+				continue
+			}
+			for i := range seq {
+				if pattern[i] != refPattern[i] {
+					t.Fatalf("cap %d run %d: lookup %d hit=%v, first run saw %v", capacity, run, i, pattern[i], refPattern[i])
+				}
+				if ests[i] != refEsts[i] {
+					t.Fatalf("cap %d run %d: lookup %d estimate diverged", capacity, run, i)
+				}
+			}
+			if h != refH || m != refM || e != refE || size != refSize {
+				t.Fatalf("cap %d run %d: stats (%d,%d,%d,%d) != first run (%d,%d,%d,%d)",
+					capacity, run, h, m, e, size, refH, refM, refE, refSize)
+			}
+		}
+	}
+}
+
+// TestCacheHitBitIdentical pins the memoization contract: a hit returns
+// bit-for-bit what recomputation would.
+func TestCacheHitBitIdentical(t *testing.T) {
+	inner := &countingModel{}
+	c := NewCache(inner, 1024)
+	seq := lookupSeq(11, 500)
+	for _, k := range seq {
+		want := inner.PredictKernel(k.cs, k.c)
+		got := c.PredictKernel(k.cs, k.c)
+		if got != want {
+			t.Fatalf("cached estimate %+v != direct %+v", got, want)
+		}
+	}
+	// Second pass: all hits, all bit-identical.
+	before := inner.calls.Load()
+	for _, k := range seq {
+		got := c.PredictKernel(k.cs, k.c)
+		direct := inner.PredictKernel(k.cs, k.c)
+		if got != direct {
+			t.Fatalf("hit %+v != recompute %+v", got, direct)
+		}
+	}
+	// len(seq) recomputes in the loop above, but zero from the cache path
+	// beyond them would mean misses; each iteration adds exactly one.
+	if inner.calls.Load() != before+uint64(len(seq)) {
+		t.Fatalf("second pass caused cache misses: inner calls %d -> %d", before, inner.calls.Load())
+	}
+}
+
+// TestCacheCapacityBound pins that the sharded cache respects its total
+// capacity (for capacities >= the shard count; tinier capacities round
+// up to one entry per shard, documented on NewCache).
+func TestCacheCapacityBound(t *testing.T) {
+	inner := &countingModel{}
+	const capacity = 64
+	c := NewCache(inner, capacity)
+	if c.Cap() != capacity {
+		t.Fatalf("Cap() = %d, want %d", c.Cap(), capacity)
+	}
+	for _, k := range lookupSeq(13, 8000) {
+		c.PredictKernel(k.cs, k.c)
+	}
+	if n := c.Len(); n > capacity {
+		t.Fatalf("Len() = %d exceeds capacity %d", n, capacity)
+	}
+	_, _, evictions, _ := c.Stats()
+	if evictions == 0 {
+		t.Fatal("expected evictions at capacity 64 under 8000 mixed lookups")
+	}
+}
+
+// TestCacheConcurrentSessionIsolation runs one deterministic "session"
+// sequence while sibling goroutines hammer the same cache with disjoint
+// keys: with capacity ample enough that shards never evict, the
+// session's own hit/miss pattern and estimates must be exactly what a
+// solo replay produces — the sharded cache adds no cross-session
+// interference beyond eviction pressure. Run under -race this also
+// proves the shard locking.
+func TestCacheConcurrentSessionIsolation(t *testing.T) {
+	seq := lookupSeq(17, 2000)
+
+	soloInner := &countingModel{}
+	soloCache := NewCache(soloInner, 200000)
+	_, wantEsts := runSession(soloCache, soloInner, seq)
+
+	inner := &countingModel{}
+	c := NewCache(inner, 200000)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sib := lookupSeq(100+int64(g), 3000) // disjoint kernels: different seed => different counter sets
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := sib[i%len(sib)]
+				c.PredictKernel(k.cs, k.c)
+				i++
+			}
+		}(g)
+	}
+
+	// The session itself: single goroutine, its own keys. The inner call
+	// counter is shared with the siblings, so detect hits by value
+	// identity instead: recompute directly and compare, and count misses
+	// via a private wrapper pass below.
+	gotEsts := make([]Estimate, len(seq))
+	for i, k := range seq {
+		gotEsts[i] = c.PredictKernel(k.cs, k.c)
+	}
+	close(stop)
+	wg.Wait()
+
+	for i := range seq {
+		if gotEsts[i] != wantEsts[i] {
+			t.Fatalf("lookup %d: estimate diverged under concurrent siblings", i)
+		}
+	}
+	// With no evictions possible, the session's keys are all resident
+	// exactly as in the solo run; a second solo-style pass must be 100%
+	// hits (pattern parity for the steady state).
+	for i, k := range seq {
+		before := inner.calls.Load()
+		c.PredictKernel(k.cs, k.c)
+		if inner.calls.Load() != before {
+			t.Fatalf("lookup %d: miss on re-replay; session keys evicted despite ample capacity", i)
+		}
+	}
+}
+
+// TestCacheShardDistribution sanity-checks the FNV shard hash: a
+// realistic key population must not collapse into a few shards.
+func TestCacheShardDistribution(t *testing.T) {
+	var counts [cacheShardCount]int
+	for _, k := range lookupSeq(23, 4096) {
+		counts[shardIndex(k)]++
+	}
+	for i, n := range counts {
+		if n == 0 {
+			t.Fatalf("shard %d received no keys out of 4096", i)
+		}
+	}
+}

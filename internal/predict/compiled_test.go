@@ -1,8 +1,10 @@
 package predict
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"mpcdvfs/internal/counters"
@@ -212,5 +214,62 @@ func TestCompiledForestsExposed(t *testing.T) {
 	}
 	if tc.NumNodes() <= 0 {
 		t.Fatal("empty compiled node pool")
+	}
+}
+
+// TestPredictSpaceConcurrent hammers one model's batched sweep from
+// many goroutines at once — the exact sharing pattern of the decision
+// service, where every session's optimizer sweeps through the same
+// snapshot's pooled arenas. Each goroutine uses its own kernels and its
+// own dst, and every row must be bit-identical to a serial sweep. Run
+// under -race this pins the arena pool against aliasing two sweeps.
+func TestPredictSpaceConcurrent(t *testing.T) {
+	m := quickRF(t)
+	space := hw.DefaultSpace()
+	const goroutines = 8
+	const sweeps = 25
+
+	// Serial reference per goroutine seed, computed up front.
+	want := make([][]Estimate, goroutines)
+	for g := 0; g < goroutines; g++ {
+		rng := rand.New(rand.NewSource(int64(100 + g)))
+		cs := kernel.Random("cc", rng).Counters()
+		dst := make([]Estimate, space.Size())
+		if !m.PredictSpace(cs, space, dst) {
+			t.Fatal("PredictSpace returned false on a compiled model")
+		}
+		want[g] = dst
+	}
+
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + g)))
+			cs := kernel.Random("cc", rng).Counters()
+			dst := make([]Estimate, space.Size())
+			for s := 0; s < sweeps; s++ {
+				if !m.PredictSpace(cs, space, dst) {
+					errs[g] = fmt.Errorf("goroutine %d sweep %d: PredictSpace returned false", g, s)
+					return
+				}
+				for r := range dst {
+					if math.Float64bits(dst[r].TimeMS) != math.Float64bits(want[g][r].TimeMS) ||
+						math.Float64bits(dst[r].GPUPowerW) != math.Float64bits(want[g][r].GPUPowerW) {
+						errs[g] = fmt.Errorf("goroutine %d sweep %d row %d: %+v != serial %+v",
+							g, s, r, dst[r], want[g][r])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"mpcdvfs/internal/counters"
 	"mpcdvfs/internal/hw"
@@ -79,8 +80,15 @@ type RandomForest struct {
 	powerCompiled *rf.CompiledForest
 	treeWalk      bool
 
-	// arena holds the reusable batched-sweep buffers for PredictSpace.
-	arena spaceArena
+	// arenas is the pool of reusable batched-sweep workspaces behind
+	// PredictSpace: concurrent sweeps each borrow a private arena, so
+	// batched evaluation from many sessions never serializes on a lock.
+	// Rebuilt (by arenaFor) whenever the swept space changes.
+	arenas atomic.Pointer[arenaPool]
+	// Cumulative arena pool traffic, plus the optional metrics mirror
+	// installed by InstrumentArenaPool.
+	arenaHits, arenaMisses atomic.Uint64
+	arenaInstr             atomic.Pointer[arenaInstr]
 }
 
 // instsOf recovers the instruction count encoded in a counter set.

@@ -7,6 +7,7 @@ import (
 
 	"mpcdvfs/internal/counters"
 	"mpcdvfs/internal/hw"
+	"mpcdvfs/internal/metrics"
 )
 
 // SpaceEvaluator is the optional batched extension of Model: a model
@@ -26,39 +27,121 @@ type SpaceEvaluator interface {
 	PredictSpace(cs counters.Set, space hw.Space, dst []Estimate) bool
 }
 
-// spaceArena is the reusable batched-sweep workspace of a RandomForest:
-// a row-major feature matrix with the per-configuration suffix columns
-// precomputed for every configuration of one space, plus the two forest
-// output vectors. Only the counter-prefix columns change between
-// sweeps, so a steady-state sweep writes the prefix into each row,
-// runs two batched forest evaluations, and allocates nothing.
+// spaceArena is one batched-sweep workspace: a row-major feature matrix
+// with the per-configuration suffix columns precomputed for every
+// configuration of one space, plus the two forest output vectors. Only
+// the counter-prefix columns change between sweeps, so a steady-state
+// sweep writes the prefix into each row, runs two batched forest
+// evaluations, and allocates nothing.
 //
-// The mutex serializes sweeps (concurrent callers keep their own
-// Optimizer and rarely contend); scalar PredictKernel never touches the
-// arena, so batched and scalar paths stay independently concurrent.
+// Arenas are space-specific: every arena in a pool was built by
+// newSpaceArena for the pool's space, and PredictSpace revalidates with
+// hw.Space.Equal before trusting the precomputed suffix columns.
 type spaceArena struct {
-	mu    sync.Mutex
 	space hw.Space  // the space rows was built for
 	rows  []float64 // space.Size() × numRFFeatures, config suffix pre-filled
 	tOut  []float64 // time-forest outputs, one per configuration
 	pOut  []float64 // power-forest outputs, one per configuration
 }
 
-// build lays out the arena for a space: one feature row per
+// newSpaceArena lays out an arena for a space: one feature row per
 // configuration in At order, with the six config-derived columns filled
 // by the same patchConfig the scalar path uses (identical expressions,
 // identical values).
-func (a *spaceArena) build(space hw.Space) {
+func newSpaceArena(space hw.Space) *spaceArena {
 	n := space.Size()
-	a.space = space
-	a.rows = make([]float64, n*numRFFeatures)
-	a.tOut = make([]float64, n)
-	a.pOut = make([]float64, n)
+	a := &spaceArena{
+		space: space,
+		rows:  make([]float64, n*numRFFeatures),
+		tOut:  make([]float64, n),
+		pOut:  make([]float64, n),
+	}
 	i := 0
 	space.ForEach(func(c hw.Config) {
 		patchConfig(a.rows[i*numRFFeatures:(i+1)*numRFFeatures], c)
 		i++
 	})
+	return a
+}
+
+// arenaPool hands out spaceArenas for one space. It replaces the old
+// single mutex-guarded arena: concurrent PredictSpace calls each take
+// their own arena from the sync.Pool (building one only when the pool
+// is empty) and return it afterwards, so batched sweeps from many
+// sessions scale with cores instead of serializing. The pool is
+// space-keyed as a whole — a model asked to sweep a different space
+// installs a fresh pool (see RandomForest.arenaFor); mixed-space
+// workloads therefore thrash the pool but never corrupt an arena.
+type arenaPool struct {
+	space hw.Space
+	pool  sync.Pool // of *spaceArena, all built for space
+}
+
+// get returns an arena for p.space, reporting whether it was pooled
+// (true) or freshly built (false).
+func (p *arenaPool) get() (*spaceArena, bool) {
+	if a, ok := p.pool.Get().(*spaceArena); ok {
+		return a, true
+	}
+	return newSpaceArena(p.space), false
+}
+
+// arenaInstr mirrors pool traffic into a metrics registry.
+type arenaInstr struct {
+	hit, miss *metrics.Counter
+}
+
+// arenaFor returns the model's arena pool for space, installing a new
+// one when none exists or the cached pool was built for a different
+// space. The install races benignly: a loser keeps using the pool it
+// created (correct, just unshared for that one sweep).
+func (m *RandomForest) arenaFor(space hw.Space) *arenaPool {
+	ap := m.arenas.Load()
+	if ap != nil && ap.space.Equal(space) {
+		return ap
+	}
+	fresh := &arenaPool{space: space}
+	m.arenas.CompareAndSwap(ap, fresh)
+	if cur := m.arenas.Load(); cur != nil && cur.space.Equal(space) {
+		return cur
+	}
+	return fresh
+}
+
+// ArenaPoolStats returns the cumulative batched-sweep arena pool
+// traffic: sweeps served by a pooled arena (hits) and sweeps that had
+// to build one (misses, including every first sweep after a space
+// change). The steady-state hit rate of a concurrent server is the
+// fraction of sweeps that allocated nothing.
+func (m *RandomForest) ArenaPoolStats() (hits, misses uint64) {
+	return m.arenaHits.Load(), m.arenaMisses.Load()
+}
+
+// InstrumentArenaPool mirrors the arena pool counters into reg as
+// mpcdvfs_predict_arena_events_total{event="hit"|"miss"} from now on
+// (earlier traffic is reported once as a baseline on the first event).
+func (m *RandomForest) InstrumentArenaPool(reg *metrics.Registry) {
+	events := reg.Counter("mpcdvfs_predict_arena_events_total",
+		"Batched-sweep arena pool requests by outcome (hit = reused a pooled arena, miss = built one).",
+		"event")
+	m.arenaInstr.Store(&arenaInstr{hit: events.With("hit"), miss: events.With("miss")})
+}
+
+// countArena records one pool outcome in the stats and their optional
+// metrics mirror.
+func (m *RandomForest) countArena(hit bool) {
+	if hit {
+		m.arenaHits.Add(1)
+	} else {
+		m.arenaMisses.Add(1)
+	}
+	if in := m.arenaInstr.Load(); in != nil {
+		if hit {
+			in.hit.Inc()
+		} else {
+			in.miss.Inc()
+		}
+	}
 }
 
 // PredictSpace implements SpaceEvaluator with one batched compiled-
@@ -68,6 +151,12 @@ func (a *spaceArena) build(space hw.Space) {
 // assembled with exactly the scalar path's final operations
 // (math.Exp(t)·insts, p). Returns false — leaving dst untouched — when
 // compiled inference is disabled (SetCompiled(false)).
+//
+// PredictSpace is safe for concurrent use: each call borrows a private
+// arena from the model's pool, so concurrent sweeps (one per serving
+// session) proceed without serializing on any lock. Per-sweep results
+// are bit-identical regardless of which arena serves them — arenas
+// differ only in identity, never in contents.
 func (m *RandomForest) PredictSpace(cs counters.Set, space hw.Space, dst []Estimate) bool {
 	if m.treeWalk || m.timeCompiled == nil {
 		return false
@@ -82,12 +171,13 @@ func (m *RandomForest) PredictSpace(cs counters.Set, space hw.Space, dst []Estim
 	var prefix [counters.NumCounters]float64
 	counterPrefix(prefix[:], cs)
 
-	a := &m.arena
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if a.rows == nil || !a.space.Equal(space) {
-		a.build(space)
+	ap := m.arenaFor(space)
+	a, pooled := ap.get()
+	if !a.space.Equal(space) {
+		// Defensive: never trust a foreign arena's suffix columns.
+		a, pooled = newSpaceArena(space), false
 	}
+	m.countArena(pooled)
 	for r := 0; r < n; r++ {
 		copy(a.rows[r*numRFFeatures:r*numRFFeatures+counters.NumCounters], prefix[:])
 	}
@@ -97,5 +187,12 @@ func (m *RandomForest) PredictSpace(cs counters.Set, space hw.Space, dst []Estim
 	for r := 0; r < n; r++ {
 		dst[r] = Estimate{TimeMS: math.Exp(a.tOut[r]) * insts, GPUPowerW: a.pOut[r]}
 	}
+	ap.pool.Put(a)
 	return true
 }
+
+// Compile-time interface checks for the batched path.
+var (
+	_ SpaceEvaluator = (*RandomForest)(nil)
+	_ SpaceEvaluator = (*Calibrated)(nil)
+)

@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"mpcdvfs/internal/counters"
+	"mpcdvfs/internal/hw"
+	"mpcdvfs/internal/sim"
+)
+
+// Wire types of the /v1 JSON API. Numbers ride as JSON floats:
+// encoding/json emits the shortest representation that parses back to
+// the identical float64, so a value survives the client→server→client
+// round trip bit-for-bit — which is what lets a served session replay
+// byte-identically to an in-process one (calibration feedback sees the
+// exact measurements, not approximations).
+
+// TargetWire is sim.Target on the wire.
+type TargetWire struct {
+	TotalInsts  float64 `json:"total_insts"`
+	TotalTimeMS float64 `json:"total_time_ms"`
+}
+
+// SessionRequest opens a session: one client application's decision
+// stream, with the run metadata a policy's Begin needs.
+type SessionRequest struct {
+	App        string     `json:"app"`
+	NumKernels int        `json:"num_kernels"`
+	Target     TargetWire `json:"target"`
+	FirstRun   bool       `json:"first_run"`
+}
+
+// SessionResponse returns the server-assigned session id, the policy
+// that will serve it, and the model snapshot generation it is pinned to.
+type SessionResponse struct {
+	SessionID   string `json:"session_id"`
+	Policy      string `json:"policy"`
+	SnapshotGen uint64 `json:"snapshot_gen"`
+}
+
+// ConfigWire is hw.Config on the wire.
+type ConfigWire struct {
+	CPU int8 `json:"cpu"`
+	NB  int8 `json:"nb"`
+	GPU int8 `json:"gpu"`
+	CUs int8 `json:"cus"`
+}
+
+func toConfigWire(c hw.Config) ConfigWire {
+	return ConfigWire{CPU: int8(c.CPU), NB: int8(c.NB), GPU: int8(c.GPU), CUs: c.CUs}
+}
+
+func (w ConfigWire) config() hw.Config {
+	return hw.Config{CPU: hw.CPUPState(w.CPU), NB: hw.NBState(w.NB), GPU: hw.GPUState(w.GPU), CUs: w.CUs}
+}
+
+// EstimateWire is the predictor's estimate for the chosen
+// configuration.
+type EstimateWire struct {
+	TimeMS    float64 `json:"time_ms"`
+	GPUPowerW float64 `json:"gpu_power_w"`
+}
+
+// DecideRequest asks for the configuration decision of kernel
+// invocation Index (0-based) in the session's run.
+type DecideRequest struct {
+	SessionID string `json:"session_id"`
+	Index     int    `json:"index"`
+}
+
+// DecideResponse carries the policy's decision plus its observability
+// metadata — everything sim.Decision holds, so a remote client can
+// stand in for the policy in a sim.Engine run.
+type DecideResponse struct {
+	Config      ConfigWire   `json:"config"`
+	Est         EstimateWire `json:"est"`
+	Evals       int          `json:"evals"`
+	SearchIters int          `json:"search_iters"`
+	Horizon     int          `json:"horizon"`
+	Fallback    string       `json:"fallback,omitempty"`
+	SnapshotGen uint64       `json:"snapshot_gen"`
+}
+
+func toDecideResponse(d sim.Decision, gen uint64) DecideResponse {
+	return DecideResponse{
+		Config:      toConfigWire(d.Config),
+		Est:         EstimateWire{TimeMS: d.PredTimeMS, GPUPowerW: d.PredGPUPowerW},
+		Evals:       d.Evals,
+		SearchIters: d.SearchIters,
+		Horizon:     d.Horizon,
+		Fallback:    d.Fallback,
+		SnapshotGen: gen,
+	}
+}
+
+func (r DecideResponse) decision() sim.Decision {
+	return sim.Decision{
+		Config:        r.Config.config(),
+		Evals:         r.Evals,
+		SearchIters:   r.SearchIters,
+		Horizon:       r.Horizon,
+		Fallback:      r.Fallback,
+		PredTimeMS:    r.Est.TimeMS,
+		PredGPUPowerW: r.Est.GPUPowerW,
+	}
+}
+
+// ObservationWire is sim.Observation on the wire — the measured outcome
+// the client feeds back after running a kernel at the decided
+// configuration.
+type ObservationWire struct {
+	Index      int        `json:"index"`
+	Counters   []float64  `json:"counters"`
+	Insts      float64    `json:"insts"`
+	TimeMS     float64    `json:"time_ms"`
+	GPUPowerW  float64    `json:"gpu_power_w"`
+	CPUPowerW  float64    `json:"cpu_power_w"`
+	Config     ConfigWire `json:"config"`
+	OverheadMS float64    `json:"overhead_ms"`
+	TempC      float64    `json:"temp_c"`
+}
+
+func toObservationWire(o sim.Observation) ObservationWire {
+	return ObservationWire{
+		Index:      o.Index,
+		Counters:   append([]float64(nil), o.Counters[:]...),
+		Insts:      o.Insts,
+		TimeMS:     o.TimeMS,
+		GPUPowerW:  o.GPUPowerW,
+		CPUPowerW:  o.CPUPowerW,
+		Config:     toConfigWire(o.Config),
+		OverheadMS: o.OverheadMS,
+		TempC:      o.TempC,
+	}
+}
+
+func (w ObservationWire) observation() sim.Observation {
+	var cs counters.Set
+	copy(cs[:], w.Counters)
+	return sim.Observation{
+		Index:      w.Index,
+		Counters:   cs,
+		Insts:      w.Insts,
+		TimeMS:     w.TimeMS,
+		GPUPowerW:  w.GPUPowerW,
+		CPUPowerW:  w.CPUPowerW,
+		Config:     w.Config.config(),
+		OverheadMS: w.OverheadMS,
+		TempC:      w.TempC,
+	}
+}
+
+// ObserveRequest feeds one observation into the session's policy.
+type ObserveRequest struct {
+	SessionID   string          `json:"session_id"`
+	Observation ObservationWire `json:"observation"`
+}
+
+// CloseRequest drains and closes a session.
+type CloseRequest struct {
+	SessionID string `json:"session_id"`
+}
+
+// ReloadRequest swaps the serving model: with Path, load a gob model
+// written by cmd/train; without, retrain in-process (if the server was
+// configured with a trainer).
+type ReloadRequest struct {
+	Path string `json:"path,omitempty"`
+}
+
+// ReloadResponse reports the newly installed snapshot.
+type ReloadResponse struct {
+	SnapshotGen uint64 `json:"snapshot_gen"`
+	Model       string `json:"model"`
+}
+
+// OKResponse is the generic acknowledgement body.
+type OKResponse struct {
+	OK bool `json:"ok"`
+}
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,429 @@
+// Package serve turns the MPC policy stack into a concurrent decision
+// service: many client applications stream their kernel launches to one
+// process, each over its own session, and get back per-kernel hardware
+// configurations with predicted time/power — the paper's controller as
+// a multi-tenant inference server.
+//
+// # Session ownership model
+//
+// Each session owns one policy instance (with its tracker, pattern
+// extractor and calibration state), and that state is touched by
+// exactly one goroutine, which consumes a bounded FIFO queue of
+// operations. The determinism contract of the simulator therefore
+// extends across sessions, not within one: a session's decision stream
+// is byte-identical to a single-threaded replay of the same workload
+// (golden-tested), no matter how many sibling sessions run
+// concurrently; concurrency only exists between sessions, which share
+// nothing mutable but internally synchronized structures (sharded
+// prediction caches, pooled sweep arenas).
+//
+// # Snapshot lifecycle
+//
+// The serving model lives behind an atomic pointer. A session pins the
+// snapshot current at creation and keeps it for life — /reload installs
+// a new generation without pausing anyone: new sessions see the new
+// model, existing sessions finish on the one they started with, and the
+// old snapshot is garbage once its last session closes. Policy state
+// never mixes models, which would silently break calibration.
+//
+// # Backpressure and drain
+//
+// Session queues are bounded. A full queue rejects with HTTP 429 and a
+// Retry-After hint instead of blocking the handler; closing a session
+// (or shutting the server down) drains queued operations to completion
+// before the owner goroutine exits, so accepted work is never dropped.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mpcdvfs/internal/metrics"
+	"mpcdvfs/internal/predict"
+	"mpcdvfs/internal/sim"
+)
+
+// DefaultQueueDepth bounds each session's operation queue. A
+// closed-loop client has at most one operation in flight, so depth is
+// burst absorption, not throughput; small keeps backpressure prompt.
+const DefaultQueueDepth = 16
+
+// Snapshot is one immutable generation of the serving model.
+type Snapshot struct {
+	Gen   uint64
+	Model predict.Model
+	Tag   string // provenance: file path, "trained seed=N", ...
+}
+
+// Config configures a Server.
+type Config struct {
+	// Model is the initial serving model (generation 1). Required.
+	Model predict.Model
+	// Tag describes Model's provenance (shown in /reload responses).
+	Tag string
+	// NewPolicy builds one policy instance per session from a snapshot's
+	// model. Required. It must build the exact stack a local replay
+	// would use — that identity is what the golden parity test pins.
+	NewPolicy func(m predict.Model) sim.Policy
+	// Train, when set, lets /reload without a path retrain in-process.
+	Train func() (predict.Model, error)
+	// Load reads a model for /reload with a path; nil uses gob models
+	// written by cmd/train.
+	Load func(path string) (predict.Model, error)
+	// QueueDepth bounds each session's operation queue (<= 0 uses
+	// DefaultQueueDepth).
+	QueueDepth int
+}
+
+// Server is the concurrent decision service. Create with New, mount
+// Handler into an HTTP server, and Shutdown to drain.
+type Server struct {
+	cfg  Config
+	snap atomic.Pointer[Snapshot]
+	gen  atomic.Uint64
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	nextID   uint64
+	draining bool
+	wg       sync.WaitGroup
+
+	m atomic.Pointer[serveMetrics]
+}
+
+type serveMetrics struct {
+	latency   *metrics.Histogram
+	requests  *metrics.CounterVec
+	active    *metrics.Gauge
+	backpress *metrics.Counter
+	snapGen   *metrics.Gauge
+	depth     *metrics.GaugeVec
+}
+
+// New validates cfg and returns a Server serving cfg.Model as
+// generation 1.
+func New(cfg Config) (*Server, error) {
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("serve: Config.Model is required")
+	}
+	if cfg.NewPolicy == nil {
+		return nil, fmt.Errorf("serve: Config.NewPolicy is required")
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.Load == nil {
+		cfg.Load = loadGobModel
+	}
+	s := &Server{cfg: cfg, sessions: make(map[string]*session)}
+	s.gen.Store(1)
+	s.snap.Store(&Snapshot{Gen: 1, Model: cfg.Model, Tag: cfg.Tag})
+	return s, nil
+}
+
+func loadGobModel(path string) (predict.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := predict.LoadModel(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Instrument mirrors the server's counters into reg:
+// decision latency, request outcomes, live session count, backpressure
+// rejections, the installed snapshot generation, and per-session queue
+// depth. Call before serving traffic.
+func (s *Server) Instrument(reg *metrics.Registry) {
+	m := &serveMetrics{
+		latency: reg.Histogram("mpcdvfs_serve_decision_latency_ms",
+			"Wall time of /v1/decide requests (queue wait + optimization), in milliseconds.",
+			metrics.ExponentialBuckets(0.05, 2, 16)).With(),
+		requests: reg.Counter("mpcdvfs_serve_requests_total",
+			"Decision-service requests by endpoint and outcome.", "endpoint", "code"),
+		active: reg.Gauge("mpcdvfs_serve_sessions_active",
+			"Sessions currently open.").With(),
+		backpress: reg.Counter("mpcdvfs_serve_backpressure_total",
+			"Requests rejected with 429 because a session queue was full.").With(),
+		snapGen: reg.Gauge("mpcdvfs_serve_snapshot_generation",
+			"Generation of the model snapshot new sessions receive.").With(),
+		depth: reg.Gauge("mpcdvfs_serve_queue_depth",
+			"Queued operations per session.", "session"),
+	}
+	m.snapGen.Set(float64(s.gen.Load()))
+	s.m.Store(m)
+}
+
+// CurrentSnapshot returns the snapshot new sessions would pin now.
+func (s *Server) CurrentSnapshot() *Snapshot { return s.snap.Load() }
+
+// Install atomically publishes model as the next snapshot generation
+// and returns it. In-flight sessions are untouched.
+func (s *Server) Install(model predict.Model, tag string) uint64 {
+	gen := s.gen.Add(1)
+	s.snap.Store(&Snapshot{Gen: gen, Model: model, Tag: tag})
+	if m := s.m.Load(); m != nil {
+		m.snapGen.Set(float64(gen))
+	}
+	return gen
+}
+
+// SessionCount returns the number of open sessions.
+func (s *Server) SessionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// Shutdown drains every session and waits for their owner goroutines:
+// queued operations complete, then the queues close. New sessions and
+// new operations are rejected from the moment it is called.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	s.draining = true
+	n := len(s.sessions)
+	for id, sess := range s.sessions {
+		sess.close() // order-independent: every session gets the same signal
+		delete(s.sessions, id)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	if m := s.m.Load(); m != nil && n > 0 {
+		m.active.Add(-float64(n))
+	}
+}
+
+// Handler returns the /v1 decision API plus /reload.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/session", s.handleSession)
+	mux.HandleFunc("/v1/session/close", s.handleClose)
+	mux.HandleFunc("/v1/decide", s.handleDecide)
+	mux.HandleFunc("/v1/observe", s.handleObserve)
+	mux.HandleFunc("/reload", s.handleReload)
+	return mux
+}
+
+// writeJSON encodes v with the given status. Encode errors mean the
+// client went away mid-response; nothing useful remains to be done with
+// the connection, so they are dropped deliberately.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) count(endpoint string, status int) {
+	if m := s.m.Load(); m != nil {
+		m.requests.With(endpoint, strconv.Itoa(status)).Inc()
+	}
+}
+
+func (s *Server) fail(w http.ResponseWriter, endpoint string, status int, msg string) {
+	s.count(endpoint, status)
+	writeJSON(w, status, ErrorResponse{Error: msg})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST required"})
+		return false
+	}
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func (s *Server) lookup(id string) (*session, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	return sess, ok
+}
+
+func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
+	var req SessionRequest
+	if !decodeBody(w, r, &req) {
+		s.count("session", http.StatusBadRequest)
+		return
+	}
+	if req.NumKernels <= 0 {
+		s.fail(w, "session", http.StatusBadRequest, "num_kernels must be positive")
+		return
+	}
+	snap := s.snap.Load()
+	pol := s.cfg.NewPolicy(snap.Model)
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.fail(w, "session", http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	s.nextID++
+	id := "s" + strconv.FormatUint(s.nextID, 10)
+	var depth *metrics.Gauge
+	m := s.m.Load()
+	if m != nil {
+		depth = m.depth.With(id)
+	}
+	sess := newSession(id, pol, snap, s.cfg.QueueDepth, depth)
+	s.sessions[id] = sess
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	go func() {
+		defer s.wg.Done()
+		sess.run()
+	}()
+	info := sim.RunInfo{
+		AppName:    req.App,
+		NumKernels: req.NumKernels,
+		Target:     sim.Target{TotalInsts: req.Target.TotalInsts, TotalTimeMS: req.Target.TotalTimeMS},
+		FirstRun:   req.FirstRun,
+	}
+	// The queue is empty and private at this point; Begin always fits.
+	_ = sess.enqueue(func() { pol.Begin(info) })
+
+	if m != nil {
+		m.active.Add(1)
+	}
+	s.count("session", http.StatusOK)
+	writeJSON(w, http.StatusOK, SessionResponse{SessionID: id, Policy: sess.name, SnapshotGen: snap.Gen})
+}
+
+func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
+	var req DecideRequest
+	if !decodeBody(w, r, &req) {
+		s.count("decide", http.StatusBadRequest)
+		return
+	}
+	sess, ok := s.lookup(req.SessionID)
+	if !ok {
+		s.fail(w, "decide", http.StatusNotFound, "unknown session "+req.SessionID)
+		return
+	}
+	start := time.Now()
+	reply := make(chan sim.Decision, 1)
+	err := sess.enqueue(func() { reply <- sess.policy.Decide(req.Index) })
+	switch err {
+	case nil:
+	case errSessionFull:
+		if m := s.m.Load(); m != nil {
+			m.backpress.Inc()
+		}
+		w.Header().Set("Retry-After", "1")
+		s.fail(w, "decide", http.StatusTooManyRequests, "session queue full")
+		return
+	default:
+		s.fail(w, "decide", http.StatusGone, "session closed")
+		return
+	}
+	d := <-reply
+	if m := s.m.Load(); m != nil {
+		m.latency.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	}
+	s.count("decide", http.StatusOK)
+	writeJSON(w, http.StatusOK, toDecideResponse(d, sess.snap.Gen))
+}
+
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	var req ObserveRequest
+	if !decodeBody(w, r, &req) {
+		s.count("observe", http.StatusBadRequest)
+		return
+	}
+	sess, ok := s.lookup(req.SessionID)
+	if !ok {
+		s.fail(w, "observe", http.StatusNotFound, "unknown session "+req.SessionID)
+		return
+	}
+	obs := req.Observation.observation()
+	done := make(chan struct{})
+	err := sess.enqueue(func() { sess.policy.Observe(obs); close(done) })
+	switch err {
+	case nil:
+	case errSessionFull:
+		if m := s.m.Load(); m != nil {
+			m.backpress.Inc()
+		}
+		w.Header().Set("Retry-After", "1")
+		s.fail(w, "observe", http.StatusTooManyRequests, "session queue full")
+		return
+	default:
+		s.fail(w, "observe", http.StatusGone, "session closed")
+		return
+	}
+	<-done
+	s.count("observe", http.StatusOK)
+	writeJSON(w, http.StatusOK, OKResponse{OK: true})
+}
+
+func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
+	var req CloseRequest
+	if !decodeBody(w, r, &req) {
+		s.count("close", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	sess, ok := s.sessions[req.SessionID]
+	if ok {
+		delete(s.sessions, req.SessionID)
+	}
+	s.mu.Unlock()
+	if !ok {
+		s.fail(w, "close", http.StatusNotFound, "unknown session "+req.SessionID)
+		return
+	}
+	sess.close()
+	<-sess.done // drained
+	if m := s.m.Load(); m != nil {
+		m.active.Add(-1)
+	}
+	s.count("close", http.StatusOK)
+	writeJSON(w, http.StatusOK, OKResponse{OK: true})
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	var req ReloadRequest
+	if !decodeBody(w, r, &req) {
+		s.count("reload", http.StatusBadRequest)
+		return
+	}
+	var (
+		model predict.Model
+		tag   string
+		err   error
+	)
+	if req.Path != "" {
+		model, err = s.cfg.Load(req.Path)
+		tag = req.Path
+	} else if s.cfg.Train != nil {
+		model, err = s.cfg.Train()
+		tag = "retrained"
+	} else {
+		s.fail(w, "reload", http.StatusNotImplemented, "no path given and server has no trainer")
+		return
+	}
+	if err != nil {
+		s.fail(w, "reload", http.StatusInternalServerError, "reload: "+err.Error())
+		return
+	}
+	gen := s.Install(model, tag)
+	s.count("reload", http.StatusOK)
+	writeJSON(w, http.StatusOK, ReloadResponse{SnapshotGen: gen, Model: model.Name()})
+}

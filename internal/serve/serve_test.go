@@ -1,0 +1,442 @@
+// Tests for the concurrent decision service. The load-bearing one is
+// the golden parity test: a session served over HTTP, with concurrent
+// sibling sessions, must produce a replay byte-identical to a local
+// single-threaded run of the same policy stack — the determinism
+// contract extended across sessions. Everything else (backpressure,
+// snapshot pinning, drain) defends the machinery that makes that hold.
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"mpcdvfs"
+	"mpcdvfs/internal/counters"
+	"mpcdvfs/internal/hw"
+	"mpcdvfs/internal/metrics"
+	"mpcdvfs/internal/predict"
+	"mpcdvfs/internal/serve"
+	"mpcdvfs/internal/sim"
+	"mpcdvfs/internal/trace"
+)
+
+// testBench is the workload every serve test replays: irregular
+// non-repeating, so the MPC actually exercises pattern fallback paths.
+const testBench = "Spmv"
+
+// testStack returns a simulator, an app, its baseline target and a
+// shared oracle model — the cheapest deterministic model that still
+// drives the full MPC stack.
+func testStack(t *testing.T) (*mpcdvfs.System, *mpcdvfs.App, mpcdvfs.Target, mpcdvfs.Model) {
+	t.Helper()
+	sys := mpcdvfs.NewSystem()
+	app, err := mpcdvfs.BenchmarkByName(testBench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, target, err := sys.Baseline(&app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, &app, target, sys.NewOracle(&app)
+}
+
+// goldenReplay runs the app locally, single-threaded, under a fresh MPC
+// over model, and returns the replay as JSONL bytes.
+func goldenReplay(t *testing.T, sys *mpcdvfs.System, app *mpcdvfs.App, target mpcdvfs.Target, model mpcdvfs.Model) []byte {
+	t.Helper()
+	res, err := sys.Run(app, sys.NewMPC(model), target, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// newTestServer builds a decision server over model with the same
+// policy stack goldenReplay uses, mounted on an httptest server.
+func newTestServer(t *testing.T, sys *mpcdvfs.System, model mpcdvfs.Model, cfg serve.Config) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	cfg.Model = model
+	if cfg.NewPolicy == nil {
+		cfg.NewPolicy = func(m predict.Model) sim.Policy { return sys.NewMPC(m) }
+	}
+	srv, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		srv.Shutdown()
+		ts.Close()
+	})
+	return srv, ts
+}
+
+// post is a raw HTTP helper for protocol-level assertions the
+// serve.Client would hide (429s, error statuses, headers).
+func post(t *testing.T, base, path string, req any) (int, http.Header, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, b
+}
+
+// TestRemoteReplayMatchesLocalGolden is the determinism contract over
+// the wire: several sessions replay the same workload concurrently
+// through serve.Client, and every one of them must be byte-identical to
+// the local single-threaded golden. Run under -race this also proves
+// the sessions share nothing unsynchronized.
+func TestRemoteReplayMatchesLocalGolden(t *testing.T) {
+	sys, app, target, model := testStack(t)
+	golden := goldenReplay(t, sys, app, target, model)
+
+	_, ts := newTestServer(t, sys, model, serve.Config{})
+
+	const sessions = 4
+	replays := make([][]byte, sessions)
+	errs := make([]error, sessions)
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := serve.NewClient(ts.URL)
+			res, err := sys.Run(app, c, target, true)
+			if err == nil {
+				err = c.Close()
+			}
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			var buf bytes.Buffer
+			if err := trace.WriteJSONL(&buf, res); err != nil {
+				errs[i] = err
+				return
+			}
+			replays[i] = buf.Bytes()
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < sessions; i++ {
+		if errs[i] != nil {
+			t.Fatalf("session %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(replays[i], golden) {
+			t.Fatalf("session %d replay diverges from local golden:\nremote: %s\nlocal:  %s",
+				i, firstDiffLine(replays[i], golden), firstDiffLine(golden, replays[i]))
+		}
+	}
+}
+
+// firstDiffLine returns the first line of a that differs from b, for
+// readable failure output.
+func firstDiffLine(a, b []byte) []byte {
+	al, bl := bytes.Split(a, []byte("\n")), bytes.Split(b, []byte("\n"))
+	for i := range al {
+		if i >= len(bl) || !bytes.Equal(al[i], bl[i]) {
+			return al[i]
+		}
+	}
+	return nil
+}
+
+// TestSnapshotPinnedAcrossReload installs a new snapshot generation in
+// the middle of a session's decision stream: the session must finish on
+// the generation it started with (its replay stays golden), while a
+// session opened after the install sees the new generation.
+func TestSnapshotPinnedAcrossReload(t *testing.T) {
+	sys, app, target, model := testStack(t)
+	golden := goldenReplay(t, sys, app, target, model)
+
+	srv, ts := newTestServer(t, sys, model, serve.Config{})
+
+	c := serve.NewClient(ts.URL)
+	decided := 0
+	c.OnDecideLatency = func(time.Duration) {
+		decided++
+		if decided == 3 {
+			// Same model, new generation: pinning is observable through
+			// the generation numbers without forking decision streams.
+			srv.Install(model, "midstream")
+		}
+	}
+	res, err := sys.Run(app, c, target, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.SnapshotGen(); got != 1 {
+		t.Fatalf("mid-reload session reports snapshot gen %d, want pinned 1", got)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), golden) {
+		t.Fatal("session that spanned a snapshot install diverged from golden")
+	}
+
+	c2 := serve.NewClient(ts.URL)
+	if _, err := sys.Run(app, c2, target, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.SnapshotGen(); got != 2 {
+		t.Fatalf("post-install session reports snapshot gen %d, want 2", got)
+	}
+	if err := c2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fakeModel is the cheapest predict.Model; backpressure tests don't
+// care what it predicts.
+type fakeModel struct{}
+
+func (fakeModel) Name() string { return "fake" }
+func (fakeModel) PredictKernel(counters.Set, hw.Config) predict.Estimate {
+	return predict.Estimate{TimeMS: 1, GPUPowerW: 10}
+}
+
+// blockingPolicy parks Decide on a gate so a test can hold a session's
+// owner goroutine busy and fill its queue deterministically.
+type blockingPolicy struct {
+	gate    chan struct{}
+	started chan struct{}
+}
+
+func (p *blockingPolicy) Name() string      { return "blocking" }
+func (p *blockingPolicy) Begin(sim.RunInfo) {}
+func (p *blockingPolicy) Decide(int) sim.Decision {
+	p.started <- struct{}{}
+	<-p.gate
+	return sim.Decision{Config: hw.FailSafe()}
+}
+func (p *blockingPolicy) Observe(sim.Observation) {}
+
+// TestBackpressure429AndDrain pins the bounded-queue contract: with the
+// owner goroutine held busy and the queue full, further decides are
+// rejected with 429 + Retry-After (and counted); once the gate opens,
+// every accepted operation completes — nothing queued is dropped.
+func TestBackpressure429AndDrain(t *testing.T) {
+	pol := &blockingPolicy{gate: make(chan struct{}), started: make(chan struct{}, 64)}
+	srv, err := serve.New(serve.Config{
+		Model:      fakeModel{},
+		NewPolicy:  func(predict.Model) sim.Policy { return pol },
+		QueueDepth: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.New()
+	srv.Instrument(reg)
+	backpress := reg.Counter("mpcdvfs_serve_backpressure_total",
+		"Requests rejected with 429 because a session queue was full.").With()
+	depthOf := reg.Gauge("mpcdvfs_serve_queue_depth",
+		"Queued operations per session.", "session")
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		srv.Shutdown()
+		ts.Close()
+	})
+
+	var sresp serve.SessionResponse
+	code, _, body := post(t, ts.URL, "/v1/session", serve.SessionRequest{App: "x", NumKernels: 8, FirstRun: true})
+	if code != http.StatusOK {
+		t.Fatalf("session open: %d %s", code, body)
+	}
+	if err := json.Unmarshal(body, &sresp); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hold the owner goroutine inside Decide #0...
+	results := make(chan int, 2)
+	go func() {
+		code, _, _ := post(t, ts.URL, "/v1/decide", serve.DecideRequest{SessionID: sresp.SessionID, Index: 0})
+		results <- code
+	}()
+	<-pol.started
+
+	// ...queue decide #1 behind it (fills the depth-1 queue). The depth
+	// gauge flips to 1 the instant the enqueue lands, which makes the
+	// rejection below deterministic rather than a race with the probe.
+	go func() {
+		code, _, _ := post(t, ts.URL, "/v1/decide", serve.DecideRequest{SessionID: sresp.SessionID, Index: 1})
+		results <- code
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for depthOf.With(sresp.SessionID).Value() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("queued decide never showed up in the depth gauge")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// ...and offer decide #2: the queue is provably full, so this must
+	// bounce with 429.
+	code, hdr, _ := post(t, ts.URL, "/v1/decide", serve.DecideRequest{SessionID: sresp.SessionID, Index: 2})
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("decide against a full queue: %d, want 429", code)
+	}
+	if got := hdr.Get("Retry-After"); got == "" {
+		t.Fatal("429 response missing Retry-After header")
+	}
+	if backpress.Value() == 0 {
+		t.Fatal("backpressure counter did not increment on 429")
+	}
+
+	// Open the gate: the held decide and the queued one must both
+	// complete with 200 — graceful drain of accepted work.
+	close(pol.gate)
+	for i := 0; i < 2; i++ {
+		select {
+		case code := <-results:
+			if code != http.StatusOK {
+				t.Fatalf("accepted decide finished with %d, want 200", code)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("accepted decide never completed after gate opened")
+		}
+	}
+
+	// Close drains and removes the session; later decides are 404.
+	if code, _, _ := post(t, ts.URL, "/v1/session/close", serve.CloseRequest{SessionID: sresp.SessionID}); code != http.StatusOK {
+		t.Fatalf("close: %d", code)
+	}
+	if code, _, _ := post(t, ts.URL, "/v1/decide", serve.DecideRequest{SessionID: sresp.SessionID, Index: 3}); code != http.StatusNotFound {
+		t.Fatalf("decide after close: %d, want 404", code)
+	}
+}
+
+// TestShutdownDrainsAndRejects pins the drain contract: Shutdown waits
+// for every owner goroutine, empties the session table, and the server
+// refuses new sessions afterwards.
+func TestShutdownDrainsAndRejects(t *testing.T) {
+	srv, err := serve.New(serve.Config{
+		Model:     fakeModel{},
+		NewPolicy: func(predict.Model) sim.Policy { return &nopPolicy{} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	for i := 0; i < 3; i++ {
+		if code, _, _ := post(t, ts.URL, "/v1/session", serve.SessionRequest{App: "x", NumKernels: 4}); code != http.StatusOK {
+			t.Fatalf("session open %d: %d", i, code)
+		}
+	}
+	if got := srv.SessionCount(); got != 3 {
+		t.Fatalf("SessionCount = %d, want 3", got)
+	}
+	srv.Shutdown()
+	if got := srv.SessionCount(); got != 0 {
+		t.Fatalf("SessionCount after Shutdown = %d, want 0", got)
+	}
+	if code, _, _ := post(t, ts.URL, "/v1/session", serve.SessionRequest{App: "x", NumKernels: 4}); code != http.StatusServiceUnavailable {
+		t.Fatalf("session open after Shutdown: %d, want 503", code)
+	}
+}
+
+type nopPolicy struct{}
+
+func (*nopPolicy) Name() string            { return "nop" }
+func (*nopPolicy) Begin(sim.RunInfo)       {}
+func (*nopPolicy) Decide(int) sim.Decision { return sim.Decision{Config: hw.FailSafe()} }
+func (*nopPolicy) Observe(sim.Observation) {}
+
+// TestReloadEndpoint covers both /reload modes: without a trainer or a
+// path the server answers 501; with a trainer it installs the retrained
+// model as the next generation.
+func TestReloadEndpoint(t *testing.T) {
+	bare, err := serve.New(serve.Config{
+		Model:     fakeModel{},
+		NewPolicy: func(predict.Model) sim.Policy { return &nopPolicy{} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsBare := httptest.NewServer(bare.Handler())
+	t.Cleanup(func() { bare.Shutdown(); tsBare.Close() })
+	if code, _, _ := post(t, tsBare.URL, "/reload", serve.ReloadRequest{}); code != http.StatusNotImplemented {
+		t.Fatalf("reload without trainer: %d, want 501", code)
+	}
+
+	trained, err := serve.New(serve.Config{
+		Model:     fakeModel{},
+		NewPolicy: func(predict.Model) sim.Policy { return &nopPolicy{} },
+		Train:     func() (predict.Model, error) { return fakeModel{}, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsTrained := httptest.NewServer(trained.Handler())
+	t.Cleanup(func() { trained.Shutdown(); tsTrained.Close() })
+	code, _, body := post(t, tsTrained.URL, "/reload", serve.ReloadRequest{})
+	if code != http.StatusOK {
+		t.Fatalf("reload with trainer: %d %s", code, body)
+	}
+	var resp serve.ReloadResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.SnapshotGen != 2 || trained.CurrentSnapshot().Gen != 2 {
+		t.Fatalf("reload installed gen %d (server at %d), want 2", resp.SnapshotGen, trained.CurrentSnapshot().Gen)
+	}
+}
+
+// TestSessionValidation pins the cheap protocol guards.
+func TestSessionValidation(t *testing.T) {
+	srv, err := serve.New(serve.Config{
+		Model:     fakeModel{},
+		NewPolicy: func(predict.Model) sim.Policy { return &nopPolicy{} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { srv.Shutdown(); ts.Close() })
+
+	if code, _, _ := post(t, ts.URL, "/v1/session", serve.SessionRequest{App: "x", NumKernels: 0}); code != http.StatusBadRequest {
+		t.Fatalf("num_kernels=0: %d, want 400", code)
+	}
+	if code, _, _ := post(t, ts.URL, "/v1/decide", serve.DecideRequest{SessionID: "nope"}); code != http.StatusNotFound {
+		t.Fatalf("unknown session: %d, want 404", code)
+	}
+	resp, err := http.Get(ts.URL + "/v1/decide")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/decide: %d, want 405", resp.StatusCode)
+	}
+}

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+
+	"mpcdvfs/internal/metrics"
+	"mpcdvfs/internal/sim"
+)
+
+// Queue/session error sentinels, mapped to HTTP statuses by the
+// handlers (429 and 410 respectively).
+var (
+	errSessionFull   = errors.New("serve: session queue full")
+	errSessionClosed = errors.New("serve: session closed")
+)
+
+// session is one client application's decision stream. All policy state
+// — the MPC tracker, pattern extractor, calibration feedback — is owned
+// by exactly one goroutine (run), which consumes operations from a
+// bounded FIFO queue. Handlers never touch the policy directly; they
+// enqueue closures and wait for replies. That single-owner discipline
+// is what extends the determinism contract across sessions: within a
+// session, operations execute in the exact order a single-threaded
+// replay would issue them, so the decision stream is byte-identical to
+// one; across sessions nothing is shared except immutable model
+// snapshots and internally synchronized caches/pools.
+type session struct {
+	id     string
+	name   string // policy name, fixed at creation
+	policy sim.Policy
+	snap   *Snapshot // model snapshot pinned at creation
+	ch     chan func()
+	done   chan struct{} // closed when the owner goroutine exits
+
+	mu     sync.Mutex // guards closed and the closed/send race
+	closed bool
+
+	depth *metrics.Gauge // optional queue-depth mirror
+}
+
+func newSession(id string, pol sim.Policy, snap *Snapshot, queueDepth int, depth *metrics.Gauge) *session {
+	return &session{
+		id:     id,
+		name:   pol.Name(),
+		policy: pol,
+		snap:   snap,
+		ch:     make(chan func(), queueDepth),
+		done:   make(chan struct{}),
+		depth:  depth,
+	}
+}
+
+// run is the session's owner goroutine: it executes queued operations
+// strictly in FIFO order until the queue is closed, then drains what
+// remains and signals done. Every in-flight operation completes —
+// graceful drain — so no handler is left waiting on a reply.
+func (s *session) run() {
+	defer close(s.done)
+	for op := range s.ch {
+		op()
+		if s.depth != nil {
+			s.depth.Set(float64(len(s.ch)))
+		}
+	}
+}
+
+// enqueue submits op to the owner goroutine without blocking: a full
+// queue is backpressure (errSessionFull → HTTP 429), not a wait. The
+// mutex closes the race between a send and close(): close flips the
+// flag under the same lock, so no send can hit a closed channel.
+func (s *session) enqueue(op func()) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errSessionClosed
+	}
+	select {
+	case s.ch <- op:
+		if s.depth != nil {
+			s.depth.Set(float64(len(s.ch)))
+		}
+		return nil
+	default:
+		return errSessionFull
+	}
+}
+
+// close stops accepting operations and lets the owner goroutine drain
+// the queue. Idempotent. Callers wanting the drain to be complete wait
+// on s.done afterwards.
+func (s *session) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	close(s.ch)
+}

@@ -135,6 +135,12 @@ type Decision struct {
 	// Fallback, when non-empty, names the degraded path this decision
 	// took (one of the obs.Fallback* reasons).
 	Fallback string
+	// PredTimeMS/PredGPUPowerW carry the predictor's estimate for the
+	// chosen configuration (0 when the policy made no prediction, e.g.
+	// Turbo Core). The serving layer returns them to clients; the engine
+	// ignores them.
+	PredTimeMS    float64
+	PredGPUPowerW float64
 }
 
 // Observation is the measured outcome of one kernel invocation, fed back
