@@ -1,0 +1,74 @@
+// Telemetry overhead benchmarks (the BENCH_telemetry.json inputs).
+// The contract mirrors BENCH_obs.json's observer budget: a nil or
+// disabled trace context on the MPC decision path must be
+// indistinguishable from the untraced engine, and full 100% sampling
+// must stay cheap enough to leave on in production.
+//
+//	go test -run '^$' -bench BenchmarkTelemetry -benchmem
+package mpcdvfs_test
+
+import (
+	"testing"
+
+	"mpcdvfs/internal/experiments"
+	"mpcdvfs/internal/policy"
+	"mpcdvfs/internal/sim"
+	"mpcdvfs/internal/telemetry"
+)
+
+// benchTracedMPC is benchObservedMPC's telemetry twin: one full
+// steady-state MPC run of Spmv (30 receding-horizon decisions ×2 runs)
+// on a private engine with the given trace context attached.
+func benchTracedMPC(b *testing.B, tc *telemetry.Context) {
+	b.Helper()
+	f := experiments.Shared()
+	app := f.App("Spmv")
+	_, target := f.Baseline(app)
+	oracle := f.Oracle(app)
+	eng := sim.NewEngine(f.Space)
+	eng.Trace = tc
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := policy.NewMPC(oracle, f.Space)
+		if _, err := eng.RunRepeated(app, m, target, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTelemetryMPCDecisionNilContext is the baseline: no trace
+// context at all (the default engine state).
+func BenchmarkTelemetryMPCDecisionNilContext(b *testing.B) { benchTracedMPC(b, nil) }
+
+// BenchmarkTelemetryMPCDecisionDisabledTracer attaches a context from a
+// sampling-disabled tracer: every span call runs its fast path.
+func BenchmarkTelemetryMPCDecisionDisabledTracer(b *testing.B) {
+	benchTracedMPC(b, telemetry.NewTracer(0, 0).NewContext("bench"))
+}
+
+// BenchmarkTelemetryMPCDecisionSampledEvery traces every decision into
+// the ring — the worst-case live-tracing price.
+func BenchmarkTelemetryMPCDecisionSampledEvery(b *testing.B) {
+	benchTracedMPC(b, telemetry.NewTracer(1<<15, 1).NewContext("bench"))
+}
+
+// BenchmarkTelemetryMPCDecisionSampled1In8 is the recommended
+// production setting: 1-in-8 sampling amortizes the span cost while
+// keeping /debug/trace representative.
+func BenchmarkTelemetryMPCDecisionSampled1In8(b *testing.B) {
+	benchTracedMPC(b, telemetry.NewTracer(1<<15, 8).NewContext("bench"))
+}
+
+// BenchmarkTelemetryScoreboardAndAccounting prices the non-span half of
+// the hub on its own: one scoreboard observation plus one ledger
+// decision+observation pair per iteration — what every served decision
+// with ground-truth feedback pays regardless of trace sampling.
+func BenchmarkTelemetryScoreboardAndAccounting(b *testing.B) {
+	hub := telemetry.NewHub(telemetry.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hub.Scoreboard.Observe(1, "Spmv", 10, 10.4, 40, 41)
+		hub.Accounting.RecordDecision("bench", "", 4, 0.02)
+		hub.Accounting.RecordObservation("bench", "[P1,NB0,DPM2,6CU]", 120, 124)
+	}
+}

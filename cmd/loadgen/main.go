@@ -25,6 +25,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
@@ -41,19 +42,29 @@ import (
 	"mpcdvfs/internal/predict"
 	"mpcdvfs/internal/serve"
 	"mpcdvfs/internal/sim"
+	"mpcdvfs/internal/telemetry"
 )
+
+// phaseStat is one span name's aggregate over a concurrency level —
+// where the server actually spent a decision's wall time.
+type phaseStat struct {
+	Count   int     `json:"count"`
+	AvgUS   float64 `json:"avg_us"`
+	TotalMS float64 `json:"total_ms"`
+}
 
 // levelReport is one concurrency level's measurement.
 type levelReport struct {
-	Sessions      int     `json:"sessions"`
-	Replays       int     `json:"replays_per_session"`
-	Decisions     int     `json:"decisions"`
-	WallS         float64 `json:"wall_s"`
-	ThroughputDPS float64 `json:"throughput_decisions_per_s"`
-	P50MS         float64 `json:"p50_ms"`
-	P99MS         float64 `json:"p99_ms"`
-	P999MS        float64 `json:"p999_ms"`
-	Retries429    int     `json:"retries_429"`
+	Sessions      int                  `json:"sessions"`
+	Replays       int                  `json:"replays_per_session"`
+	Decisions     int                  `json:"decisions"`
+	WallS         float64              `json:"wall_s"`
+	ThroughputDPS float64              `json:"throughput_decisions_per_s"`
+	P50MS         float64              `json:"p50_ms"`
+	P99MS         float64              `json:"p99_ms"`
+	P999MS        float64              `json:"p999_ms"`
+	Retries429    int                  `json:"retries_429"`
+	Phases        map[string]phaseStat `json:"phase_breakdown,omitempty"`
 }
 
 // report is the BENCH_serve.json schema.
@@ -76,6 +87,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "self-host Random Forest training seed")
 	cacheSize := flag.Int("predict-cache", 0, "self-host per-session LRU prediction cache capacity (0 = off)")
 	queueDepth := flag.Int("queue-depth", serve.DefaultQueueDepth, "self-host per-session queue depth")
+	traceSample := flag.Int("trace-sample", 0, "trace 1 in N decisions as spans and report per-phase latency breakdowns from /debug/trace (0 = off; tracing never changes decisions)")
 	out := flag.String("out", "", "write the JSON report to this file (default: stdout summary only)")
 	logLevel := flag.String("log-level", "warn", "log level: debug | info | warn | error")
 	flag.Parse()
@@ -84,13 +96,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	if err := run(*addr, *appName, *levelsFlag, *replays, *polName, *seed, *cacheSize, *queueDepth, *out); err != nil {
+	if err := run(*addr, *appName, *levelsFlag, *replays, *polName, *seed, *cacheSize, *queueDepth, *traceSample, *out); err != nil {
 		slog.Error("loadgen failed", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, appName, levelsFlag string, replays int, polName string, seed int64, cacheSize, queueDepth int, out string) error {
+func run(addr, appName, levelsFlag string, replays int, polName string, seed int64, cacheSize, queueDepth, traceSample int, out string) error {
 	levels, err := parseLevels(levelsFlag)
 	if err != nil {
 		return err
@@ -112,7 +124,7 @@ func run(addr, appName, levelsFlag string, replays int, polName string, seed int
 	base := addr
 	selfHosted := addr == ""
 	if selfHosted {
-		ts, decider, err := selfHost(sys, polName, seed, cacheSize, queueDepth)
+		ts, decider, err := selfHost(sys, polName, seed, cacheSize, queueDepth, traceSample)
 		if err != nil {
 			return err
 		}
@@ -135,14 +147,24 @@ func run(addr, appName, levelsFlag string, replays int, polName string, seed int
 			"sessions time-share one core and aggregate throughput stays flat by construction.",
 	}
 
+	var lastSpanID uint64
 	for _, n := range levels {
 		lr, err := runLevel(sys, &app, target, base, n, replays)
 		if err != nil {
 			return err
 		}
+		if traceSample > 0 {
+			phases, maxID, err := phaseBreakdown(base, lastSpanID)
+			if err != nil {
+				slog.Warn("phase breakdown unavailable", "err", err)
+			} else {
+				lr.Phases, lastSpanID = phases, maxID
+			}
+		}
 		rep.Levels = append(rep.Levels, lr)
 		fmt.Printf("sessions=%d decisions=%d wall=%.2fs throughput=%.1f dec/s p50=%.3fms p99=%.3fms p999=%.3fms\n",
 			lr.Sessions, lr.Decisions, lr.WallS, lr.ThroughputDPS, lr.P50MS, lr.P99MS, lr.P999MS)
+		printPhases(lr.Phases)
 	}
 
 	if out != "" {
@@ -210,11 +232,17 @@ func runLevel(sys *mpcdvfs.System, app *mpcdvfs.App, target mpcdvfs.Target, base
 
 // selfHost builds an in-process decision server over httptest, with the
 // same per-session policy stack mpcserve serves.
-func selfHost(sys *mpcdvfs.System, polName string, seed int64, cacheSize, queueDepth int) (*httptest.Server, *serve.Server, error) {
+func selfHost(sys *mpcdvfs.System, polName string, seed int64, cacheSize, queueDepth, traceSample int) (*httptest.Server, *serve.Server, error) {
 	slog.Info("training Random Forest predictor for the self-hosted server", "seed", seed)
 	model, err := mpcdvfs.TrainRandomForest(mpcdvfs.DefaultTrainOptions(seed))
 	if err != nil {
 		return nil, nil, err
+	}
+	var hub *telemetry.Hub
+	if traceSample > 0 {
+		// A deep ring so a whole concurrency level's spans survive until
+		// the post-level /debug/trace fetch.
+		hub = telemetry.NewHub(telemetry.Options{Sample: traceSample, RingSize: 1 << 16})
 	}
 	decider, err := serve.New(serve.Config{
 		Model: model,
@@ -230,13 +258,95 @@ func selfHost(sys *mpcdvfs.System, polName string, seed int64, cacheSize, queueD
 			return sys.NewMPC(m, opts...)
 		},
 		QueueDepth: queueDepth,
+		Telemetry:  hub,
 	})
 	if err != nil {
 		return nil, nil, err
 	}
 	mux := http.NewServeMux()
-	mux.Handle("/v1/", decider.Handler())
+	h := decider.Handler()
+	mux.Handle("/v1/", h)
+	if hub != nil {
+		mux.Handle("/debug/mpc", h)
+		mux.Handle("/debug/models", h)
+		mux.Handle("/debug/trace", h)
+	}
 	return httptest.NewServer(mux), decider, nil
+}
+
+// phaseBreakdown fetches the server's span ring and aggregates spans
+// newer than afterID by name — the per-phase decomposition of decision
+// latency (queue wait, config search, featurization, forest inference).
+// Span IDs are monotonic per tracer, so the afterID watermark isolates
+// each concurrency level's spans. Ring wrap can drop a level's oldest
+// spans; counts then undercount rather than mix levels.
+func phaseBreakdown(base string, afterID uint64) (map[string]phaseStat, uint64, error) {
+	resp, err := http.Get(base + "/debug/trace")
+	if err != nil {
+		return nil, 0, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, fmt.Errorf("/debug/trace: %s (is the server running with -trace-sample?)", resp.Status)
+	}
+	recs, err := telemetry.ReadSpansJSONL(strings.NewReader(string(body)))
+	if err != nil {
+		return nil, 0, err
+	}
+	type acc struct {
+		count int
+		ns    int64
+	}
+	sums := map[string]*acc{}
+	maxID := afterID
+	for _, r := range recs {
+		if r.SpanID > maxID {
+			maxID = r.SpanID
+		}
+		if r.SpanID <= afterID {
+			continue
+		}
+		a := sums[r.Name]
+		if a == nil {
+			a = &acc{}
+			sums[r.Name] = a
+		}
+		a.count++
+		a.ns += r.DurNS
+	}
+	phases := make(map[string]phaseStat, len(sums))
+	for name, a := range sums {
+		phases[name] = phaseStat{
+			Count:   a.count,
+			AvgUS:   float64(a.ns) / float64(a.count) / 1e3,
+			TotalMS: float64(a.ns) / 1e6,
+		}
+	}
+	return phases, maxID, nil
+}
+
+// printPhases renders a level's phase breakdown in stable name order.
+func printPhases(phases map[string]phaseStat) {
+	if len(phases) == 0 {
+		return
+	}
+	names := make([]string, 0, len(phases))
+	for name := range phases {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("  phases:")
+	for _, name := range names {
+		p := phases[name]
+		fmt.Printf(" %s n=%d avg=%.1fus", strings.TrimPrefix(name, "mpcdvfs_"), p.Count, p.AvgUS)
+	}
+	fmt.Println()
 }
 
 // quantileMS reads quantile q from a sorted latency slice, in ms.

@@ -10,6 +10,10 @@
 //	/metrics            mpcdvfs_* counters, gauges and histograms
 //	/health             liveness probe
 //	/debug/pprof/       live CPU/heap profiles of the serving process
+//	/debug/mpc          serving introspection: sessions, scoreboard,
+//	                    energy ledger, recent spans (JSON; ?format=html)
+//	/debug/models       per-generation model-quality scoreboard
+//	/debug/trace        span ring as JSONL (decision-path phase timings)
 //	/v1/session         open a decision session (POST)
 //	/v1/decide          decide one kernel invocation (POST)
 //	/v1/observe         feed back a measured kernel outcome (POST)
@@ -35,6 +39,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -49,6 +54,7 @@ import (
 	"mpcdvfs/internal/predict"
 	"mpcdvfs/internal/serve"
 	"mpcdvfs/internal/sim"
+	"mpcdvfs/internal/telemetry"
 )
 
 type options struct {
@@ -64,6 +70,8 @@ type options struct {
 	noCompiledRF bool
 	replay       bool
 	queueDepth   int
+	traceSample  int
+	traceRing    int
 }
 
 func main() {
@@ -81,6 +89,8 @@ func main() {
 	flag.BoolVar(&o.noCompiledRF, "no-compiled-rf", false, "disable the compiled-forest inference fast path and walk the trees (decisions are bit-identical either way; escape hatch for A/B timing)")
 	flag.BoolVar(&o.replay, "replay", true, "run the continuous benchmark replay loop (false: serve the decision API only)")
 	flag.IntVar(&o.queueDepth, "queue-depth", serve.DefaultQueueDepth, "per-session decision queue depth (full queues answer 429)")
+	flag.IntVar(&o.traceSample, "trace-sample", 0, "trace 1 in N decisions as spans on /debug/trace (0 = off, 1 = every decision; tracing never changes decisions)")
+	flag.IntVar(&o.traceRing, "trace-ring", 0, "span ring capacity (0 = default)")
 	logLevel := flag.String("log-level", "info", "log level: debug | info | warn | error")
 	flag.Parse()
 
@@ -132,8 +142,20 @@ func run(o options) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// The telemetry hub carries the span tracer, model scoreboard and
+	// energy ledger for both faces of the process: served sessions get
+	// per-session trace contexts, the replay loop traces under "replay".
+	hub := mpcdvfs.NewTelemetryHub(mpcdvfs.TelemetryOptions{
+		Sample:   o.traceSample,
+		RingSize: o.traceRing,
+	})
+	hub.Instrument(reg)
+
 	sys := mpcdvfs.NewSystem()
 	sys.SetObserver(mpcdvfs.MultiObserver(observers...))
+	if o.traceSample > 0 {
+		sys.SetTraceContext(hub.Tracer.NewContext("replay"))
+	}
 
 	var sharedModel mpcdvfs.Model
 	switch {
@@ -171,16 +193,29 @@ func run(o options) error {
 	mux := cli.NewObsMux(reg)
 	var decider *serve.Server
 	if sharedModel != nil {
-		decider, err = newDecider(o, sys, sharedModel, reg)
+		decider, err = newDecider(o, sys, sharedModel, reg, hub)
 		if err != nil {
 			return err
 		}
 		h := decider.Handler()
 		mux.Handle("/v1/", h)
 		mux.Handle("/reload", h)
-		slog.Info("decision API enabled", "policy", o.policy, "queue_depth", o.queueDepth)
+		mux.Handle("/debug/mpc", h)
+		mux.Handle("/debug/models", h)
+		mux.Handle("/debug/trace", h)
+		slog.Info("decision API enabled", "policy", o.policy,
+			"queue_depth", o.queueDepth, "trace_sample", o.traceSample)
 	} else {
 		slog.Info("decision API disabled (no shared predictor under -oracle/turbo-core)")
+		if o.traceSample > 0 {
+			// The replay loop still records spans; without a decision
+			// server to host the richer /debug/mpc view, expose the
+			// raw ring so the phase timings stay reachable.
+			mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+				w.Header().Set("Content-Type", "application/x-ndjson")
+				_ = telemetry.WriteSpansJSONL(w, hub.Tracer.Snapshot(nil))
+			})
+		}
 	}
 	srv := cli.ServeMux(o.addr, mux)
 
@@ -206,7 +241,7 @@ func run(o options) error {
 // model: per-session policies use the exact stack the replay loop uses,
 // which is what keeps served decision streams byte-identical to local
 // replays.
-func newDecider(o options, sys *mpcdvfs.System, sharedModel mpcdvfs.Model, reg *mpcdvfs.MetricsRegistry) (*serve.Server, error) {
+func newDecider(o options, sys *mpcdvfs.System, sharedModel mpcdvfs.Model, reg *mpcdvfs.MetricsRegistry, hub *mpcdvfs.TelemetryHub) (*serve.Server, error) {
 	newPolicy := func(m predict.Model) sim.Policy {
 		switch o.policy {
 		case "ppk":
@@ -235,6 +270,7 @@ func newDecider(o options, sys *mpcdvfs.System, sharedModel mpcdvfs.Model, reg *
 			return mpcdvfs.TrainRandomForest(mpcdvfs.DefaultTrainOptions(o.seed))
 		},
 		QueueDepth: o.queueDepth,
+		Telemetry:  hub,
 	})
 	if err != nil {
 		return nil, err

@@ -12,6 +12,7 @@ import (
 	"mpcdvfs"
 	"mpcdvfs/internal/predict"
 	"mpcdvfs/internal/rf"
+	"mpcdvfs/internal/telemetry"
 	"mpcdvfs/internal/trace"
 )
 
@@ -230,5 +231,82 @@ func TestGoldenCompiledVsTreeWalk(t *testing.T) {
 			}
 		}
 		t.Fatalf("JSONL traces differ in length: compiled %d lines, tree-walk %d", len(fl), len(rl))
+	}
+}
+
+// TestGoldenTracedReplayIdentical is the end-to-end statement of the
+// telemetry non-perturbation contract: the full MPC pipeline replayed
+// with span tracing at 100% sampling must produce a decision stream
+// byte-identical to the untraced replay — the tracer observes wall
+// time, never decisions. The sampled run must also actually trace:
+// every decision gets a root span, and the decide path decomposes into
+// the expected phases.
+func TestGoldenTracedReplayIdentical(t *testing.T) {
+	modelPath := filepath.Join("testdata", "golden", "model.bin")
+
+	replay := func(tc *mpcdvfs.TraceContext) []byte {
+		t.Helper()
+		mf, err := os.Open(modelPath)
+		if err != nil {
+			t.Fatalf("%v (regenerate with go test -run TestGoldenMPCReplay -update)", err)
+		}
+		model, err := predict.LoadModel(mf)
+		mf.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys := mpcdvfs.NewSystem()
+		sys.SetTraceContext(tc)
+		app, err := mpcdvfs.BenchmarkByName("Spmv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, target, err := sys.Baseline(&app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, err := sys.RunRepeated(&app, sys.NewMPC(model), target, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		for _, res := range results {
+			if err := trace.WriteJSONL(&buf, res); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return buf.Bytes()
+	}
+
+	untraced := replay(nil)
+	tr := telemetry.NewTracer(16384, 1)
+	traced := replay(tr.NewContext("golden"))
+	if len(untraced) == 0 {
+		t.Fatal("empty replay trace")
+	}
+	if !bytes.Equal(traced, untraced) {
+		ul := bytes.Split(untraced, []byte("\n"))
+		tl := bytes.Split(traced, []byte("\n"))
+		for i := 0; i < len(ul) && i < len(tl); i++ {
+			if !bytes.Equal(ul[i], tl[i]) {
+				t.Fatalf("traced replay diverges at line %d:\ntraced:   %s\nuntraced: %s", i+1, tl[i], ul[i])
+			}
+		}
+		t.Fatalf("replays differ in length: traced %d lines, untraced %d", len(tl), len(ul))
+	}
+
+	roots, sampled := tr.Stats()
+	if roots == 0 || roots != sampled {
+		t.Fatalf("100%%-sampled run traced %d/%d decisions", sampled, roots)
+	}
+	names := map[string]int{}
+	for _, rec := range tr.Snapshot(nil) {
+		names[rec.Name]++
+	}
+	for _, want := range []string{telemetry.SpanDecide, telemetry.SpanSearch,
+		telemetry.SpanFeaturize, telemetry.SpanForestEval} {
+		if names[want] == 0 {
+			t.Fatalf("traced replay has no %s spans (have %v)", want, names)
+		}
 	}
 }

@@ -1,0 +1,5 @@
+package analysis
+
+import "testing"
+
+func TestSpanName(t *testing.T) { testCheck(t, "span-name") }

@@ -8,6 +8,7 @@ import (
 	"mpcdvfs/internal/hw"
 	"mpcdvfs/internal/par"
 	"mpcdvfs/internal/predict"
+	"mpcdvfs/internal/telemetry"
 )
 
 // Optimizer performs the greedy hill-climbing configuration search of
@@ -30,6 +31,13 @@ type Optimizer struct {
 	// calls (every predictor in internal/predict is). The greedy hill
 	// climb is inherently sequential and ignores this field.
 	Workers int
+	// Trace, when non-nil, receives the search's span decomposition:
+	// batched sweeps emit featurize/forest-eval child spans, scalar
+	// predictor calls accumulate into a forest-eval aggregate. Tracing
+	// is read-only with respect to decisions — every search returns the
+	// same bytes with Trace nil, unsampled, or active (pinned by the
+	// traced-replay golden test).
+	Trace *telemetry.Context
 	// failSafe is the guard configuration, clamped into Space.
 	failSafe hw.Config
 
@@ -120,7 +128,9 @@ func (c *evalCache) eval(cfg hw.Config) (predict.Estimate, float64) {
 		return v.est, v.e
 	}
 	c.evals++
+	t0 := c.o.Trace.StartPhase()
 	est := c.o.Model.PredictKernel(c.cs, cfg)
+	c.o.Trace.EndPhase(telemetry.SpanForestEval, t0)
 	e := predict.EnergyMJ(est, cfg)
 	c.seen[cfg] = cachedEval{est, e}
 	return est, e
@@ -285,7 +295,14 @@ func (o *Optimizer) exhaustiveBatched(cache *evalCache, headroomMS float64) (res
 		o.sweepCfgs = o.Space.Configs()
 		o.sweepEsts = make([]predict.Estimate, len(o.sweepCfgs))
 	}
-	if !se.PredictSpace(cache.cs, o.Space, o.sweepEsts) {
+	// Prefer the trace-aware batched path so the sweep's featurize and
+	// forest-eval time lands in the active trace; both paths fill
+	// sweepEsts with identical bytes.
+	if tse, tok := o.Model.(predict.TracedSpaceEvaluator); tok {
+		if !tse.PredictSpaceTraced(cache.cs, o.Space, o.sweepEsts, o.Trace) {
+			return climbResult{}, false
+		}
+	} else if !se.PredictSpace(cache.cs, o.Space, o.sweepEsts) {
 		return climbResult{}, false
 	}
 	best := climbResult{Config: o.failSafe, Feasible: false}

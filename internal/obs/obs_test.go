@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"io"
+	"log/slog"
 	"strconv"
 	"strings"
 	"testing"
@@ -174,6 +176,74 @@ func TestNopAndMulti(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), `"reason":"cold-start"`) {
 		t.Error("Multi did not fan out to JSONL writer")
+	}
+}
+
+// TestSlogDisabledLevelZeroAlloc pins the Slog fast path: when an
+// event's level is suppressed by the handler, the observer must return
+// before building the variadic attribute list, so suppressed events
+// cost zero heap allocations on the per-kernel decision path.
+func TestSlogDisabledLevelZeroAlloc(t *testing.T) {
+	// Info-level handler: Debug events (decision, kernel, model error)
+	// are suppressed.
+	s := obs.NewSlog(slog.New(slog.NewTextHandler(io.Discard,
+		&slog.HandlerOptions{Level: slog.LevelInfo})))
+	de := obs.DecisionEvent{Policy: "mpc", App: "a", Index: 3, Evals: 7}
+	ke := obs.KernelEvent{Policy: "mpc", App: "a", Kernel: "k", TimeMS: 1}
+	me := obs.ModelErrorEvent{Policy: "mpc", App: "a",
+		PredictedTimeMS: 1, MeasuredTimeMS: 1.1}
+	for name, fn := range map[string]func(){
+		"OnDecision":   func() { s.OnDecision(de) },
+		"OnKernelDone": func() { s.OnKernelDone(ke) },
+		"OnModelError": func() { s.OnModelError(me) },
+	} {
+		if n := testing.AllocsPerRun(100, fn); n != 0 {
+			t.Errorf("%s at suppressed level: %.1f allocs/op, want 0", name, n)
+		}
+	}
+
+	// Error-level handler: Info events (horizon, fallback) are
+	// suppressed too.
+	s = obs.NewSlog(slog.New(slog.NewTextHandler(io.Discard,
+		&slog.HandlerOptions{Level: slog.LevelError})))
+	he := obs.HorizonEvent{Policy: "mpc", App: "a", Horizon: 4, Prev: 8}
+	fe := obs.FallbackEvent{Policy: "mpc", App: "a", Reason: obs.FallbackColdStart}
+	for name, fn := range map[string]func(){
+		"OnHorizonChange": func() { s.OnHorizonChange(he) },
+		"OnFallback":      func() { s.OnFallback(fe) },
+	} {
+		if n := testing.AllocsPerRun(100, fn); n != 0 {
+			t.Errorf("%s at suppressed level: %.1f allocs/op, want 0", name, n)
+		}
+	}
+
+	// Enabled levels still log: sanity-check the guard is not inverted.
+	var buf bytes.Buffer
+	s = obs.NewSlog(slog.New(slog.NewTextHandler(&buf,
+		&slog.HandlerOptions{Level: slog.LevelDebug})))
+	s.OnDecision(de)
+	s.OnFallback(fe)
+	if out := buf.String(); !strings.Contains(out, "decision") || !strings.Contains(out, "fallback") {
+		t.Fatalf("enabled levels did not log: %q", out)
+	}
+}
+
+// TestDisabledFanOutZeroAlloc pins the disabled fan-out contract: the
+// Nop observer and a Multi composed only of disabled observers (which
+// collapses to Nop) must emit events with zero heap allocations.
+func TestDisabledFanOutZeroAlloc(t *testing.T) {
+	de := obs.DecisionEvent{Policy: "mpc", App: "a", Index: 3}
+	fe := obs.FallbackEvent{Policy: "mpc", App: "a", Reason: obs.FallbackColdStart}
+	for name, o := range map[string]obs.Observer{
+		"Nop":            obs.Nop{},
+		"Multi-disabled": obs.Multi(nil, obs.Nop{}, nil),
+	} {
+		if n := testing.AllocsPerRun(100, func() {
+			o.OnDecision(de)
+			o.OnFallback(fe)
+		}); n != 0 {
+			t.Errorf("%s fan-out: %.1f allocs/op, want 0", name, n)
+		}
 	}
 }
 

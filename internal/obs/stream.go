@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"log/slog"
@@ -103,8 +104,18 @@ func NewSlog(l *slog.Logger) *Slog {
 	return &Slog{l: l}
 }
 
+// enabled gates each event before its variadic attribute list is built.
+// Without it every suppressed Debug event still pays the attrs slice
+// plus one interface box per value — per kernel, on the decision path.
+func (s *Slog) enabled(level slog.Level) bool {
+	return s.l.Enabled(context.Background(), level)
+}
+
 // OnDecision implements Observer.
 func (s *Slog) OnDecision(e DecisionEvent) {
+	if !s.enabled(slog.LevelDebug) {
+		return
+	}
 	s.l.Debug("decision",
 		"policy", e.Policy, "app", e.App, "index", e.Index,
 		"config", e.Config.String(), "evals", e.Evals,
@@ -113,6 +124,9 @@ func (s *Slog) OnDecision(e DecisionEvent) {
 
 // OnKernelDone implements Observer.
 func (s *Slog) OnKernelDone(e KernelEvent) {
+	if !s.enabled(slog.LevelDebug) {
+		return
+	}
 	s.l.Debug("kernel done",
 		"policy", e.Policy, "app", e.App, "index", e.Index,
 		"kernel", e.Kernel, "time_ms", e.TimeMS,
@@ -121,6 +135,9 @@ func (s *Slog) OnKernelDone(e KernelEvent) {
 
 // OnHorizonChange implements Observer.
 func (s *Slog) OnHorizonChange(e HorizonEvent) {
+	if !s.enabled(slog.LevelInfo) {
+		return
+	}
 	s.l.Info("horizon change",
 		"policy", e.Policy, "app", e.App, "index", e.Index,
 		"horizon", e.Horizon, "prev", e.Prev, "full", e.Full)
@@ -128,6 +145,9 @@ func (s *Slog) OnHorizonChange(e HorizonEvent) {
 
 // OnModelError implements Observer.
 func (s *Slog) OnModelError(e ModelErrorEvent) {
+	if !s.enabled(slog.LevelDebug) {
+		return
+	}
 	s.l.Debug("model error",
 		"policy", e.Policy, "app", e.App, "index", e.Index,
 		"time_error", e.TimeError(), "power_error", e.PowerError())
@@ -135,6 +155,9 @@ func (s *Slog) OnModelError(e ModelErrorEvent) {
 
 // OnFallback implements Observer.
 func (s *Slog) OnFallback(e FallbackEvent) {
+	if !s.enabled(slog.LevelInfo) {
+		return
+	}
 	s.l.Info("fallback",
 		"policy", e.Policy, "app", e.App, "index", e.Index,
 		"reason", e.Reason)

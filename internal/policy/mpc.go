@@ -9,6 +9,7 @@ import (
 	"mpcdvfs/internal/pattern"
 	"mpcdvfs/internal/predict"
 	"mpcdvfs/internal/sim"
+	"mpcdvfs/internal/telemetry"
 )
 
 // MPC is the paper's power-management scheme (Fig. 6): a model-predictive
@@ -45,6 +46,12 @@ type MPC struct {
 	// errors); the engine threads its observer in via SetObserver. Never
 	// nil — obs.Nop when observability is disabled.
 	obsv obs.Observer
+
+	// tc is the decision-path trace context threaded in via
+	// SetTraceContext (nil when tracing is off); it also rides on the
+	// optimizer so batched sweeps and scalar predictor calls land in
+	// the same trace.
+	tc *telemetry.Context
 
 	// Cross-run state.
 	appName       string
@@ -168,6 +175,15 @@ func (m *MPC) SetObserver(o obs.Observer) {
 	m.obsv = o
 }
 
+// SetTraceContext implements telemetry.Traceable: the serving session
+// (or the engine) threads its trace context in so decisions decompose
+// into search/featurize/forest-eval spans. Tracing never perturbs
+// decisions.
+func (m *MPC) SetTraceContext(tc *telemetry.Context) {
+	m.tc = tc
+	m.opt.Trace = tc
+}
+
 // Name implements sim.Policy.
 func (m *MPC) Name() string {
 	if m.fullHorizon {
@@ -236,7 +252,9 @@ func (m *MPC) decidePPK() sim.Decision {
 		return sim.Decision{Config: m.opt.FailSafe(), Evals: 0, Fallback: obs.FallbackColdStart}
 	}
 	head := m.tracker.HeadroomMS(m.last.Insts)
+	sp := m.tc.Start(telemetry.SpanSearch)
 	res := m.opt.ExhaustiveSearch(m.last.Counters, head)
+	sp.End()
 	return sim.Decision{
 		Config: res.Config, Evals: res.Evals, SearchIters: 1,
 		PredTimeMS: res.Est.TimeMS, PredGPUPowerW: res.Est.GPUPowerW,
@@ -304,7 +322,9 @@ func (m *MPC) decideMPC(i int) sim.Decision {
 		tr = tr.Clone()
 		tr.Add(0, res)
 	}
+	sp := m.tc.Start(telemetry.SpanSearch)
 	cfg, est, evals := m.opt.OptimizeWindow(win, tr)
+	sp.End()
 	return sim.Decision{
 		Config: cfg, Evals: evals + extraEvals, SearchIters: len(win), Horizon: h,
 		PredTimeMS: est.TimeMS, PredGPUPowerW: est.GPUPowerW,

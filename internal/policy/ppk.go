@@ -13,6 +13,7 @@ import (
 	"mpcdvfs/internal/obs"
 	"mpcdvfs/internal/predict"
 	"mpcdvfs/internal/sim"
+	"mpcdvfs/internal/telemetry"
 )
 
 // PPK is the Predict Previous Kernel scheme (§II-E, §III): it assumes the
@@ -29,6 +30,7 @@ type PPK struct {
 
 	appName string
 	obsv    obs.Observer
+	tc      *telemetry.Context
 	last    sim.Observation
 	haveObs bool
 }
@@ -61,6 +63,13 @@ func (p *PPK) SetObserver(o obs.Observer) {
 	p.obsv = o
 }
 
+// SetTraceContext implements telemetry.Traceable; tracing never
+// perturbs decisions.
+func (p *PPK) SetTraceContext(tc *telemetry.Context) {
+	p.tc = tc
+	p.opt.Trace = tc
+}
+
 // Begin implements sim.Policy.
 func (p *PPK) Begin(info sim.RunInfo) {
 	p.appName = info.AppName
@@ -75,7 +84,9 @@ func (p *PPK) Decide(i int) sim.Decision {
 		return sim.Decision{Config: p.opt.FailSafe(), Evals: 0, Fallback: obs.FallbackColdStart}
 	}
 	head := p.tracker.HeadroomMS(p.last.Insts)
+	sp := p.tc.Start(telemetry.SpanSearch)
 	res := p.opt.ExhaustiveSearch(p.last.Counters, head)
+	sp.End()
 	return sim.Decision{
 		Config: res.Config, Evals: res.Evals, SearchIters: 1,
 		PredTimeMS: res.Est.TimeMS, PredGPUPowerW: res.Est.GPUPowerW,

@@ -3,6 +3,7 @@ package predict
 import (
 	"mpcdvfs/internal/counters"
 	"mpcdvfs/internal/hw"
+	"mpcdvfs/internal/telemetry"
 )
 
 // calibWeight is the EWMA weight for feedback updates.
@@ -55,13 +56,36 @@ func (c *Calibrated) PredictSpace(cs counters.Set, space hw.Space, dst []Estimat
 	if !ok || !se.PredictSpace(cs, space, dst) {
 		return false
 	}
+	c.applyRatio(cs, dst)
+	return true
+}
+
+// PredictSpaceTraced implements TracedSpaceEvaluator by forwarding the
+// trace context to the wrapped model when it is trace-aware, falling
+// back to the untraced batched path otherwise (same estimates, no
+// featurize/forest-eval spans).
+func (c *Calibrated) PredictSpaceTraced(cs counters.Set, space hw.Space, dst []Estimate, tc *telemetry.Context) bool {
+	tse, ok := c.inner.(TracedSpaceEvaluator)
+	if !ok {
+		return c.PredictSpace(cs, space, dst)
+	}
+	if !tse.PredictSpaceTraced(cs, space, dst, tc) {
+		return false
+	}
+	c.applyRatio(cs, dst)
+	return true
+}
+
+// applyRatio applies the kernel's learned correction ratio to every
+// estimate of a batched sweep — the same two multiplications the
+// scalar path performs.
+func (c *Calibrated) applyRatio(cs counters.Set, dst []Estimate) {
 	if r, ok := c.ratios[counters.SignatureOf(cs)]; ok {
 		for i := range dst {
 			dst[i].TimeMS *= r.time
 			dst[i].GPUPowerW *= r.power
 		}
 	}
-	return true
 }
 
 // Feedback records the measured outcome of one executed kernel and

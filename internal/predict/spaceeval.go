@@ -8,6 +8,7 @@ import (
 	"mpcdvfs/internal/counters"
 	"mpcdvfs/internal/hw"
 	"mpcdvfs/internal/metrics"
+	"mpcdvfs/internal/telemetry"
 )
 
 // SpaceEvaluator is the optional batched extension of Model: a model
@@ -25,6 +26,18 @@ import (
 // scalar evaluation when the assertion or the call fails.
 type SpaceEvaluator interface {
 	PredictSpace(cs counters.Set, space hw.Space, dst []Estimate) bool
+}
+
+// TracedSpaceEvaluator is the trace-aware extension of SpaceEvaluator:
+// the batched sweep additionally reports where its time goes — row
+// featurization vs. forest evaluation — as child spans of the caller's
+// active trace. The SpaceEvaluator contract is unchanged: tracing is
+// read-only with respect to predictions, so PredictSpaceTraced fills
+// dst with exactly the bytes PredictSpace would (tc may be nil or
+// unsampled, in which case the span calls are no-ops).
+type TracedSpaceEvaluator interface {
+	SpaceEvaluator
+	PredictSpaceTraced(cs counters.Set, space hw.Space, dst []Estimate, tc *telemetry.Context) bool
 }
 
 // spaceArena is one batched-sweep workspace: a row-major feature matrix
@@ -158,6 +171,19 @@ func (m *RandomForest) countArena(hit bool) {
 // are bit-identical regardless of which arena serves them — arenas
 // differ only in identity, never in contents.
 func (m *RandomForest) PredictSpace(cs counters.Set, space hw.Space, dst []Estimate) bool {
+	return m.predictSpace(cs, space, dst, nil)
+}
+
+// PredictSpaceTraced implements TracedSpaceEvaluator: the same sweep
+// with featurize and forest-eval child spans attached to tc.
+func (m *RandomForest) PredictSpaceTraced(cs counters.Set, space hw.Space, dst []Estimate, tc *telemetry.Context) bool {
+	return m.predictSpace(cs, space, dst, tc)
+}
+
+// predictSpace is the shared batched sweep: the traced and untraced
+// entry points differ only in whether span bookkeeping runs — every
+// value written to dst is computed identically.
+func (m *RandomForest) predictSpace(cs counters.Set, space hw.Space, dst []Estimate, tc *telemetry.Context) bool {
 	if m.treeWalk || m.timeCompiled == nil {
 		return false
 	}
@@ -168,6 +194,7 @@ func (m *RandomForest) PredictSpace(cs counters.Set, space hw.Space, dst []Estim
 	if n == 0 {
 		return true
 	}
+	sp := tc.Start(telemetry.SpanFeaturize)
 	var prefix [counters.NumCounters]float64
 	counterPrefix(prefix[:], cs)
 
@@ -181,18 +208,23 @@ func (m *RandomForest) PredictSpace(cs counters.Set, space hw.Space, dst []Estim
 	for r := 0; r < n; r++ {
 		copy(a.rows[r*numRFFeatures:r*numRFFeatures+counters.NumCounters], prefix[:])
 	}
+	sp.End()
+	sp = tc.Start(telemetry.SpanForestEval)
 	m.timeCompiled.PredictBatchInto(a.tOut, a.rows)
 	m.powerCompiled.PredictBatchInto(a.pOut, a.rows)
 	insts := instsOf(cs)
 	for r := 0; r < n; r++ {
 		dst[r] = Estimate{TimeMS: math.Exp(a.tOut[r]) * insts, GPUPowerW: a.pOut[r]}
 	}
+	sp.End()
 	ap.pool.Put(a)
 	return true
 }
 
 // Compile-time interface checks for the batched path.
 var (
-	_ SpaceEvaluator = (*RandomForest)(nil)
-	_ SpaceEvaluator = (*Calibrated)(nil)
+	_ SpaceEvaluator       = (*RandomForest)(nil)
+	_ SpaceEvaluator       = (*Calibrated)(nil)
+	_ TracedSpaceEvaluator = (*RandomForest)(nil)
+	_ TracedSpaceEvaluator = (*Calibrated)(nil)
 )

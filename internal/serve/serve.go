@@ -47,6 +47,7 @@ import (
 	"mpcdvfs/internal/metrics"
 	"mpcdvfs/internal/predict"
 	"mpcdvfs/internal/sim"
+	"mpcdvfs/internal/telemetry"
 )
 
 // DefaultQueueDepth bounds each session's operation queue. A
@@ -79,6 +80,13 @@ type Config struct {
 	// QueueDepth bounds each session's operation queue (<= 0 uses
 	// DefaultQueueDepth).
 	QueueDepth int
+	// Telemetry, when set, deep-instruments the server: every decision
+	// runs under a trace root (sampled per the hub's tracer), Observe
+	// ground truth feeds the per-generation model scoreboard, the
+	// energy/decision ledger fills, and Handler additionally mounts the
+	// /debug/mpc, /debug/models and /debug/trace endpoints. Nil keeps
+	// the serving path telemetry-free.
+	Telemetry *telemetry.Hub
 }
 
 // Server is the concurrent decision service. Create with New, mount
@@ -205,7 +213,8 @@ func (s *Server) Shutdown() {
 	}
 }
 
-// Handler returns the /v1 decision API plus /reload.
+// Handler returns the /v1 decision API plus /reload, and — when the
+// server has a telemetry hub — the /debug introspection endpoints.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/session", s.handleSession)
@@ -213,6 +222,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/decide", s.handleDecide)
 	mux.HandleFunc("/v1/observe", s.handleObserve)
 	mux.HandleFunc("/reload", s.handleReload)
+	if s.cfg.Telemetry != nil {
+		mux.HandleFunc("/debug/mpc", s.handleDebugMPC)
+		mux.HandleFunc("/debug/models", s.handleDebugModels)
+		mux.HandleFunc("/debug/trace", s.handleDebugTrace)
+	}
 	return mux
 }
 
@@ -282,6 +296,11 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 		depth = m.depth.With(id)
 	}
 	sess := newSession(id, pol, snap, s.cfg.QueueDepth, depth)
+	sess.app = req.App
+	if hub := s.cfg.Telemetry; hub != nil {
+		sess.hub = hub
+		sess.tc = hub.Tracer.NewContext(id)
+	}
 	s.sessions[id] = sess
 	s.wg.Add(1)
 	s.mu.Unlock()
@@ -297,7 +316,14 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 		FirstRun:   req.FirstRun,
 	}
 	// The queue is empty and private at this point; Begin always fits.
-	_ = sess.enqueue(func() { pol.Begin(info) })
+	// The trace context is threaded on the owner goroutine, like all
+	// policy mutation.
+	_ = sess.enqueue(func() {
+		if tr, ok := pol.(telemetry.Traceable); ok {
+			tr.SetTraceContext(sess.tc)
+		}
+		pol.Begin(info)
+	})
 
 	if m != nil {
 		m.active.Add(1)
@@ -319,7 +345,16 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	reply := make(chan sim.Decision, 1)
-	err := sess.enqueue(func() { reply <- sess.policy.Decide(req.Index) })
+	err := sess.enqueue(func() {
+		// Queue wait = handler-side enqueue to owner-goroutine pickup.
+		wait := time.Since(start)
+		root := sess.tc.StartRoot(telemetry.SpanDecide, req.Index)
+		sess.tc.RecordSince(telemetry.SpanQueue, start)
+		d := sess.policy.Decide(req.Index)
+		root.End()
+		sess.noteDecision(req.Index, d, float64(wait)/float64(time.Millisecond))
+		reply <- d
+	})
 	switch err {
 	case nil:
 	case errSessionFull:
@@ -354,7 +389,11 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	}
 	obs := req.Observation.observation()
 	done := make(chan struct{})
-	err := sess.enqueue(func() { sess.policy.Observe(obs); close(done) })
+	err := sess.enqueue(func() {
+		sess.policy.Observe(obs)
+		sess.noteObservation(obs)
+		close(done)
+	})
 	switch err {
 	case nil:
 	case errSessionFull:

@@ -5,7 +5,9 @@ import (
 	"sync"
 
 	"mpcdvfs/internal/metrics"
+	"mpcdvfs/internal/predict"
 	"mpcdvfs/internal/sim"
+	"mpcdvfs/internal/telemetry"
 )
 
 // Queue/session error sentinels, mapped to HTTP statuses by the
@@ -28,6 +30,7 @@ var (
 type session struct {
 	id     string
 	name   string // policy name, fixed at creation
+	app    string // client application name, for scoreboard attribution
 	policy sim.Policy
 	snap   *Snapshot // model snapshot pinned at creation
 	ch     chan func()
@@ -37,18 +40,57 @@ type session struct {
 	closed bool
 
 	depth *metrics.Gauge // optional queue-depth mirror
+
+	// Telemetry state, nil/zero when the server has no hub. tc is the
+	// session's trace context; hub feeds the scoreboard and accounting.
+	// lastIdx/lastD latch the most recent decision so the matching
+	// observation can be scored against its prediction — both are
+	// touched only by the owner goroutine, like all policy state.
+	tc      *telemetry.Context
+	hub     *telemetry.Hub
+	lastIdx int
+	lastD   sim.Decision
 }
 
 func newSession(id string, pol sim.Policy, snap *Snapshot, queueDepth int, depth *metrics.Gauge) *session {
 	return &session{
-		id:     id,
-		name:   pol.Name(),
-		policy: pol,
-		snap:   snap,
-		ch:     make(chan func(), queueDepth),
-		done:   make(chan struct{}),
-		depth:  depth,
+		id:      id,
+		name:    pol.Name(),
+		policy:  pol,
+		snap:    snap,
+		ch:      make(chan func(), queueDepth),
+		done:    make(chan struct{}),
+		depth:   depth,
+		lastIdx: -1,
 	}
+}
+
+// noteDecision runs on the owner goroutine after each Decide: it
+// latches the decision for observation-side scoring and feeds the
+// accounting ledger. No-op without a hub.
+func (s *session) noteDecision(index int, d sim.Decision, queueWaitMS float64) {
+	s.lastIdx, s.lastD = index, d
+	if s.hub != nil {
+		s.hub.Accounting.RecordDecision(s.id, d.Fallback, d.Horizon, queueWaitMS)
+	}
+}
+
+// noteObservation runs on the owner goroutine after each Observe: when
+// the observation answers the latched decision and that decision
+// carried a prediction (fallbacks do not), the predicted-vs-measured
+// outcome is scored on the model scoreboard and both energies land in
+// the accounting ledger. No-op without a hub.
+func (s *session) noteObservation(ob sim.Observation) {
+	if s.hub == nil || ob.Index != s.lastIdx || s.lastD.PredTimeMS <= 0 {
+		return
+	}
+	s.hub.Scoreboard.Observe(s.snap.Gen, s.app,
+		s.lastD.PredTimeMS, ob.TimeMS, s.lastD.PredGPUPowerW, ob.GPUPowerW)
+	predMJ := predict.EnergyMJ(
+		predict.Estimate{TimeMS: s.lastD.PredTimeMS, GPUPowerW: s.lastD.PredGPUPowerW},
+		s.lastD.Config)
+	measMJ := (ob.GPUPowerW + ob.CPUPowerW) * ob.TimeMS
+	s.hub.Accounting.RecordObservation(s.id, ob.Config.String(), predMJ, measMJ)
 }
 
 // run is the session's owner goroutine: it executes queued operations

@@ -16,6 +16,7 @@ import (
 	"mpcdvfs/internal/hw"
 	"mpcdvfs/internal/kernel"
 	"mpcdvfs/internal/obs"
+	"mpcdvfs/internal/telemetry"
 	"mpcdvfs/internal/thermal"
 	"mpcdvfs/internal/workload"
 )
@@ -327,6 +328,13 @@ type Engine struct {
 	// nil disables the thermal path (the default, matching the paper's
 	// measurements, which never pushed the package past its envelope).
 	Thermal *thermal.Params
+	// Trace, when non-nil, wraps each policy decision in a root span
+	// and is threaded into telemetry.Traceable policies so the decision
+	// decomposes into search/featurize/forest-eval children. Tracing is
+	// read-only with respect to results: a traced replay is
+	// byte-identical to an untraced one (pinned by the root golden
+	// test).
+	Trace *telemetry.Context
 }
 
 // NewEngine returns an engine over the given configuration space with the
@@ -362,6 +370,11 @@ func (e *Engine) Run(app *workload.App, p Policy, target Target, firstRun bool) 
 			in.SetObserver(obs.Nop{})
 		}
 	}
+	if tr, ok := p.(telemetry.Traceable); ok {
+		// Same always-reset rule as the observer: a policy moving
+		// between engines must not trace into a stale context.
+		tr.SetTraceContext(e.Trace)
+	}
 	p.Begin(RunInfo{
 		AppName:    app.Name,
 		NumKernels: app.Len(),
@@ -374,7 +387,9 @@ func (e *Engine) Run(app *workload.App, p Policy, target Target, firstRun bool) 
 		die = thermal.New(*e.Thermal)
 	}
 	for i, k := range app.Kernels {
+		root := e.Trace.StartRoot(telemetry.SpanDecide, i)
 		d := p.Decide(i)
+		root.End()
 		if !d.Config.Valid() {
 			return nil, fmt.Errorf("sim: policy %s returned invalid config %v for kernel %d", p.Name(), d.Config, i)
 		}

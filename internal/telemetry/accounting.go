@@ -1,0 +1,268 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"mpcdvfs/internal/metrics"
+)
+
+// maxSessionAccounts bounds the per-session accounting map: a
+// long-lived server churns through many short sessions (one per client
+// replay), and accounting is a debug surface, not a billing system.
+// When the bound is hit, the oldest session's row is evicted; its
+// energy totals stay in the per-config buckets and the global tallies.
+const maxSessionAccounts = 256
+
+// queueWindow bounds the per-session queue-wait window backing the p99
+// estimate.
+const queueWindow = 128
+
+// waitWindow is a rolling window of queue waits (ms). p99 sorts a copy
+// on snapshot, so the record path stays O(1).
+type waitWindow struct {
+	vals   []float64
+	pos, n int
+}
+
+func (w *waitWindow) push(v float64) {
+	if w.vals == nil {
+		w.vals = make([]float64, queueWindow)
+	}
+	w.vals[w.pos] = v
+	w.pos++
+	if w.pos == len(w.vals) {
+		w.pos = 0
+	}
+	if w.n < len(w.vals) {
+		w.n++
+	}
+}
+
+// p99 returns the window's 99th-percentile wait (0 when empty).
+func (w *waitWindow) p99() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	tmp := make([]float64, w.n)
+	copy(tmp, w.vals[:w.n])
+	sort.Float64s(tmp)
+	return tmp[int(0.99*float64(w.n-1))]
+}
+
+type sessionAcct struct {
+	decisions    uint64
+	observations uint64
+	fallbacks    uint64
+	predictedMJ  float64
+	measuredMJ   float64
+	waits        waitWindow
+}
+
+type energyAcct struct {
+	observations uint64
+	predictedMJ  float64
+	measuredMJ   float64
+}
+
+// Accounting is the cumulative energy and decision ledger of a serving
+// process. Safe for concurrent use from many session goroutines.
+type Accounting struct {
+	mu        sync.Mutex
+	sessions  map[string]*sessionAcct
+	order     []string // session insertion order, for eviction
+	configs   map[string]*energyAcct
+	fallbacks map[string]uint64
+	horizons  map[int]uint64
+
+	instr atomic.Pointer[acctInstr]
+}
+
+type acctInstr struct {
+	energyMJ  *metrics.CounterVec // {kind}
+	fallbacks *metrics.CounterVec // {reason}
+	horizon   *metrics.Histogram
+	queueWait *metrics.Histogram
+}
+
+// NewAccounting returns an empty ledger.
+func NewAccounting() *Accounting {
+	return &Accounting{
+		sessions:  map[string]*sessionAcct{},
+		configs:   map[string]*energyAcct{},
+		fallbacks: map[string]uint64{},
+		horizons:  map[int]uint64{},
+	}
+}
+
+// Instrument mirrors the ledger into reg.
+func (a *Accounting) Instrument(reg *metrics.Registry) {
+	if a == nil {
+		return
+	}
+	a.instr.Store(&acctInstr{
+		energyMJ: reg.Counter("mpcdvfs_acct_energy_mj_total",
+			"Cumulative kernel energy attributed by the telemetry ledger, predicted vs measured (millijoules).",
+			"kind"),
+		fallbacks: reg.Counter("mpcdvfs_acct_fallbacks_total",
+			"Served decisions that took a degraded path, by reason.", "reason"),
+		horizon: reg.Histogram("mpcdvfs_acct_horizon",
+			"Prediction-horizon length of served decisions (kernels).",
+			metrics.LinearBuckets(0, 4, 16)).With(),
+		queueWait: reg.Histogram("mpcdvfs_acct_queue_wait_ms",
+			"Session queue wait of served decide operations, in milliseconds.",
+			metrics.ExponentialBuckets(0.01, 2, 16)).With(),
+	})
+}
+
+// session returns (creating if needed) the row for id. Caller holds mu.
+func (a *Accounting) session(id string) *sessionAcct {
+	s, ok := a.sessions[id]
+	if !ok {
+		if len(a.sessions) >= maxSessionAccounts {
+			oldest := a.order[0]
+			a.order = a.order[1:]
+			delete(a.sessions, oldest)
+		}
+		s = &sessionAcct{}
+		a.sessions[id] = s
+		a.order = append(a.order, id)
+	}
+	return s
+}
+
+// RecordDecision accounts one served decision: its queue wait, horizon
+// length, and fallback reason ("" for a steady-state decision).
+func (a *Accounting) RecordDecision(sessionID, fallback string, horizon int, queueWaitMS float64) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	s := a.session(sessionID)
+	s.decisions++
+	s.waits.push(queueWaitMS)
+	if fallback != "" {
+		s.fallbacks++
+		a.fallbacks[fallback]++
+	}
+	a.horizons[horizon]++
+	a.mu.Unlock()
+
+	if in := a.instr.Load(); in != nil {
+		if fallback != "" {
+			in.fallbacks.With(fallback).Inc()
+		}
+		in.horizon.Observe(float64(horizon))
+		in.queueWait.Observe(queueWaitMS)
+	}
+}
+
+// RecordObservation accounts one kernel's energy outcome: the energy
+// the predictor promised for the chosen configuration against the
+// energy the measurement implies, attributed to the session and to the
+// configuration bucket (hw.Config.String of the executed config).
+func (a *Accounting) RecordObservation(sessionID, config string, predictedMJ, measuredMJ float64) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	s := a.session(sessionID)
+	s.observations++
+	s.predictedMJ += predictedMJ
+	s.measuredMJ += measuredMJ
+	c, ok := a.configs[config]
+	if !ok {
+		c = &energyAcct{}
+		a.configs[config] = c
+	}
+	c.observations++
+	c.predictedMJ += predictedMJ
+	c.measuredMJ += measuredMJ
+	a.mu.Unlock()
+
+	if in := a.instr.Load(); in != nil {
+		in.energyMJ.With("predicted").Add(predictedMJ)
+		in.energyMJ.With("measured").Add(measuredMJ)
+	}
+}
+
+// SessionSummary is one session's ledger row.
+type SessionSummary struct {
+	SessionID         string  `json:"session_id"`
+	Decisions         uint64  `json:"decisions"`
+	Observations      uint64  `json:"observations"`
+	Fallbacks         uint64  `json:"fallbacks"`
+	PredictedEnergyMJ float64 `json:"predicted_energy_mj"`
+	MeasuredEnergyMJ  float64 `json:"measured_energy_mj"`
+	QueueWaitP99MS    float64 `json:"queue_wait_p99_ms"`
+}
+
+// ConfigEnergy is one configuration bucket's energy ledger.
+type ConfigEnergy struct {
+	Config            string  `json:"config"`
+	Observations      uint64  `json:"observations"`
+	PredictedEnergyMJ float64 `json:"predicted_energy_mj"`
+	MeasuredEnergyMJ  float64 `json:"measured_energy_mj"`
+}
+
+// Snapshot is the ledger at one instant.
+type Snapshot struct {
+	Sessions  []SessionSummary  `json:"sessions"`
+	Configs   []ConfigEnergy    `json:"configs"`
+	Fallbacks map[string]uint64 `json:"fallbacks"`
+	// Horizons histograms served horizon lengths (key = length).
+	Horizons map[int]uint64 `json:"horizons"`
+}
+
+// Snapshot returns the ledger's current state, sessions and config
+// buckets sorted by key.
+func (a *Accounting) Snapshot() Snapshot {
+	if a == nil {
+		return Snapshot{}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	snap := Snapshot{
+		Sessions:  make([]SessionSummary, 0, len(a.sessions)),
+		Configs:   make([]ConfigEnergy, 0, len(a.configs)),
+		Fallbacks: make(map[string]uint64, len(a.fallbacks)),
+		Horizons:  make(map[int]uint64, len(a.horizons)),
+	}
+	for _, id := range a.order {
+		s := a.sessions[id]
+		snap.Sessions = append(snap.Sessions, SessionSummary{
+			SessionID:         id,
+			Decisions:         s.decisions,
+			Observations:      s.observations,
+			Fallbacks:         s.fallbacks,
+			PredictedEnergyMJ: s.predictedMJ,
+			MeasuredEnergyMJ:  s.measuredMJ,
+			QueueWaitP99MS:    s.waits.p99(),
+		})
+	}
+	sort.Slice(snap.Sessions, func(i, j int) bool {
+		return snap.Sessions[i].SessionID < snap.Sessions[j].SessionID
+	})
+	keys := make([]string, 0, len(a.configs))
+	for k := range a.configs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		c := a.configs[k]
+		snap.Configs = append(snap.Configs, ConfigEnergy{
+			Config:            k,
+			Observations:      c.observations,
+			PredictedEnergyMJ: c.predictedMJ,
+			MeasuredEnergyMJ:  c.measuredMJ,
+		})
+	}
+	for k, v := range a.fallbacks {
+		snap.Fallbacks[k] = v
+	}
+	for k, v := range a.horizons {
+		snap.Horizons[k] = v
+	}
+	return snap
+}

@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestAccountingLedger(t *testing.T) {
+	a := NewAccounting()
+	a.RecordDecision("s1", "", 4, 0.5)
+	a.RecordDecision("s1", "cold_start", 1, 2.0)
+	a.RecordDecision("s2", "", 8, 0.1)
+	a.RecordObservation("s1", "g3/m1/c2", 10, 12)
+	a.RecordObservation("s1", "g3/m1/c2", 5, 4)
+	a.RecordObservation("s2", "g0/m0/c0", 7, 7)
+
+	snap := a.Snapshot()
+	if len(snap.Sessions) != 2 {
+		t.Fatalf("got %d sessions, want 2", len(snap.Sessions))
+	}
+	s1 := snap.Sessions[0]
+	if s1.SessionID != "s1" || s1.Decisions != 2 || s1.Observations != 2 || s1.Fallbacks != 1 {
+		t.Fatalf("s1 row wrong: %+v", s1)
+	}
+	if s1.PredictedEnergyMJ != 15 || s1.MeasuredEnergyMJ != 16 {
+		t.Fatalf("s1 energy = %v/%v, want 15/16", s1.PredictedEnergyMJ, s1.MeasuredEnergyMJ)
+	}
+	if len(snap.Configs) != 2 || snap.Configs[1].Config != "g3/m1/c2" || snap.Configs[1].PredictedEnergyMJ != 15 {
+		t.Fatalf("config buckets wrong: %+v", snap.Configs)
+	}
+	if snap.Fallbacks["cold_start"] != 1 {
+		t.Fatalf("fallback tally wrong: %+v", snap.Fallbacks)
+	}
+	if snap.Horizons[4] != 1 || snap.Horizons[1] != 1 || snap.Horizons[8] != 1 {
+		t.Fatalf("horizon tally wrong: %+v", snap.Horizons)
+	}
+}
+
+func TestAccountingQueueWaitP99(t *testing.T) {
+	a := NewAccounting()
+	for i := 1; i <= 100; i++ {
+		a.RecordDecision("s", "", 1, float64(i))
+	}
+	snap := a.Snapshot()
+	p99 := snap.Sessions[0].QueueWaitP99MS
+	if p99 < 95 || p99 > 100 {
+		t.Fatalf("p99 = %v, want ~99", p99)
+	}
+}
+
+// TestAccountingSessionEviction checks the per-session map is bounded:
+// the oldest row is dropped, but its energy persists in config buckets.
+func TestAccountingSessionEviction(t *testing.T) {
+	a := NewAccounting()
+	for i := 0; i < maxSessionAccounts+10; i++ {
+		id := fmt.Sprintf("s%04d", i)
+		a.RecordObservation(id, "cfg", 1, 1)
+	}
+	snap := a.Snapshot()
+	if len(snap.Sessions) != maxSessionAccounts {
+		t.Fatalf("got %d sessions, want %d", len(snap.Sessions), maxSessionAccounts)
+	}
+	if snap.Sessions[0].SessionID != "s0010" {
+		t.Fatalf("oldest retained session = %s, want s0010", snap.Sessions[0].SessionID)
+	}
+	if snap.Configs[0].Observations != uint64(maxSessionAccounts+10) {
+		t.Fatalf("config bucket lost evicted sessions' energy: %+v", snap.Configs[0])
+	}
+}
+
+func TestAccountingNilSafe(t *testing.T) {
+	var a *Accounting
+	a.RecordDecision("s", "x", 1, 1)
+	a.RecordObservation("s", "c", 1, 1)
+	if snap := a.Snapshot(); snap.Sessions != nil {
+		t.Fatal("nil ledger returned sessions")
+	}
+}
+
+// TestAccountingConcurrent exercises the ledger from 4 goroutines for
+// the CI race job.
+func TestAccountingConcurrent(t *testing.T) {
+	a := NewAccounting()
+	const perG = 400
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			id := fmt.Sprintf("sess-%d", g)
+			for i := 0; i < perG; i++ {
+				a.RecordDecision(id, "", 4, 0.2)
+				a.RecordObservation(id, "cfg", 1, 1)
+				if i%100 == 0 {
+					a.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := a.Snapshot()
+	var total uint64
+	for _, s := range snap.Sessions {
+		total += s.Decisions
+	}
+	if total != 4*perG {
+		t.Fatalf("lost decisions: %d, want %d", total, 4*perG)
+	}
+}

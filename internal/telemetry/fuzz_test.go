@@ -1,0 +1,62 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzSpanJSONL feeds arbitrary byte streams through ReadSpansJSONL:
+// every input must either parse cleanly or return an error — never
+// panic — and a clean parse must survive a write/read round trip with
+// the record count preserved.
+func FuzzSpanJSONL(f *testing.F) {
+	// A genuine two-span dump.
+	tr := NewTracer(16, 1)
+	c := tr.NewContext("fuzz")
+	root := c.StartRoot(SpanDecide, 1)
+	c.Start(SpanSearch).End()
+	root.End()
+	var genuine bytes.Buffer
+	if err := WriteSpansJSONL(&genuine, tr.Snapshot(nil)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(genuine.Bytes())
+	f.Add([]byte(""))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte(`{"trace_id":1,"span_id":2,"name":"mpcdvfs_decide"}` + "\n"))
+	f.Add([]byte(`{"trace_id":1` + "\n")) // truncated JSON
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"name":"x","agg":true,"dur_ns":-5}` + "\n{}\n"))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte("{\"name\":\"\\u0000\"}\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := ReadSpansJSONL(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if werr := WriteSpansJSONL(&buf, recs); werr != nil {
+			t.Fatalf("re-encode of parsed records failed: %v", werr)
+		}
+		back, rerr := ReadSpansJSONL(&buf)
+		if rerr != nil {
+			t.Fatalf("round trip failed to re-parse: %v", rerr)
+		}
+		if len(back) != len(recs) {
+			t.Fatalf("round trip changed record count: %d -> %d", len(recs), len(back))
+		}
+		// Non-blank input lines either all parsed or errored above;
+		// blank-line skipping must not invent records.
+		nonBlank := 0
+		for _, l := range strings.Split(string(data), "\n") {
+			if len(l) > 0 {
+				nonBlank++
+			}
+		}
+		if len(recs) > nonBlank {
+			t.Fatalf("parsed %d records from %d non-blank lines", len(recs), nonBlank)
+		}
+	})
+}

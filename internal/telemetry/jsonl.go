@@ -1,0 +1,49 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteSpansJSONL streams recs as one JSON object per line — the same
+// tailable shape as the obs event stream, so `tail -f | jq` works on a
+// span dump too.
+func WriteSpansJSONL(w io.Writer, recs []SpanRecord) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range recs {
+		if err := enc.Encode(&recs[i]); err != nil {
+			return fmt.Errorf("telemetry: span %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSpansJSONL parses a span JSONL stream back into records. Blank
+// lines are skipped; any malformed line fails the whole read with its
+// line number, so a truncated dump is detected rather than silently
+// shortened.
+func ReadSpansJSONL(r io.Reader) ([]SpanRecord, error) {
+	var out []SpanRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var rec SpanRecord
+		if err := json.Unmarshal(b, &rec); err != nil {
+			return nil, fmt.Errorf("telemetry: span JSONL line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: span JSONL line %d: %w", line+1, err)
+	}
+	return out, nil
+}

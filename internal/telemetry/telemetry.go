@@ -1,0 +1,113 @@
+// Package telemetry is the deep-observability layer of the serving
+// stack: request-scoped span tracing over the decide path, a
+// model-quality scoreboard tracking prediction error per model
+// generation, and cumulative energy/decision accounting.
+//
+// Everything in this package is read-only with respect to the control
+// path: spans, scoreboard cells and accounting rows are derived from
+// decisions and observations but never feed back into them, so a traced
+// replay stays byte-identical to an untraced one (pinned by the golden
+// parity tests). This is also why telemetry is the one place on the
+// decision path allowed to read the wall clock — the mpclint
+// determinism check bans time.Now from internal/{core,rf,policy,
+// predict,sim}, and those packages only ever time anything through the
+// nil-safe Context API here.
+//
+// # The three surfaces
+//
+//   - Tracer/Context/Span (span.go): zero-alloc-when-disabled span
+//     tracing with 1-in-N root sampling, a bounded ring of finished
+//     spans, and JSONL export (jsonl.go). One Context per session,
+//     owned by that session's single goroutine.
+//   - Scoreboard (scoreboard.go): per-(generation, app) rolling windows
+//     of signed relative prediction error and MAPE for time and power,
+//     with drift detection against a training-time MAPE baseline.
+//   - Accounting (accounting.go): cumulative predicted-vs-measured
+//     energy per session and per configuration bucket, fallback and
+//     horizon tallies, queue-wait windows with per-session p99.
+//
+// A Hub bundles the three so the serve layer and the commands thread
+// one pointer instead of three.
+package telemetry
+
+import "mpcdvfs/internal/metrics"
+
+// Traceable is implemented by policies that carry a trace context into
+// their decision internals (search spans, predictor phase timing). The
+// engine and the serve layer thread their context into such policies
+// the same way obs.Instrumentable threads observers. A nil context
+// disables tracing for the policy.
+type Traceable interface {
+	SetTraceContext(*Context)
+}
+
+// Default sizing of a Hub.
+const (
+	DefaultRingSize    = 4096
+	DefaultWindow      = 64
+	DefaultDriftFactor = 2.0
+)
+
+// Options sizes a Hub.
+type Options struct {
+	// RingSize bounds the finished-span ring (<= 0 uses
+	// DefaultRingSize).
+	RingSize int
+	// Sample enables tracing of one in every Sample decide requests
+	// per tracer (1 = every request). 0 disables tracing entirely: no
+	// trace is ever sampled and the per-decision cost is one atomic
+	// load plus a branch.
+	Sample int
+	// Window is the scoreboard's rolling error window per
+	// (generation, app) cell (<= 0 uses DefaultWindow).
+	Window int
+	// DriftFactor flags a cell as drifted when its rolling MAPE
+	// exceeds DriftFactor × the generation's baseline MAPE
+	// (<= 0 uses DefaultDriftFactor).
+	DriftFactor float64
+	// BaselineTimeMAPE/BaselinePowerMAPE, when positive, are the
+	// fallback training-time MAPE fractions used for drift detection
+	// on generations with no explicit Scoreboard.SetBaseline call.
+	BaselineTimeMAPE  float64
+	BaselinePowerMAPE float64
+}
+
+// Hub bundles the telemetry surfaces one serving process uses.
+type Hub struct {
+	Tracer     *Tracer
+	Scoreboard *Scoreboard
+	Accounting *Accounting
+}
+
+// NewHub builds a Hub from o, applying defaults.
+func NewHub(o Options) *Hub {
+	if o.RingSize <= 0 {
+		o.RingSize = DefaultRingSize
+	}
+	if o.Window <= 0 {
+		o.Window = DefaultWindow
+	}
+	if o.DriftFactor <= 0 {
+		o.DriftFactor = DefaultDriftFactor
+	}
+	sb := NewScoreboard(o.Window, o.DriftFactor)
+	if o.BaselineTimeMAPE > 0 || o.BaselinePowerMAPE > 0 {
+		sb.SetDefaultBaseline(o.BaselineTimeMAPE, o.BaselinePowerMAPE)
+	}
+	return &Hub{
+		Tracer:     NewTracer(o.RingSize, o.Sample),
+		Scoreboard: sb,
+		Accounting: NewAccounting(),
+	}
+}
+
+// Instrument mirrors all three surfaces into reg. Call once, before
+// traffic.
+func (h *Hub) Instrument(reg *metrics.Registry) {
+	if h == nil {
+		return
+	}
+	h.Tracer.Instrument(reg)
+	h.Scoreboard.Instrument(reg)
+	h.Accounting.Instrument(reg)
+}
