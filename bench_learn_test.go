@@ -1,0 +1,110 @@
+// Continuous-training benchmarks (the BENCH_learn.json inputs). The
+// costs that matter live on two different planes: Reservoir.Add sits on
+// the served observe path (must stay allocation-free so the tap never
+// perturbs decision latency), while holdout evaluation and a full
+// training round run on the trainer's own goroutine where throughput,
+// not latency, is the budget.
+//
+//	go test -run '^$' -bench BenchmarkLearn -benchmem
+package mpcdvfs_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mpcdvfs/internal/hw"
+	"mpcdvfs/internal/kernel"
+	"mpcdvfs/internal/learn"
+	"mpcdvfs/internal/predict"
+)
+
+// benchSamples synthesizes served-traffic training samples the same way
+// internal/predict's tests do: random kernels measured by the oracle at
+// random points of the default configuration space.
+func benchSamples(b *testing.B, nKernels, perKernel int, seed int64) []predict.Sample {
+	b.Helper()
+	o := predict.NewOracle()
+	rng := rand.New(rand.NewSource(seed))
+	space := hw.DefaultSpace()
+	out := make([]predict.Sample, 0, nKernels*perKernel)
+	for i := 0; i < nKernels; i++ {
+		k := kernel.Random(fmt.Sprintf("bench-%d", i), rng)
+		o.Register(k)
+		cs := k.Counters()
+		for j := 0; j < perKernel; j++ {
+			c := space.At(rng.Intn(space.Size()))
+			e := o.PredictKernel(cs, c)
+			out = append(out, predict.Sample{Counters: cs, Config: c, TimeMS: e.TimeMS, GPUPowerW: e.GPUPowerW})
+		}
+	}
+	return out
+}
+
+// BenchmarkLearnReservoirAdd prices the observe-path tap at steady
+// state: the reservoir is full, so every Add is one RNG draw and maybe
+// one slot overwrite. This is the only learning cost serving ever pays,
+// and it must stay zero-alloc (pinned by TestReservoirAddZeroAlloc).
+func BenchmarkLearnReservoirAdd(b *testing.B) {
+	samples := benchSamples(b, 64, 8, 1)
+	res := learn.NewReservoir(256, 1)
+	for _, s := range samples {
+		res.Add(s)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res.Add(samples[i%len(samples)])
+	}
+}
+
+// BenchmarkLearnHoldoutEval prices the promotion gate: scoring a
+// trained candidate on a 128-sample holdout (featurize + compiled
+// forest inference + MAPE accumulation per sample).
+func BenchmarkLearnHoldoutEval(b *testing.B) {
+	train := benchSamples(b, 64, 6, 2)
+	holdout := benchSamples(b, 32, 4, 3)
+	model, err := predict.TrainOnSamples(train, predict.OnlineForestConfig(2), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm, pm, n := predict.EvaluateOnSamples(model, holdout)
+		if n == 0 || tm < 0 || pm < 0 {
+			b.Fatal("evaluation produced no results")
+		}
+	}
+}
+
+// BenchmarkLearnTrainRound is the full retraining round the trainer's
+// goroutine runs off the serving path: deterministic holdout split,
+// candidate forest training on ~384 samples, holdout evaluation, and
+// promotion through an install seam.
+func BenchmarkLearnTrainRound(b *testing.B) {
+	samples := benchSamples(b, 64, 8, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		// A fresh trainer per iteration keeps every round identical
+		// (round index feeds the split and forest seeds).
+		tr := learn.New(learn.Config{
+			Seed:       5,
+			Forest:     predict.OnlineForestConfig(5),
+			MinSamples: 64,
+			Gate:       learn.Gate{MaxTimeMAPE: 0.5, MaxPowerMAPE: 0.5},
+		})
+		tr.Bind(func(predict.Model, string) uint64 { return 2 }, nil)
+		for _, s := range samples {
+			tr.Add(s)
+		}
+		b.StartTimer()
+		promoted, err := tr.TrainOnce()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !promoted {
+			b.Fatalf("candidate rejected: %+v", tr.Status())
+		}
+	}
+}

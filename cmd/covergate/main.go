@@ -1,0 +1,184 @@
+// Command covergate enforces the per-package test-coverage floors
+// committed in COVERAGE.md against a Go coverprofile. It exists so the
+// learning loop's safety wall cannot silently thin out: a change that
+// drops internal/learn or internal/serve below their committed floors
+// fails CI the same way a broken test would.
+//
+// The profile is whatever `go test -coverprofile` wrote (any mode;
+// count and atomic degrade to covered/not-covered). The baseline is
+// parsed from COVERAGE.md's markdown table — the committed document is
+// the single source of truth, so raising or lowering a floor is a
+// reviewed diff, not a CI-config tweak.
+//
+// Usage:
+//
+//	go test -coverprofile=cover.out ./internal/...
+//	go run ./cmd/covergate -profile cover.out -baseline COVERAGE.md
+//
+// Exit codes: 0 all floors hold, 1 a floor is broken (or a baselined
+// package is missing from the profile), 2 bad invocation or input.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	profile := flag.String("profile", "cover.out", "coverprofile written by go test -coverprofile")
+	baseline := flag.String("baseline", "COVERAGE.md", "markdown file with the committed per-package floor table")
+	flag.Parse()
+
+	floors, err := readFloors(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "covergate:", err)
+		os.Exit(2)
+	}
+	cov, err := readProfile(*profile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "covergate:", err)
+		os.Exit(2)
+	}
+
+	pkgs := make([]string, 0, len(floors))
+	for pkg := range floors {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+
+	broken := 0
+	for _, pkg := range pkgs {
+		floor := floors[pkg]
+		c, ok := cov[pkg]
+		if !ok {
+			fmt.Printf("FAIL %-32s floor %5.1f%%  (package missing from profile)\n", pkg, floor)
+			broken++
+			continue
+		}
+		got := c.percent()
+		verdict := "ok  "
+		if got < floor {
+			verdict = "FAIL"
+			broken++
+		}
+		fmt.Printf("%s %-32s floor %5.1f%%  actual %5.1f%%  (%d/%d statements)\n",
+			verdict, pkg, floor, got, c.covered, c.total)
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "covergate: %d package(s) under their committed coverage floor\n", broken)
+		os.Exit(1)
+	}
+}
+
+// pkgCov accumulates one package's statement counts.
+type pkgCov struct {
+	covered, total int
+}
+
+func (c pkgCov) percent() float64 {
+	if c.total == 0 {
+		return 0
+	}
+	return 100 * float64(c.covered) / float64(c.total)
+}
+
+// floorRow matches one baseline table row:
+// | mpcdvfs/internal/learn | 84.0 | ... |
+var floorRow = regexp.MustCompile(`^\|\s*` + "`?" + `([a-zA-Z0-9_./-]+)` + "`?" + `\s*\|\s*([0-9]+(?:\.[0-9]+)?)\s*\|`)
+
+// readFloors extracts the package → floor table from the baseline
+// markdown. Rows whose first cell is not an import path (headers,
+// separators) are skipped; an empty result is an error, because a gate
+// with nothing to gate is a misconfiguration, not a pass.
+func readFloors(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer closeQuiet(f)
+	floors := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := floorRow.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil || !strings.Contains(m[1], "/") {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad floor %q for %s", path, m[2], m[1])
+		}
+		floors[m[1]] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(floors) == 0 {
+		return nil, fmt.Errorf("%s: no floor rows found (want | import/path | percent | rows)", path)
+	}
+	return floors, nil
+}
+
+// readProfile aggregates a coverprofile into per-package statement
+// coverage. Profile lines are file.go:L.C,L.C numStmts hitCount; the
+// package is the file's directory within the module.
+func readProfile(profPath string) (map[string]pkgCov, error) {
+	f, err := os.Open(profPath)
+	if err != nil {
+		return nil, err
+	}
+	defer closeQuiet(f)
+	cov := map[string]pkgCov{}
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "mode:") {
+			continue
+		}
+		// file:range numStmts hitCount — split from the right so file
+		// names with colons in the range part cannot confuse parsing.
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%s:%d: malformed profile line %q", profPath, lineNo, line)
+		}
+		colon := strings.LastIndex(fields[0], ":")
+		if colon <= 0 {
+			return nil, fmt.Errorf("%s:%d: malformed location %q", profPath, lineNo, fields[0])
+		}
+		stmts, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad statement count %q", profPath, lineNo, fields[1])
+		}
+		hits, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad hit count %q", profPath, lineNo, fields[2])
+		}
+		pkg := path.Dir(fields[0][:colon])
+		c := cov[pkg]
+		c.total += stmts
+		if hits > 0 {
+			c.covered += stmts
+		}
+		cov[pkg] = c
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return cov, nil
+}
+
+// closeQuiet closes read-only files, where a close error carries no
+// information the read has not already surfaced.
+func closeQuiet(f *os.File) {
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "covergate: close:", err)
+	}
+}

@@ -19,6 +19,9 @@
 //	loadgen -levels 2 -replays 1         # quick smoke
 //	loadgen -addr http://localhost:9090  # against a live mpcserve
 //	loadgen -out BENCH_serve.json        # write the report
+//	loadgen -drift                       # degrade the model after the
+//	                                     # first level and report the
+//	                                     # learning loop's recovery
 package main
 
 import (
@@ -38,6 +41,7 @@ import (
 
 	"mpcdvfs"
 	"mpcdvfs/internal/cli"
+	"mpcdvfs/internal/learn"
 	"mpcdvfs/internal/par"
 	"mpcdvfs/internal/predict"
 	"mpcdvfs/internal/serve"
@@ -64,6 +68,7 @@ type levelReport struct {
 	P99MS         float64              `json:"p99_ms"`
 	P999MS        float64              `json:"p999_ms"`
 	Retries429    int                  `json:"retries_429"`
+	SnapshotGen   uint64               `json:"snapshot_gen,omitempty"` // -drift only: generation serving new sessions at level end
 	Phases        map[string]phaseStat `json:"phase_breakdown,omitempty"`
 }
 
@@ -74,8 +79,10 @@ type report struct {
 	GOMAXPROCS int           `json:"gomaxprocs"`
 	NumCPU     int           `json:"num_cpu"`
 	SelfHosted bool          `json:"self_hosted"`
+	DriftMode  bool          `json:"drift_mode,omitempty"`
 	Note       string        `json:"note"`
 	Levels     []levelReport `json:"levels"`
+	Learn      *learn.Status `json:"learn,omitempty"` // -drift only: trainer state after the sweep
 }
 
 func main() {
@@ -88,6 +95,8 @@ func main() {
 	cacheSize := flag.Int("predict-cache", 0, "self-host per-session LRU prediction cache capacity (0 = off)")
 	queueDepth := flag.Int("queue-depth", serve.DefaultQueueDepth, "self-host per-session queue depth")
 	traceSample := flag.Int("trace-sample", 0, "trace 1 in N decisions as spans and report per-phase latency breakdowns from /debug/trace (0 = off; tracing never changes decisions)")
+	drift := flag.Bool("drift", false, "self-host only: swap in an error-injected model after the first level, run the continuous trainer, and report the learning loop's recovery")
+	driftErr := flag.Float64("drift-error", 0.8, "mean absolute relative error injected into the degraded model under -drift")
 	out := flag.String("out", "", "write the JSON report to this file (default: stdout summary only)")
 	logLevel := flag.String("log-level", "warn", "log level: debug | info | warn | error")
 	flag.Parse()
@@ -96,13 +105,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	if err := run(*addr, *appName, *levelsFlag, *replays, *polName, *seed, *cacheSize, *queueDepth, *traceSample, *out); err != nil {
+	if err := run(*addr, *appName, *levelsFlag, *replays, *polName, *seed, *cacheSize, *queueDepth, *traceSample, *drift, *driftErr, *out); err != nil {
 		slog.Error("loadgen failed", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, appName, levelsFlag string, replays int, polName string, seed int64, cacheSize, queueDepth, traceSample int, out string) error {
+func run(addr, appName, levelsFlag string, replays int, polName string, seed int64, cacheSize, queueDepth, traceSample int, drift bool, driftErr float64, out string) error {
 	levels, err := parseLevels(levelsFlag)
 	if err != nil {
 		return err
@@ -123,16 +132,23 @@ func run(addr, appName, levelsFlag string, replays int, polName string, seed int
 
 	base := addr
 	selfHosted := addr == ""
+	if drift && !selfHosted {
+		return fmt.Errorf("-drift needs the self-hosted server (it degrades the in-process model)")
+	}
+	var h *hosted
 	if selfHosted {
-		ts, decider, err := selfHost(sys, polName, seed, cacheSize, queueDepth, traceSample)
+		h, err = selfHost(sys, polName, seed, cacheSize, queueDepth, traceSample, drift)
 		if err != nil {
 			return err
 		}
 		defer func() {
-			decider.Shutdown()
-			ts.Close()
+			if h.trainer != nil {
+				h.trainer.Stop()
+			}
+			h.decider.Shutdown()
+			h.ts.Close()
 		}()
-		base = ts.URL
+		base = h.ts.URL
 		fmt.Printf("self-hosted decision server at %s (policy %s)\n", base, polName)
 	}
 
@@ -142,13 +158,14 @@ func run(addr, appName, levelsFlag string, replays int, polName string, seed int
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		SelfHosted: selfHosted,
+		DriftMode:  drift,
 		Note: "closed-loop: one in-flight decision per session; latencies include 429 retry waits. " +
 			"Throughput scaling with session count requires spare cores — on a single-CPU host the " +
 			"sessions time-share one core and aggregate throughput stays flat by construction.",
 	}
 
 	var lastSpanID uint64
-	for _, n := range levels {
+	for li, n := range levels {
 		lr, err := runLevel(sys, &app, target, base, n, replays)
 		if err != nil {
 			return err
@@ -161,10 +178,32 @@ func run(addr, appName, levelsFlag string, replays int, polName string, seed int
 				lr.Phases, lastSpanID = phases, maxID
 			}
 		}
+		if drift {
+			lr.SnapshotGen = h.decider.CurrentSnapshot().Gen
+		}
 		rep.Levels = append(rep.Levels, lr)
 		fmt.Printf("sessions=%d decisions=%d wall=%.2fs throughput=%.1f dec/s p50=%.3fms p99=%.3fms p999=%.3fms\n",
 			lr.Sessions, lr.Decisions, lr.WallS, lr.ThroughputDPS, lr.P50MS, lr.P99MS, lr.P999MS)
 		printPhases(lr.Phases)
+		if drift && li == 0 {
+			injectDrift(h, app.Name, seed, driftErr)
+		}
+	}
+
+	if drift {
+		// Every post-injection level replayed against the degraded
+		// generation; make sure at least one training round ran on what
+		// the sweep observed before reporting.
+		if h.trainer.Status().Rounds == 0 {
+			if _, err := h.trainer.TrainOnce(); err != nil {
+				slog.Warn("final training round failed", "err", err)
+			}
+		}
+		st := h.trainer.Status()
+		rep.Learn = &st
+		fmt.Printf("learn: drift_signals=%d rounds=%d promoted=%d rejected=%d last=%s holdout_time_mape=%.4f gen=%d\n",
+			st.DriftSignals, st.Rounds, st.Promoted, st.Rejected, st.LastOutcome,
+			st.LastTimeMAPE, h.decider.CurrentSnapshot().Gen)
 	}
 
 	if out != "" {
@@ -230,19 +269,48 @@ func runLevel(sys *mpcdvfs.System, app *mpcdvfs.App, target mpcdvfs.Target, base
 	return lr, nil
 }
 
+// hosted is the self-hosted server bundle: the HTTP front, the decision
+// server, the model it was built around, and — under -drift — the hub
+// and trainer closing the learning loop.
+type hosted struct {
+	ts      *httptest.Server
+	decider *serve.Server
+	model   predict.Model
+	hub     *telemetry.Hub
+	trainer *learn.Trainer
+}
+
 // selfHost builds an in-process decision server over httptest, with the
-// same per-session policy stack mpcserve serves.
-func selfHost(sys *mpcdvfs.System, polName string, seed int64, cacheSize, queueDepth, traceSample int) (*httptest.Server, *serve.Server, error) {
+// same per-session policy stack mpcserve serves. Under drift it also
+// wires the continuous trainer the way mpcserve -learn does, so the
+// sweep exercises the full observe → reservoir → retrain → promote loop.
+func selfHost(sys *mpcdvfs.System, polName string, seed int64, cacheSize, queueDepth, traceSample int, drift bool) (*hosted, error) {
 	slog.Info("training Random Forest predictor for the self-hosted server", "seed", seed)
 	model, err := mpcdvfs.TrainRandomForest(mpcdvfs.DefaultTrainOptions(seed))
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	var hub *telemetry.Hub
 	if traceSample > 0 {
 		// A deep ring so a whole concurrency level's spans survive until
 		// the post-level /debug/trace fetch.
 		hub = telemetry.NewHub(telemetry.Options{Sample: traceSample, RingSize: 1 << 16})
+	} else if drift {
+		// Drift detection needs the scoreboard even with tracing off.
+		hub = telemetry.NewHub(telemetry.Options{Sample: 0})
+	}
+	var trainer *learn.Trainer
+	if drift {
+		trainer = learn.New(learn.Config{
+			Seed:        seed,
+			Forest:      predict.OnlineForestConfig(seed),
+			HoldoutFrac: 0.25,
+			Gate:        learn.Gate{MaxTimeMAPE: 0.25, MaxPowerMAPE: 0.25},
+			// Promotion baselines come from holdout MAPE, which understates
+			// live error on optimizer-chosen configs; slack keeps a freshly
+			// promoted generation from flapping straight back to drifted.
+			BaselineSlack: 3,
+		})
 	}
 	decider, err := serve.New(serve.Config{
 		Model: model,
@@ -259,9 +327,14 @@ func selfHost(sys *mpcdvfs.System, polName string, seed int64, cacheSize, queueD
 		},
 		QueueDepth: queueDepth,
 		Telemetry:  hub,
+		Learn:      trainer,
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, err
+	}
+	if trainer != nil {
+		// A long period: rounds during the sweep are drift-triggered.
+		trainer.Start(time.Hour)
 	}
 	mux := http.NewServeMux()
 	h := decider.Handler()
@@ -271,7 +344,30 @@ func selfHost(sys *mpcdvfs.System, polName string, seed int64, cacheSize, queueD
 		mux.Handle("/debug/models", h)
 		mux.Handle("/debug/trace", h)
 	}
-	return httptest.NewServer(mux), decider, nil
+	if trainer != nil {
+		mux.Handle("/debug/learn", h)
+	}
+	return &hosted{
+		ts:      httptest.NewServer(mux),
+		decider: decider,
+		model:   model,
+		hub:     hub,
+		trainer: trainer,
+	}, nil
+}
+
+// injectDrift anchors the scoreboard baseline at the healthy first
+// level's error and installs an error-injected model generation, so the
+// remaining levels replay against a predictor the drift gate must flag.
+func injectDrift(h *hosted, appName string, seed int64, driftErr float64) {
+	for _, c := range h.hub.Scoreboard.Snapshot() {
+		if c.App == appName {
+			h.hub.Scoreboard.SetDefaultBaseline(c.TimeMAPE+0.01, c.PowerMAPE+0.01)
+			break
+		}
+	}
+	gen := h.decider.Install(predict.NewWithError(h.model, driftErr, driftErr, seed), "drift-injected")
+	fmt.Printf("drift injected: generation %d serves with ±%.0f%% model error\n", gen, driftErr*100)
 }
 
 // phaseBreakdown fetches the server's span ring and aggregates spans

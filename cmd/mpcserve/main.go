@@ -13,6 +13,8 @@
 //	/debug/mpc          serving introspection: sessions, scoreboard,
 //	                    energy ledger, recent spans (JSON; ?format=html)
 //	/debug/models       per-generation model-quality scoreboard
+//	/debug/learn        continuous-trainer status (-learn; ?format=samples
+//	                    dumps the reservoir as JSONL)
 //	/debug/trace        span ring as JSONL (decision-path phase timings)
 //	/v1/session         open a decision session (POST)
 //	/v1/decide          decide one kernel invocation (POST)
@@ -48,6 +50,7 @@ import (
 
 	"mpcdvfs"
 	"mpcdvfs/internal/cli"
+	"mpcdvfs/internal/learn"
 	"mpcdvfs/internal/metrics"
 	"mpcdvfs/internal/obs"
 	"mpcdvfs/internal/par"
@@ -72,6 +75,13 @@ type options struct {
 	queueDepth   int
 	traceSample  int
 	traceRing    int
+
+	learn          bool
+	learnInterval  time.Duration
+	learnHoldout   float64
+	learnMaxMAPE   float64
+	learnReservoir int
+	learnMinObs    int
 }
 
 func main() {
@@ -91,6 +101,12 @@ func main() {
 	flag.IntVar(&o.queueDepth, "queue-depth", serve.DefaultQueueDepth, "per-session decision queue depth (full queues answer 429)")
 	flag.IntVar(&o.traceSample, "trace-sample", 0, "trace 1 in N decisions as spans on /debug/trace (0 = off, 1 = every decision; tracing never changes decisions)")
 	flag.IntVar(&o.traceRing, "trace-ring", 0, "span ring capacity (0 = default)")
+	flag.BoolVar(&o.learn, "learn", false, "continuously retrain from /v1/observe traffic and promote candidates that pass the holdout gate (needs the decision API)")
+	flag.DurationVar(&o.learnInterval, "learn-interval", time.Minute, "periodic retraining cadence; scoreboard drift triggers a round early")
+	flag.Float64Var(&o.learnHoldout, "learn-holdout", 0.25, "fraction of the reservoir held out for candidate validation")
+	flag.Float64Var(&o.learnMaxMAPE, "learn-promote-max-mape", 0.25, "holdout time/power MAPE a candidate must stay under to be promoted")
+	flag.IntVar(&o.learnReservoir, "learn-reservoir", 4096, "training reservoir capacity (uniform sample over all observed kernels)")
+	flag.IntVar(&o.learnMinObs, "learn-min-samples", 64, "fewest reservoir samples before a training round runs")
 	logLevel := flag.String("log-level", "info", "log level: debug | info | warn | error")
 	flag.Parse()
 
@@ -192,8 +208,12 @@ func run(o options) error {
 	// next to the observability surface when one exists.
 	mux := cli.NewObsMux(reg)
 	var decider *serve.Server
+	var trainer *learn.Trainer
 	if sharedModel != nil {
-		decider, err = newDecider(o, sys, sharedModel, reg, hub)
+		if o.learn {
+			trainer = newTrainer(o)
+		}
+		decider, err = newDecider(o, sys, sharedModel, reg, hub, trainer)
 		if err != nil {
 			return err
 		}
@@ -203,9 +223,19 @@ func run(o options) error {
 		mux.Handle("/debug/mpc", h)
 		mux.Handle("/debug/models", h)
 		mux.Handle("/debug/trace", h)
+		if trainer != nil {
+			mux.Handle("/debug/learn", h)
+			trainer.Start(o.learnInterval)
+			slog.Info("continuous trainer enabled", "interval", o.learnInterval,
+				"holdout", o.learnHoldout, "promote_max_mape", o.learnMaxMAPE,
+				"reservoir", o.learnReservoir)
+		}
 		slog.Info("decision API enabled", "policy", o.policy,
 			"queue_depth", o.queueDepth, "trace_sample", o.traceSample)
 	} else {
+		if o.learn {
+			slog.Warn("-learn ignored: continuous training needs the decision API's observe stream")
+		}
 		slog.Info("decision API disabled (no shared predictor under -oracle/turbo-core)")
 		if o.traceSample > 0 {
 			// The replay loop still records spans; without a decision
@@ -229,6 +259,9 @@ func run(o options) error {
 	}
 
 	slog.Info("shutting down")
+	if trainer != nil {
+		trainer.Stop() // quiesce retraining before sessions drain
+	}
 	if decider != nil {
 		decider.Shutdown() // drain decision sessions before dropping the listener
 	}
@@ -241,7 +274,26 @@ func run(o options) error {
 // model: per-session policies use the exact stack the replay loop uses,
 // which is what keeps served decision streams byte-identical to local
 // replays.
-func newDecider(o options, sys *mpcdvfs.System, sharedModel mpcdvfs.Model, reg *mpcdvfs.MetricsRegistry, hub *mpcdvfs.TelemetryHub) (*serve.Server, error) {
+// newTrainer shapes the continuous trainer from the -learn* flags. The
+// forest matches cmd/train's online configuration; the promotion gate
+// applies -learn-promote-max-mape to both targets.
+func newTrainer(o options) *learn.Trainer {
+	fcfg := predict.OnlineForestConfig(o.seed)
+	return learn.New(learn.Config{
+		Seed:         o.seed,
+		Forest:       fcfg,
+		ReservoirCap: o.learnReservoir,
+		MinSamples:   o.learnMinObs,
+		HoldoutFrac:  o.learnHoldout,
+		Gate: learn.Gate{
+			MaxTimeMAPE:  o.learnMaxMAPE,
+			MaxPowerMAPE: o.learnMaxMAPE,
+		},
+		ExtendTrees: fcfg.NumTrees / 2,
+	})
+}
+
+func newDecider(o options, sys *mpcdvfs.System, sharedModel mpcdvfs.Model, reg *mpcdvfs.MetricsRegistry, hub *mpcdvfs.TelemetryHub, trainer *learn.Trainer) (*serve.Server, error) {
 	newPolicy := func(m predict.Model) sim.Policy {
 		switch o.policy {
 		case "ppk":
@@ -271,6 +323,7 @@ func newDecider(o options, sys *mpcdvfs.System, sharedModel mpcdvfs.Model, reg *
 		},
 		QueueDepth: o.queueDepth,
 		Telemetry:  hub,
+		Learn:      trainer,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,92 @@
+// Package learn closes the adaptive-MPC learning loop: it accumulates
+// served ground truth — the (counters, config, measured time, measured
+// power) tuples that /v1/observe reports — into a bounded deterministic
+// reservoir, retrains candidate forests when the drift scoreboard fires
+// or a period elapses, validates each candidate against a held-out
+// split, and promotes only gated candidates through the serving stack's
+// atomic snapshot mechanism. Sessions pinned to older generations are
+// never touched: promotion is publication of a new generation, exactly
+// like an operator /reload.
+//
+// # Determinism rules
+//
+// The package has no hidden randomness. The reservoir is Algorithm R
+// driven by a private rand.Rand seeded at construction: its contents
+// are a pure function of the seed and the Add call sequence. The
+// holdout split of round r is rng.Perm seeded with Seed+r. Candidate
+// forests inherit rf's documented seeding scheme (round-derived seed,
+// power forest at +1), so a round's candidate is reproducible from
+// (seed, round, reservoir contents) alone. What the package does NOT
+// promise is cross-run reproducibility of a live deployment — the Add
+// sequence there is real traffic — but every test and every replay of
+// a recorded reservoir snapshot is bit-stable.
+package learn
+
+import (
+	"math/rand"
+
+	"mpcdvfs/internal/predict"
+)
+
+// Reservoir is a bounded uniform sample of an unbounded observation
+// stream (Vitter's Algorithm R): after N observations, each of the N
+// has probability cap/N of being present. Uniformity over the whole
+// stream is what the trainer wants — a plain ring buffer would forget
+// everything but the most recent window and re-learn only the tail of
+// the workload.
+//
+// Not safe for concurrent use; the Trainer serializes access.
+type Reservoir struct {
+	rng     *rand.Rand
+	samples []predict.Sample
+	max     int
+	seen    uint64
+}
+
+// NewReservoir returns an empty reservoir holding at most capacity
+// samples, with replacement decisions drawn from a private generator
+// seeded with seed. Panics if capacity < 1 — a learner with no memory
+// is a configuration bug, not a runtime condition.
+func NewReservoir(capacity int, seed int64) *Reservoir {
+	if capacity < 1 {
+		panic("learn: reservoir capacity must be at least 1")
+	}
+	return &Reservoir{
+		rng:     rand.New(rand.NewSource(seed)),
+		samples: make([]predict.Sample, 0, capacity),
+		max:     capacity,
+	}
+}
+
+// Add offers one observation. It returns true if the sample is now in
+// the reservoir (appended while filling, or replacing a prior sample
+// once full), false if the stream position was passed over. Steady
+// state is allocation-free: once full, Add only overwrites in place.
+func (r *Reservoir) Add(s predict.Sample) bool {
+	r.seen++
+	if len(r.samples) < r.max {
+		r.samples = append(r.samples, s)
+		return true
+	}
+	if j := r.rng.Int63n(int64(r.seen)); j < int64(r.max) {
+		r.samples[j] = s
+		return true
+	}
+	return false
+}
+
+// Len returns the number of samples currently held.
+func (r *Reservoir) Len() int { return len(r.samples) }
+
+// Seen returns the total number of observations offered via Add.
+func (r *Reservoir) Seen() uint64 { return r.seen }
+
+// Snapshot returns a copy of the current contents, in reservoir slot
+// order. The copy is independent: later Adds do not disturb it, so a
+// training round can work from a stable sample set while observation
+// continues.
+func (r *Reservoir) Snapshot() []predict.Sample {
+	out := make([]predict.Sample, len(r.samples))
+	copy(out, r.samples)
+	return out
+}

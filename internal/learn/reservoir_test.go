@@ -1,0 +1,123 @@
+package learn
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mpcdvfs/internal/hw"
+	"mpcdvfs/internal/kernel"
+	"mpcdvfs/internal/predict"
+)
+
+// streamSamples synthesizes a served observation stream: random kernels
+// measured by the oracle at random configurations.
+func streamSamples(n int, seed int64) []predict.Sample {
+	o := predict.NewOracle()
+	rng := rand.New(rand.NewSource(seed))
+	space := hw.DefaultSpace()
+	out := make([]predict.Sample, 0, n)
+	for i := 0; i < n; i++ {
+		k := kernel.Random(fmt.Sprintf("st-%d", i/4), rng)
+		o.Register(k)
+		cs := k.Counters()
+		c := space.At(rng.Intn(space.Size()))
+		e := o.PredictKernel(cs, c)
+		out = append(out, predict.Sample{Counters: cs, Config: c, TimeMS: e.TimeMS, GPUPowerW: e.GPUPowerW})
+	}
+	return out
+}
+
+// TestReservoirDeterministic: contents are a pure function of (seed,
+// Add sequence) — two reservoirs fed identically are identical, and a
+// different seed diverges once replacement starts.
+func TestReservoirDeterministic(t *testing.T) {
+	stream := streamSamples(500, 1)
+	a := NewReservoir(64, 42)
+	b := NewReservoir(64, 42)
+	c := NewReservoir(64, 43)
+	for _, s := range stream {
+		a.Add(s)
+		b.Add(s)
+		c.Add(s)
+	}
+	if !reflect.DeepEqual(a.Snapshot(), b.Snapshot()) {
+		t.Fatal("same seed, same stream: reservoirs differ")
+	}
+	if reflect.DeepEqual(a.Snapshot(), c.Snapshot()) {
+		t.Fatal("different seeds produced identical reservoirs over 500 adds — replacement is not seed-driven")
+	}
+}
+
+// TestReservoirBounds: filling is verbatim, capacity is a hard bound,
+// Seen counts the whole stream, and Snapshot is an independent copy.
+func TestReservoirBounds(t *testing.T) {
+	stream := streamSamples(200, 2)
+	r := NewReservoir(50, 7)
+	for i, s := range stream[:50] {
+		if !r.Add(s) {
+			t.Fatalf("add %d rejected while filling", i)
+		}
+	}
+	if !reflect.DeepEqual(r.Snapshot(), stream[:50]) {
+		t.Fatal("filling phase must keep the stream verbatim, in order")
+	}
+	for _, s := range stream[50:] {
+		r.Add(s)
+	}
+	if r.Len() != 50 {
+		t.Fatalf("Len = %d after overflow, want 50", r.Len())
+	}
+	if r.Seen() != 200 {
+		t.Fatalf("Seen = %d, want 200", r.Seen())
+	}
+	snap := r.Snapshot()
+	r.Add(stream[0])
+	r.Add(stream[1])
+	if len(snap) != 50 {
+		t.Fatal("snapshot length changed under later Adds")
+	}
+}
+
+// TestReservoirReplacementCoverage: over a long stream, late samples do
+// make it in (Algorithm R keeps admitting with probability cap/seen).
+func TestReservoirReplacementCoverage(t *testing.T) {
+	stream := streamSamples(64, 3)
+	r := NewReservoir(8, 11)
+	admittedLate := 0
+	for i := 0; i < 2000; i++ {
+		if r.Add(stream[i%len(stream)]) && i >= 1000 {
+			admittedLate++
+		}
+	}
+	if admittedLate == 0 {
+		t.Fatal("no sample from the second half of a 2000-add stream was admitted — replacement is broken")
+	}
+}
+
+// TestReservoirAddZeroAlloc pins the steady-state tap cost: once full,
+// Add never allocates (it runs on every /v1/observe).
+func TestReservoirAddZeroAlloc(t *testing.T) {
+	stream := streamSamples(32, 4)
+	r := NewReservoir(16, 5)
+	for _, s := range stream {
+		r.Add(s)
+	}
+	i := 0
+	if allocs := testing.AllocsPerRun(500, func() {
+		r.Add(stream[i%len(stream)])
+		i++
+	}); allocs != 0 {
+		t.Fatalf("steady-state Reservoir.Add allocates %v times per call, want 0", allocs)
+	}
+}
+
+func TestReservoirCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewReservoir(0, …) did not panic")
+		}
+	}()
+	NewReservoir(0, 1)
+}

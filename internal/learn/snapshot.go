@@ -1,0 +1,59 @@
+package learn
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mpcdvfs/internal/predict"
+)
+
+// WriteSnapshot encodes samples as JSON Lines — one compact JSON object
+// per sample, newline-terminated. JSONL keeps reservoir dumps greppable
+// and appendable, and each line is independently decodable, so a
+// truncated dump loses only its final line.
+func WriteSnapshot(w io.Writer, samples []predict.Sample) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range samples {
+		if err := enc.Encode(&samples[i]); err != nil {
+			return fmt.Errorf("learn: snapshot sample %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot decodes a JSONL reservoir snapshot. Blank lines are
+// skipped; any malformed line fails the whole read — a snapshot is a
+// training input, and silently dropping lines would make the restored
+// reservoir differ from the dumped one without anyone noticing.
+//
+// Round-trip contract (pinned by FuzzReservoirSnapshotRoundTrip): if
+// ReadSnapshot accepts a byte stream, then WriteSnapshot of the result
+// re-reads to exactly the same samples. JSON cannot carry NaN or ±Inf
+// and Go's float64 encoding is shortest-round-trip, so every accepted
+// value survives re-encoding bit for bit.
+func ReadSnapshot(r io.Reader) ([]predict.Sample, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []predict.Sample
+	line := 0
+	for sc.Scan() {
+		line++
+		b := bytes.TrimSpace(sc.Bytes())
+		if len(b) == 0 {
+			continue
+		}
+		var s predict.Sample
+		if err := json.Unmarshal(b, &s); err != nil {
+			return nil, fmt.Errorf("learn: snapshot line %d: %w", line, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("learn: snapshot read: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,94 @@
+package learn
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	samples := streamSamples(40, 9)
+	// Include awkward-but-JSON-representable values.
+	samples[0].TimeMS = 5e-324
+	samples[1].GPUPowerW = 1e308
+	samples[2].Counters[3] = -0.0
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, samples); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, samples) {
+		t.Fatal("snapshot round trip changed the samples")
+	}
+}
+
+func TestSnapshotEmptyAndBlankLines(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("empty snapshot wrote %d bytes", buf.Len())
+	}
+	got, err := ReadSnapshot(strings.NewReader("\n\n  \n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("blank-line snapshot decoded %d samples", len(got))
+	}
+}
+
+func TestSnapshotRejectsMalformed(t *testing.T) {
+	for _, in := range []string{
+		"{",
+		"{\"time_ms\": \"fast\"}",
+		"{\"time_ms\": 1e999}",
+		"{\"config\": {\"CPU\": 300}}",
+		"[1,2,3]\ntrailing",
+	} {
+		if _, err := ReadSnapshot(strings.NewReader(in)); err == nil {
+			t.Fatalf("ReadSnapshot accepted malformed input %q", in)
+		}
+	}
+}
+
+// FuzzReservoirSnapshotRoundTrip pins the snapshot codec contract: any
+// byte stream ReadSnapshot accepts must survive re-encode → re-decode
+// exactly (JSON cannot carry NaN/±Inf, and Go's float64 encoding is
+// shortest-round-trip, so acceptance implies stability).
+func FuzzReservoirSnapshotRoundTrip(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, streamSamples(3, 21)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(""))
+	f.Add([]byte("{}\n"))
+	f.Add([]byte("{\"time_ms\":1.5,\"gpu_power_w\":-0}\n\n{\"counters\":[5e-324,1e308,-0,0,1,2,3,4]}\n"))
+	f.Add([]byte("{\"config\":{\"CPU\":3,\"NB\":1,\"GPU\":4,\"CUs\":8}}"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		first, err := ReadSnapshot(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteSnapshot(&out, first); err != nil {
+			t.Fatalf("accepted snapshot failed to re-encode: %v", err)
+		}
+		second, err := ReadSnapshot(&out)
+		if err != nil {
+			t.Fatalf("re-encoded snapshot failed to decode: %v", err)
+		}
+		if len(first) == 0 && len(second) == 0 {
+			return
+		}
+		if !reflect.DeepEqual(second, first) {
+			t.Fatalf("round trip diverged:\nfirst:  %#v\nsecond: %#v", first, second)
+		}
+	})
+}

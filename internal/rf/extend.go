@@ -1,0 +1,146 @@
+package rf
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mpcdvfs/internal/par"
+)
+
+// Extend grows `extra` additional trees onto a forest previously
+// produced by Train(X, y, cfg) — the tree-level incremental training
+// that bagging makes natural: each new tree is grown on a fresh
+// bootstrap resample of the same data, and the ensemble mean simply
+// averages over more trees.
+//
+// The returned forest is a new value; f is never mutated (its tree
+// slices are shared, but trees are immutable after training), so a
+// model snapshot holding f stays byte-stable under concurrent
+// extension.
+//
+// # Equality contract
+//
+// Extension replays the master RNG of the documented seeding scheme
+// (see the package comment): the bootstrap draws and builder seeds of
+// trees 0..n-1 are re-derived and discarded, so trees n..n+extra-1
+// receive exactly the randomness a from-scratch Train with
+// NumTrees = n+extra would have handed them. Consequently, when f was
+// trained as Train(X, y, cfg):
+//
+//   - the first n trees of the result are f's trees, untouched — their
+//     per-tree predictions are bit-identical by construction;
+//   - Extend(f, X, y, cfg, k) is deep-equal to
+//     Train(X, y, cfg′) with cfg′.NumTrees = n+k, including the
+//     out-of-bag MAE, which is re-accumulated serially over all n+k
+//     trees in tree order exactly as Train's phase 3 does;
+//   - extension chains: Extend(Extend(f, …, j), …, k) equals
+//     Train with n+j+k trees.
+//
+// cfg must be the configuration f was trained with (NumTrees equal to
+// f.NumTrees() and the same Seed/hyperparameters); (X, y) must be the
+// training set. Extend validates what it can see — tree count, data
+// shape — and documents the rest: handing it different data or a
+// different seed still returns a well-formed forest, but the equality
+// contract above no longer holds.
+func Extend(f *Forest, X [][]float64, y []float64, cfg Config, extra int) (*Forest, error) {
+	if f == nil {
+		return nil, fmt.Errorf("rf: Extend on a nil forest")
+	}
+	if extra <= 0 {
+		return nil, fmt.Errorf("rf: Extend by %d trees, must be positive", extra)
+	}
+	if cfg.NumTrees != len(f.trees) {
+		return nil, fmt.Errorf("rf: Extend config has NumTrees = %d, forest has %d", cfg.NumTrees, len(f.trees))
+	}
+	if len(X) != len(y) {
+		return nil, fmt.Errorf("rf: %d feature rows but %d targets", len(X), len(y))
+	}
+	n := len(X)
+	d := 0
+	if n > 0 {
+		d = len(X[0])
+	}
+	if err := cfg.validate(n, d); err != nil {
+		return nil, err
+	}
+	if d != f.nFeatures {
+		return nil, fmt.Errorf("rf: Extend data has %d features, forest trained on %d", d, f.nFeatures)
+	}
+	for i, row := range X {
+		if len(row) != d {
+			return nil, fmt.Errorf("rf: row %d has %d features, want %d", i, len(row), d)
+		}
+	}
+	mf := cfg.MaxFeatures
+	if mf == 0 {
+		mf = int(math.Ceil(math.Sqrt(float64(d))))
+	}
+
+	prior := cfg.NumTrees
+	total := prior + extra
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nboot := int(math.Ceil(cfg.SampleFrac * float64(n)))
+
+	// Phase 1 (serial): replay the master RNG through every tree —
+	// existing and new — in the exact order a from-scratch Train with
+	// `total` trees consumes it. The prior trees' draws are kept (their
+	// bootstrap membership feeds the out-of-bag pass below); only the
+	// tail seeds grow anything.
+	boot := make([][]int, total)
+	seeds := make([]int64, total)
+	for t := 0; t < total; t++ {
+		idx := make([]int, nboot)
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		boot[t] = idx
+		seeds[t] = rng.Int63()
+	}
+
+	out := &Forest{trees: make([]tree, total), nFeatures: d}
+	copy(out.trees, f.trees)
+
+	// Phase 2 (parallel): grow only the new trees, each from its
+	// injected per-tree RNG — identical to what Train would have done
+	// for the same tree indices.
+	par.ForEach(cfg.Workers, extra, func(i int) {
+		t := prior + i
+		b := builder{cfg: cfg, maxFeat: mf, X: X, y: y,
+			rng: rand.New(rand.NewSource(seeds[t]))}
+		b.grow(boot[t], 0)
+		out.trees[t] = tree{Nodes: b.nodes}
+	})
+
+	// Phase 3 (serial): out-of-bag accumulation over all trees in tree
+	// order, bit-identical to Train's.
+	oobSum := make([]float64, n)
+	oobCnt := make([]int, n)
+	inBag := make([]bool, n)
+	for t := 0; t < total; t++ {
+		for i := range inBag {
+			inBag[i] = false
+		}
+		for _, j := range boot[t] {
+			inBag[j] = true
+		}
+		for i := 0; i < n; i++ {
+			if !inBag[i] {
+				oobSum[i] += out.trees[t].predict(X[i])
+				oobCnt[i]++
+			}
+		}
+	}
+	mae, cnt := 0.0, 0
+	for i := 0; i < n; i++ {
+		if oobCnt[i] > 0 {
+			mae += math.Abs(oobSum[i]/float64(oobCnt[i]) - y[i])
+			cnt++
+		}
+	}
+	if cnt > 0 {
+		out.oobMAE = mae / float64(cnt)
+		out.oobOK = true
+	}
+	return out, nil
+}

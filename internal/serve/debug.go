@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"mpcdvfs/internal/learn"
 	"mpcdvfs/internal/telemetry"
 )
 
@@ -136,6 +137,27 @@ func (s *Server) handleDebugModels(w http.ResponseWriter, r *http.Request) {
 		SnapshotGen uint64                   `json:"snapshot_gen"`
 		Cells       []telemetry.CellSnapshot `json:"cells"`
 	}{SnapshotGen: s.gen.Load(), Cells: hub.Scoreboard.Snapshot()})
+}
+
+// handleDebugLearn serves the continuous trainer's state: by default
+// the Status JSON (reservoir fill, round/promotion/rejection counts,
+// last holdout MAPEs); with ?format=samples, the current reservoir
+// contents as a JSONL snapshot — the format learn.ReadSnapshot parses,
+// so an operator can capture live training data for offline replay.
+func (s *Server) handleDebugLearn(w http.ResponseWriter, r *http.Request) {
+	tr := s.cfg.Learn
+	if r.URL.Query().Get("format") == "samples" {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		s.count("debug_learn", http.StatusOK)
+		// An encode error means the client went away mid-stream.
+		_ = learn.WriteSnapshot(w, tr.SnapshotSamples())
+		return
+	}
+	s.count("debug_learn", http.StatusOK)
+	writeJSON(w, http.StatusOK, struct {
+		SnapshotGen uint64       `json:"snapshot_gen"`
+		Learn       learn.Status `json:"learn"`
+	}{SnapshotGen: s.gen.Load(), Learn: tr.Status()})
 }
 
 // handleDebugTrace dumps the span ring as JSONL, oldest first — the

@@ -44,6 +44,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mpcdvfs/internal/learn"
 	"mpcdvfs/internal/metrics"
 	"mpcdvfs/internal/predict"
 	"mpcdvfs/internal/sim"
@@ -87,6 +88,16 @@ type Config struct {
 	// /debug/mpc, /debug/models and /debug/trace endpoints. Nil keeps
 	// the serving path telemetry-free.
 	Telemetry *telemetry.Hub
+	// Learn, when set, closes the learning loop: every /v1/observe
+	// ground-truth tuple is offered to the trainer's reservoir, gated
+	// promotions publish through Install exactly like an operator
+	// /reload, promoted generations get their holdout MAPE as drift
+	// baseline, and — when Telemetry is also set — the scoreboard's
+	// drift rising edge triggers an immediate training round. Handler
+	// additionally mounts /debug/learn. serve.New does the binding; the
+	// caller only constructs the trainer and decides whether to Start
+	// its periodic loop.
+	Learn *learn.Trainer
 }
 
 // Server is the concurrent decision service. Create with New, mount
@@ -132,6 +143,17 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{cfg: cfg, sessions: make(map[string]*session)}
 	s.gen.Store(1)
 	s.snap.Store(&Snapshot{Gen: 1, Model: cfg.Model, Tag: cfg.Tag})
+	if tr := cfg.Learn; tr != nil {
+		// Close the loop: gated candidates publish like /reload, the
+		// promoted generation's drift baseline is its demonstrated
+		// holdout MAPE, and scoreboard drift wakes the trainer.
+		var baseline func(gen uint64, timeMAPE, powerMAPE float64)
+		if cfg.Telemetry != nil {
+			baseline = cfg.Telemetry.Scoreboard.SetBaseline
+			cfg.Telemetry.Scoreboard.SetDriftHook(tr.NotifyDrift)
+		}
+		tr.Bind(s.Install, baseline)
+	}
 	return s, nil
 }
 
@@ -172,6 +194,9 @@ func (s *Server) Instrument(reg *metrics.Registry) {
 	}
 	m.snapGen.Set(float64(s.gen.Load()))
 	s.m.Store(m)
+	if s.cfg.Learn != nil {
+		s.cfg.Learn.Instrument(reg)
+	}
 }
 
 // CurrentSnapshot returns the snapshot new sessions would pin now.
@@ -226,6 +251,9 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("/debug/mpc", s.handleDebugMPC)
 		mux.HandleFunc("/debug/models", s.handleDebugModels)
 		mux.HandleFunc("/debug/trace", s.handleDebugTrace)
+	}
+	if s.cfg.Learn != nil {
+		mux.HandleFunc("/debug/learn", s.handleDebugLearn)
 	}
 	return mux
 }
@@ -392,6 +420,14 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	err := sess.enqueue(func() {
 		sess.policy.Observe(obs)
 		sess.noteObservation(obs)
+		if tr := s.cfg.Learn; tr != nil {
+			// The reservoir tap: every served ground-truth tuple is
+			// training signal, whether or not it scored a prediction.
+			// Trainer.Add is internally synchronized and allocation-free
+			// at steady state, so the owner goroutine barely notices.
+			tr.Add(predict.Sample{Counters: obs.Counters, Config: obs.Config,
+				TimeMS: obs.TimeMS, GPUPowerW: obs.GPUPowerW})
+		}
 		close(done)
 	})
 	switch err {

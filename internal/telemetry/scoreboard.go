@@ -82,6 +82,7 @@ type cellKey struct {
 type cell struct {
 	count       uint64
 	time, power errWindow
+	wasDrifted  bool // last drift evaluation, for rising-edge hooks
 }
 
 // Scoreboard tracks per-(model generation, app) prediction quality
@@ -97,6 +98,7 @@ type Scoreboard struct {
 	base     map[uint64]Baseline
 	defBase  Baseline
 	haveBase bool
+	onDrift  func(gen uint64, app string)
 
 	instr atomic.Pointer[scoreInstr]
 }
@@ -150,6 +152,22 @@ func (b *Scoreboard) SetDefaultBaseline(timeMAPE, powerMAPE float64) {
 	b.haveBase = true
 }
 
+// SetDriftHook registers fn to be called on a cell's drift rising edge:
+// the Observe that flips a (generation, app) cell from healthy to
+// drifted, and only that one — a cell that stays drifted does not
+// re-fire until it recovers first. The hook runs outside the scoreboard
+// lock, on the observing session's goroutine, so it must be cheap and
+// non-blocking (the continuous trainer's NotifyDrift is: it sets a flag
+// and nudges a channel). Call before traffic; a nil fn clears the hook.
+func (b *Scoreboard) SetDriftHook(fn func(gen uint64, app string)) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.onDrift = fn
+}
+
 // Instrument mirrors the scoreboard into reg as the mpcdvfs_model_*
 // families, labelled by generation and app.
 func (b *Scoreboard) Instrument(reg *metrics.Registry) {
@@ -197,8 +215,14 @@ func (b *Scoreboard) Observe(gen uint64, app string, predTimeMS, measTimeMS, pre
 	c.power.push(pe)
 	tm, pm, tb := c.time.mape(), c.power.mape(), c.time.bias()
 	drifted := b.driftedLocked(key.gen, c)
+	rising := drifted && !c.wasDrifted
+	c.wasDrifted = drifted
+	hook := b.onDrift
 	b.mu.Unlock()
 
+	if rising && hook != nil {
+		hook(gen, app)
+	}
 	if in := b.instr.Load(); in != nil {
 		g := strconv.FormatUint(gen, 10)
 		in.observations.With(g, app).Inc()

@@ -172,3 +172,62 @@ func BenchmarkTelemetryScoreboardObserve(b *testing.B) {
 		sb.Observe(1, "app", 1.05, 1.0, 9.5, 10.0)
 	}
 }
+
+// TestScoreboardDriftHookRisingEdge: the hook fires exactly once when a
+// cell crosses into drift, not on every drifted Observe, and re-fires
+// only after the cell recovers below the threshold first.
+func TestScoreboardDriftHookRisingEdge(t *testing.T) {
+	b := NewScoreboard(minDriftSamples, 2)
+	b.SetBaseline(1, 0.10, 0.10)
+	type fire struct {
+		gen uint64
+		app string
+	}
+	var fires []fire
+	b.SetDriftHook(func(gen uint64, app string) { fires = append(fires, fire{gen, app}) })
+
+	// Healthy observations: no fire.
+	for i := 0; i < 2*minDriftSamples; i++ {
+		b.Observe(1, "a", 1.05, 1.0, 10, 10)
+	}
+	if len(fires) != 0 {
+		t.Fatalf("hook fired %d times on healthy traffic", len(fires))
+	}
+	// Degrade until the window tips over the threshold: exactly one fire
+	// even though many subsequent Observes are also drifted.
+	for i := 0; i < 3*minDriftSamples; i++ {
+		b.Observe(1, "a", 1.5, 1.0, 10, 10)
+	}
+	if len(fires) != 1 || fires[0] != (fire{1, "a"}) {
+		t.Fatalf("rising edge fired %v, want exactly one (1, a)", fires)
+	}
+	// Recover: the full window refills with healthy errors, then degrade
+	// again — a second rising edge.
+	for i := 0; i < 2*minDriftSamples; i++ {
+		b.Observe(1, "a", 1.05, 1.0, 10, 10)
+	}
+	if len(fires) != 1 {
+		t.Fatalf("recovery fired the hook: %v", fires)
+	}
+	for i := 0; i < 3*minDriftSamples; i++ {
+		b.Observe(1, "a", 1.5, 1.0, 10, 10)
+	}
+	if len(fires) != 2 {
+		t.Fatalf("re-degradation after recovery fired %d times, want 2", len(fires))
+	}
+	// Independent cells edge independently.
+	for i := 0; i < 3*minDriftSamples; i++ {
+		b.Observe(1, "b", 1.5, 1.0, 10, 10)
+	}
+	if len(fires) != 3 || fires[2] != (fire{1, "b"}) {
+		t.Fatalf("second cell's edge: %v", fires)
+	}
+	// Clearing the hook silences future edges.
+	b.SetDriftHook(nil)
+	for i := 0; i < 2*minDriftSamples; i++ {
+		b.Observe(1, "c", 1.5, 1.0, 10, 10)
+	}
+	if len(fires) != 3 {
+		t.Fatalf("cleared hook still fired: %v", fires)
+	}
+}
