@@ -5,6 +5,7 @@
 //	mpclint -checks float-eq,map-order ./...
 //	mpclint -json ./...           # machine-readable diagnostics
 //	mpclint -list                 # show every check with its doc line
+//	mpclint -workers 1 ./...      # serial reference run (default: all cores)
 //
 // Diagnostics print as file:line:col: [check-name] message. The exit
 // status is 0 when the tree is clean, 1 when there are findings, and 2
@@ -15,7 +16,10 @@
 //
 // as documented in LINT.md. The module is loaded in a single
 // type-check pass: each package is parsed and checked exactly once no
-// matter how many packages import it.
+// matter how many packages import it. The checks then fan out through
+// internal/par (one task per package×check plus one per module-scope
+// check) with a serial, order-preserving reduction, so the output is
+// byte-identical for every -workers value.
 package main
 
 import (
@@ -40,6 +44,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	checksFlag := fs.String("checks", "all", "comma-separated checks to run, or all")
 	jsonFlag := fs.Bool("json", false, "emit diagnostics as a JSON array")
 	listFlag := fs.Bool("list", false, "list registered checks and exit")
+	workersFlag := fs.Int("workers", 0, "workers for the per-package/per-check fan-out (0 = GOMAXPROCS, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -75,7 +80,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	var all []analysis.Diagnostic
 	for _, root := range order {
-		diags, err := analysis.LintModule(root, checks)
+		diags, err := analysis.LintModuleWorkers(root, checks, *workersFlag)
 		if err != nil {
 			fmt.Fprintln(stderr, "mpclint:", err)
 			return 2

@@ -51,6 +51,28 @@ func TestRepoTreeClean(t *testing.T) {
 	}
 }
 
+// TestWorkersOutputIsByteIdentical pins the parallel driver's
+// determinism contract: the full suite over a findings fixture emits
+// byte-for-byte the same report at every worker count, because each
+// task writes an index-addressed slot and the reduction is serial.
+func TestWorkersOutputIsByteIdentical(t *testing.T) {
+	target := fixture("determinism-taint", "findings")
+	var ref bytes.Buffer
+	if code := run([]string{"-workers", "1", target}, &ref, &ref); code != 1 {
+		t.Fatalf("serial reference run: exit = %d, want 1\n%s", code, ref.String())
+	}
+	for _, w := range []string{"0", "2", "8"} {
+		var out bytes.Buffer
+		if code := run([]string{"-workers", w, target}, &out, &out); code != 1 {
+			t.Fatalf("-workers %s: exit = %d, want 1\n%s", w, code, out.String())
+		}
+		if out.String() != ref.String() {
+			t.Errorf("-workers %s output differs from the serial reference:\n--- serial ---\n%s--- workers=%s ---\n%s",
+				w, ref.String(), w, out.String())
+		}
+	}
+}
+
 func TestJSONOutput(t *testing.T) {
 	var out, errb bytes.Buffer
 	code := run([]string{"-json", "-checks", "float-eq", fixture("float-eq", "findings")}, &out, &errb)
@@ -86,8 +108,8 @@ func TestListNamesEveryCheck(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errb); code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	if n := len(analysis.Checks()); n < 6 {
-		t.Fatalf("registry holds %d checks, want at least the 6 shipped ones", n)
+	if n := len(analysis.Checks()); n < 9 {
+		t.Fatalf("registry holds %d checks, want at least the 9 shipped ones", n)
 	}
 	for _, c := range analysis.Checks() {
 		if !strings.Contains(out.String(), c.Name) {

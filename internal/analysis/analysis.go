@@ -29,15 +29,25 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+
+	"mpcdvfs/internal/par"
 )
 
-// A Check inspects one type-checked package and reports findings. Name
+// A Check inspects the type-checked module and reports findings. Name
 // is the stable kebab-case identifier used in diagnostics, the -checks
 // flag and ignore directives.
+//
+// A check runs in one of two scopes. Run is the package scope of PR 3:
+// it is invoked once per package and sees one AST at a time.
+// RunModule is the interprocedural scope: it is invoked once per module
+// with every package, the module call graph and the parsed
+// //mpclint:hotpath / //mpclint:immutable annotations, so it can prove
+// properties across call chains. A check sets exactly one of the two.
 type Check struct {
-	Name string
-	Doc  string // one-line description shown by mpclint -list
-	Run  func(*Pass)
+	Name      string
+	Doc       string // one-line description shown by mpclint -list
+	Run       func(*Pass)
+	RunModule func(*ModulePass)
 }
 
 // Pass carries everything a single check needs to analyze a single
@@ -61,6 +71,30 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // TypeOf returns the type of expression e, or nil if unknown.
 func (p *Pass) TypeOf(e ast.Expr) types.Type {
 	return p.Pkg.Info.TypeOf(e)
+}
+
+// ModulePass carries everything a module-scope check needs: every
+// loaded package, the module call graph and the collected declaration
+// annotations. The graph and annotations are built once per Run and
+// shared by all module checks — they are immutable, so concurrent
+// checks may read them freely.
+type ModulePass struct {
+	Check *Check
+	Pkgs  []*Package
+	Graph *CallGraph
+	Ann   *Annotations
+
+	fset  *token.FileSet
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding of the pass's check at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Position: p.fset.Position(pos),
+		Check:    p.Check.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
 }
 
 // Diagnostic is one finding: a position, the check that produced it and
@@ -91,10 +125,14 @@ func (d *Diagnostic) fill() {
 var registry = map[string]*Check{}
 
 // Register adds a check to the registry. It panics on a duplicate or
-// empty name — both are programming errors in the check suite itself.
+// empty name, or when the check implements neither or both scopes —
+// all programming errors in the check suite itself.
 func Register(c *Check) {
-	if c.Name == "" || c.Run == nil {
-		panic("analysis: Register with empty name or nil Run")
+	if c.Name == "" {
+		panic("analysis: Register with empty name")
+	}
+	if (c.Run == nil) == (c.RunModule == nil) {
+		panic("analysis: check " + c.Name + " must set exactly one of Run and RunModule")
 	}
 	if _, dup := registry[c.Name]; dup {
 		panic("analysis: duplicate check " + c.Name)
@@ -153,20 +191,85 @@ func Select(list string) ([]*Check, error) {
 	return out, nil
 }
 
-// Run executes the given checks over the given packages, applies
+// Run executes the given checks over the given packages serially. It
+// is RunWorkers with one worker — the form every test and fixture
+// harness uses, and the reference the parallel driver must match
+// byte for byte.
+func Run(pkgs []*Package, checks []*Check) []Diagnostic {
+	return RunWorkers(pkgs, checks, 1)
+}
+
+// RunWorkers executes the given checks over the given packages, applies
 // //mpclint:ignore suppressions, and returns the surviving diagnostics
 // sorted by file, line, column and check name. Malformed or
-// unknown-check directives are reported as diagnostics of the pseudo
-// check "mpclint-directive" regardless of the selection — a suppression
-// that silently fails to parse would otherwise hide the very findings
-// it mis-targets.
-func Run(pkgs []*Package, checks []*Check) []Diagnostic {
-	var diags []Diagnostic
+// unknown-check directives — and malformed or misplaced declaration
+// annotations — are reported as diagnostics of the pseudo check
+// "mpclint-directive" regardless of the selection: a suppression or
+// annotation that silently fails to parse would otherwise hide the very
+// findings it targets.
+//
+// Package-scope checks fan out as one task per (package, check) pair
+// and module-scope checks as one task each, through par.ForEach with
+// the repository's worker convention (<=0 default, 1 serial). Each task
+// writes only its own index-addressed slot and the reduction — concat
+// in task order, suppress, sort — is serial, so the output is
+// byte-identical for every worker count.
+func RunWorkers(pkgs []*Package, checks []*Check, workers int) []Diagnostic {
+	var pkgChecks, modChecks []*Check
+	for _, c := range checks {
+		if c.Run != nil {
+			pkgChecks = append(pkgChecks, c)
+		}
+		if c.RunModule != nil {
+			modChecks = append(modChecks, c)
+		}
+	}
+
+	// Module-shared facts: annotations are always collected (their
+	// misuse diagnostics are part of the directive contract), the call
+	// graph only when a module-scope check will consume it.
+	ann, diags := CollectAnnotations(pkgs)
+	var graph *CallGraph
+	if len(modChecks) > 0 {
+		graph = BuildCallGraph(pkgs)
+	}
+	var fset *token.FileSet
+	if len(pkgs) > 0 {
+		fset = pkgs[0].Fset
+	}
+
+	type task struct {
+		pkg   *Package // nil for module-scope tasks
+		check *Check
+	}
+	var tasks []task
+	for _, pkg := range pkgs {
+		for _, c := range pkgChecks {
+			tasks = append(tasks, task{pkg, c})
+		}
+	}
+	for _, c := range modChecks {
+		tasks = append(tasks, task{nil, c})
+	}
+
+	slots := make([][]Diagnostic, len(tasks))
+	par.ForEach(workers, len(tasks), func(i int) {
+		t := tasks[i]
+		if t.pkg != nil {
+			t.check.Run(&Pass{Check: t.check, Pkg: t.pkg, diags: &slots[i]})
+			return
+		}
+		t.check.RunModule(&ModulePass{
+			Check: t.check, Pkgs: pkgs, Graph: graph, Ann: ann,
+			fset: fset, diags: &slots[i],
+		})
+	})
+	for _, s := range slots {
+		diags = append(diags, s...)
+	}
+
 	var dirs []Directive
 	for _, pkg := range pkgs {
-		for _, c := range checks {
-			c.Run(&Pass{Check: c, Pkg: pkg, diags: &diags})
-		}
 		d, bad := Directives(pkg.Fset, pkg.Files)
 		dirs = append(dirs, d...)
 		diags = append(diags, bad...)

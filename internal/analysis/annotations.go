@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Annotation verbs. Beyond //mpclint:ignore (ignore.go), the suite
+// understands two declaration annotations:
+//
+//	//mpclint:hotpath <reason>     on a func declaration's doc comment
+//	//mpclint:immutable <reason>   on a type declaration's doc comment
+//
+// hotpath marks a function whose zero-allocation contract is pinned by
+// an AllocsPerRun test; the hotpath-alloc check then statically forbids
+// allocation sites in it and in everything it transitively calls.
+// immutable marks a type that must never be mutated after construction
+// (beyond the types discovered automatically through atomic.Pointer
+// publication); the snapshot-mutation check enforces it. The reason is
+// mandatory, exactly as for ignore directives: an annotation that
+// cannot say which pin or publication contract backs it is reported
+// under the mpclint-directive pseudo-check.
+const (
+	HotpathVerb   = "hotpath"
+	ImmutableVerb = "immutable"
+)
+
+// ParseAnnotation parses one comment's text (with markers, as
+// ast.Comment.Text stores it) as a declaration annotation. ok=false
+// means the comment is not an mpclint comment at all (or is an ignore
+// directive, which ignore.go owns); err != nil means it tries to be an
+// annotation but is malformed: block-comment form, a space before the
+// verb, an unknown verb, or a missing reason.
+func ParseAnnotation(text string) (verb, reason string, ok bool, err error) {
+	const prefix = "mpclint:"
+	body, isLine := strings.CutPrefix(text, "//")
+	if !isLine {
+		inner := strings.TrimSuffix(strings.TrimPrefix(text, "/*"), "*/")
+		t := strings.TrimSpace(inner)
+		if strings.HasPrefix(t, prefix) && !strings.HasPrefix(t, prefix+"ignore") {
+			return "", "", true, fmt.Errorf("mpclint annotations must be line comments (//) so they attach to one declaration")
+		}
+		return "", "", false, nil
+	}
+	rest, anchored := strings.CutPrefix(body, prefix)
+	if !anchored {
+		if t := strings.TrimSpace(body); strings.HasPrefix(t, prefix) && !strings.HasPrefix(t, prefix+"ignore") {
+			return "", "", true, fmt.Errorf("malformed annotation: write %q with no space between // and the verb", "//"+prefix+"<verb>")
+		}
+		return "", "", false, nil
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", "", true, fmt.Errorf("mpclint comment names no verb (want ignore, %s or %s)", HotpathVerb, ImmutableVerb)
+	}
+	verb = fields[0]
+	switch verb {
+	case "ignore":
+		return "", "", false, nil // ignore.go's directive, not an annotation
+	case HotpathVerb, ImmutableVerb:
+	default:
+		return "", "", true, fmt.Errorf("unknown mpclint verb %q (want ignore, %s or %s)", verb, HotpathVerb, ImmutableVerb)
+	}
+	reason = strings.TrimSpace(strings.Join(fields[1:], " "))
+	if reason == "" {
+		return "", "", true, fmt.Errorf("//mpclint:%s has no reason; name the AllocsPerRun pin or publication contract that backs it", verb)
+	}
+	return verb, reason, true, nil
+}
+
+// Annotations holds the module's parsed declaration annotations, keyed
+// by the annotated objects.
+type Annotations struct {
+	// Hotpath maps each annotated function to its reason.
+	Hotpath map[*types.Func]string
+	// Immutable maps each annotated named type to its reason.
+	Immutable map[*types.TypeName]string
+}
+
+// CollectAnnotations parses every //mpclint:hotpath and
+// //mpclint:immutable annotation in pkgs, attaching each to the
+// declaration whose doc comment carries it. Malformed annotations, and
+// well-formed ones that are not in a matching declaration's doc comment
+// (hotpath off a func, immutable off a type), are returned as
+// mpclint-directive diagnostics — a detached annotation silently
+// protects nothing, which must not pass unnoticed.
+func CollectAnnotations(pkgs []*Package) (*Annotations, []Diagnostic) {
+	ann := &Annotations{
+		Hotpath:   map[*types.Func]string{},
+		Immutable: map[*types.TypeName]string{},
+	}
+	var bad []Diagnostic
+	report := func(fset *token.FileSet, pos token.Pos, format string, args ...any) {
+		bad = append(bad, Diagnostic{
+			Position: fset.Position(pos),
+			Check:    DirectiveCheck,
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			consumed := map[*ast.Comment]bool{}
+			for _, d := range f.Decls {
+				switch d := d.(type) {
+				case *ast.FuncDecl:
+					for _, c := range docComments(d.Doc) {
+						verb, reason, ok, err := ParseAnnotation(c.Text)
+						if !ok || err != nil {
+							continue // malformed ones reported in the sweep below
+						}
+						consumed[c] = true
+						if verb != HotpathVerb {
+							report(pkg.Fset, c.Pos(), "//mpclint:%s annotates a func declaration; only %s applies here", verb, HotpathVerb)
+							continue
+						}
+						if fn, ok := pkg.Info.Defs[d.Name].(*types.Func); ok {
+							ann.Hotpath[fn] = reason
+						}
+					}
+				case *ast.GenDecl:
+					docs := docComments(d.Doc)
+					for _, spec := range d.Specs {
+						if ts, ok := spec.(*ast.TypeSpec); ok {
+							docs = append(docs, docComments(ts.Doc)...)
+							for _, c := range docs {
+								verb, reason, ok, err := ParseAnnotation(c.Text)
+								if !ok || err != nil {
+									continue
+								}
+								consumed[c] = true
+								if verb != ImmutableVerb {
+									report(pkg.Fset, c.Pos(), "//mpclint:%s annotates a type declaration; only %s applies here", verb, ImmutableVerb)
+									continue
+								}
+								if tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName); ok {
+									ann.Immutable[tn] = reason
+								}
+							}
+							docs = nil
+						}
+					}
+				}
+			}
+			// Sweep every comment: malformed annotations anywhere, and
+			// well-formed ones that no declaration consumed.
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					verb, _, ok, err := ParseAnnotation(c.Text)
+					if !ok {
+						continue
+					}
+					if err != nil {
+						report(pkg.Fset, c.Pos(), "%v", err)
+						continue
+					}
+					if !consumed[c] {
+						report(pkg.Fset, c.Pos(), "//mpclint:%s is not in a %s declaration's doc comment, so it annotates nothing", verb, annTarget(verb))
+					}
+				}
+			}
+		}
+	}
+	return ann, bad
+}
+
+func annTarget(verb string) string {
+	if verb == ImmutableVerb {
+		return "type"
+	}
+	return "func"
+}
+
+// docComments flattens a possibly-nil comment group.
+func docComments(cg *ast.CommentGroup) []*ast.Comment {
+	if cg == nil {
+		return nil
+	}
+	return cg.List
+}

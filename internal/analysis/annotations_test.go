@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseAnnotationTable pins the accepted and rejected forms of the
+// declaration-annotation grammar.
+func TestParseAnnotationTable(t *testing.T) {
+	cases := []struct {
+		text          string
+		verb, reason  string
+		ok, wantError bool
+	}{
+		{"//mpclint:hotpath pinned by TestFooZeroAlloc", "hotpath", "pinned by TestFooZeroAlloc", true, false},
+		{"//mpclint:immutable shared read-only after publish", "immutable", "shared read-only after publish", true, false},
+		{"//mpclint:ignore float-eq some reason", "", "", false, false}, // ignore.go's domain
+		{"// ordinary comment", "", "", false, false},
+		{"//mpclint:hotpath", "", "", true, true},                // missing reason
+		{"//mpclint:fastpath wrong verb", "", "", true, true},    // unknown verb
+		{"// mpclint:hotpath spaced out", "", "", true, true},    // space before verb
+		{"/* mpclint:hotpath block form */", "", "", true, true}, // block comment
+		{"//mpclint:", "", "", true, true},                       // verbless
+	}
+	for _, c := range cases {
+		verb, reason, ok, err := ParseAnnotation(c.text)
+		if ok != c.ok || (err != nil) != c.wantError || verb != c.verb || reason != c.reason {
+			t.Errorf("ParseAnnotation(%q) = (%q, %q, %v, %v); want (%q, %q, %v, err=%v)",
+				c.text, verb, reason, ok, err, c.verb, c.reason, c.ok, c.wantError)
+		}
+	}
+}
+
+// FuzzHotpathAnnotation drives arbitrary comment text through the
+// annotation parser and pins its contract: it never panics, it never
+// errors on text it does not claim as an annotation, every accepted
+// annotation has a known verb and a non-empty trimmed reason, and
+// re-rendering an accepted annotation canonically parses back to the
+// same verb and reason.
+func FuzzHotpathAnnotation(f *testing.F) {
+	for _, seed := range []string{
+		"//mpclint:hotpath pinned at 0 allocs/op by TestPredictKernelZeroAlloc",
+		"//mpclint:immutable SoA node pool shared lock-free by concurrent predictors",
+		"//mpclint:hotpath",
+		"//mpclint:immutable",
+		"//mpclint:hotpath\treason with a tab",
+		"//mpclint:fastpath unknown verb",
+		"// mpclint:hotpath space before verb",
+		"/* mpclint:hotpath block form */",
+		"//mpclint:ignore float-eq ignore.go owns this shape",
+		"//mpclint:",
+		"// a comment mentioning mpclint:hotpath in prose",
+		"//",
+		"",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		verb, reason, ok, err := ParseAnnotation(text)
+		if err != nil && !ok {
+			t.Fatalf("error %v for text not claimed as an annotation: %q", err, text)
+		}
+		if !ok || err != nil {
+			return
+		}
+		if verb != HotpathVerb && verb != ImmutableVerb {
+			t.Fatalf("accepted unknown verb %q from %q", verb, text)
+		}
+		if trimmed := strings.TrimSpace(reason); trimmed == "" || trimmed != reason {
+			t.Fatalf("accepted untrimmed or empty reason %q from %q", reason, text)
+		}
+		canon := "//mpclint:" + verb + " " + reason
+		v2, r2, ok2, err2 := ParseAnnotation(canon)
+		if !ok2 || err2 != nil {
+			t.Fatalf("canonical form %q rejected: %v", canon, err2)
+		}
+		norm := func(s string) string { return strings.Join(strings.Fields(s), " ") }
+		if v2 != verb || norm(r2) != norm(reason) {
+			t.Fatalf("canonical round-trip changed annotation: (%q,%q) -> (%q,%q)", verb, reason, v2, r2)
+		}
+	})
+}

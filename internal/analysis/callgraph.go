@@ -1,0 +1,365 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// EdgeKind classifies how a call edge was derived, which bounds how
+// much trust a consumer may place in it.
+type EdgeKind int
+
+const (
+	// EdgeStatic is a direct call to a declared function or to a method
+	// through a concrete receiver type: the callee is exact.
+	EdgeStatic EdgeKind = iota
+	// EdgeInterface is a call through an interface method, expanded by
+	// class-hierarchy analysis to every concrete module type that
+	// implements the interface: the callee is a may-target, not a must.
+	EdgeInterface
+	// EdgeFuncRef is not a call at all but a reference to a function as
+	// a value (passed as an argument, stored in a field, assigned to a
+	// variable). The enclosing function may cause it to run, so
+	// whole-module properties must propagate across it conservatively.
+	EdgeFuncRef
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeStatic:
+		return "call"
+	case EdgeInterface:
+		return "interface call"
+	case EdgeFuncRef:
+		return "function-value reference"
+	}
+	return "edge"
+}
+
+// CallEdge is one resolved caller→callee relationship at one source
+// position. Callee may belong to any package — module-internal callees
+// carry bodies in the graph, external ones (stdlib) are leaves.
+type CallEdge struct {
+	Caller *types.Func
+	Callee *types.Func
+	Pos    token.Pos
+	Kind   EdgeKind
+}
+
+// SelectFact records a select statement with two or more communication
+// cases inside a function body — a scheduler-nondeterminism source the
+// determinism checks treat as a node-level fact.
+type SelectFact struct {
+	Pos   token.Pos
+	Cases int
+}
+
+// DynamicCall records a call whose callee could not be resolved to any
+// declared function: a called function value (parameter, field, map
+// entry). FuncRef edges over-approximate where such values come from;
+// the fact itself marks the site for checks that must prove properties
+// of everything a function runs.
+type DynamicCall struct {
+	Pos token.Pos
+}
+
+// CallGraph is a module-wide, conservatively over-approximated call
+// graph over the one-pass type-checked packages: static calls and
+// concrete-receiver method calls resolve exactly, interface calls
+// expand by class-hierarchy analysis over the module's named types, and
+// function-value flow is approximated by EdgeFuncRef edges from every
+// function that takes a reference to another. Function literals are
+// attributed to their enclosing declared function — a closure's calls
+// are edges of the function that created it.
+//
+// The graph is immutable after Build and safe for concurrent readers.
+type CallGraph struct {
+	fset *token.FileSet
+
+	funcs    []*types.Func              // declared module functions, sorted by Pos
+	edges    map[*types.Func][]CallEdge // out-edges per declared function, in Pos order
+	rev      map[*types.Func][]CallEdge // in-edges per callee (module or external)
+	decls    map[*types.Func]*ast.FuncDecl
+	pkgOf    map[*types.Func]*Package
+	selects  map[*types.Func][]SelectFact
+	dynCalls map[*types.Func][]DynamicCall
+}
+
+// Funcs returns every function and method declared in the module, in
+// source-position order.
+func (g *CallGraph) Funcs() []*types.Func { return g.funcs }
+
+// Edges returns fn's out-edges in source order (nil for external or
+// bodyless functions).
+func (g *CallGraph) Edges(fn *types.Func) []CallEdge { return g.edges[fn] }
+
+// Callers returns the edges whose callee is fn.
+func (g *CallGraph) Callers(fn *types.Func) []CallEdge { return g.rev[fn] }
+
+// Decl returns the declaration of a module function, or nil.
+func (g *CallGraph) Decl(fn *types.Func) *ast.FuncDecl { return g.decls[fn] }
+
+// PackageOf returns the analyzed package declaring fn, or nil for
+// external functions.
+func (g *CallGraph) PackageOf(fn *types.Func) *Package { return g.pkgOf[fn] }
+
+// Selects returns the multi-case select facts recorded in fn's body.
+func (g *CallGraph) Selects(fn *types.Func) []SelectFact { return g.selects[fn] }
+
+// DynamicCalls returns the unresolved call sites in fn's body.
+func (g *CallGraph) DynamicCalls(fn *types.Func) []DynamicCall { return g.dynCalls[fn] }
+
+// Position resolves a token.Pos against the graph's file set.
+func (g *CallGraph) Position(pos token.Pos) token.Position { return g.fset.Position(pos) }
+
+// BuildCallGraph constructs the module call graph over pkgs (which must
+// share one *token.FileSet, as Loader guarantees).
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{
+		edges:    map[*types.Func][]CallEdge{},
+		rev:      map[*types.Func][]CallEdge{},
+		decls:    map[*types.Func]*ast.FuncDecl{},
+		pkgOf:    map[*types.Func]*Package{},
+		selects:  map[*types.Func][]SelectFact{},
+		dynCalls: map[*types.Func][]DynamicCall{},
+	}
+	if len(pkgs) == 0 {
+		return g
+	}
+	g.fset = pkgs[0].Fset
+
+	// Pass 1: register every declared function and collect the concrete
+	// named types for interface resolution.
+	var concrete []types.Type
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				switch d := d.(type) {
+				case *ast.FuncDecl:
+					fn, ok := pkg.Info.Defs[d.Name].(*types.Func)
+					if !ok {
+						continue
+					}
+					g.funcs = append(g.funcs, fn)
+					g.decls[fn] = d
+					g.pkgOf[fn] = pkg
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						ts, ok := spec.(*ast.TypeSpec)
+						if !ok {
+							continue
+						}
+						obj, ok := pkg.Info.Defs[ts.Name].(*types.TypeName)
+						if !ok || obj.IsAlias() {
+							continue
+						}
+						named, ok := obj.Type().(*types.Named)
+						if !ok || named.TypeParams().Len() > 0 {
+							continue
+						}
+						if _, isIface := named.Underlying().(*types.Interface); !isIface {
+							concrete = append(concrete, named)
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(g.funcs, func(i, j int) bool { return g.funcs[i].Pos() < g.funcs[j].Pos() })
+
+	// Pass 2: walk every declared body recording edges and facts.
+	for _, fn := range g.funcs {
+		decl := g.decls[fn]
+		if decl.Body == nil {
+			continue
+		}
+		g.walkBody(fn, g.pkgOf[fn], decl.Body, concrete)
+	}
+
+	// Deterministic edge order, and the reverse index.
+	for _, fn := range g.funcs {
+		es := g.edges[fn]
+		sort.SliceStable(es, func(i, j int) bool { return es[i].Pos < es[j].Pos })
+		for _, e := range es {
+			g.rev[e.Callee] = append(g.rev[e.Callee], e)
+		}
+	}
+	return g
+}
+
+// normFunc maps an instantiated generic function or method back to its
+// declared origin, so graph keys are stable.
+func normFunc(fn *types.Func) *types.Func {
+	if fn == nil {
+		return nil
+	}
+	if o := fn.Origin(); o != nil {
+		return o
+	}
+	return fn
+}
+
+// walkBody records every edge and fact of one declared function's body,
+// attributing function-literal internals to the enclosing function.
+func (g *CallGraph) walkBody(fn *types.Func, pkg *Package, body *ast.BlockStmt, concrete []types.Type) {
+	// callFuns tracks the expressions occupying call-operator position,
+	// so a later identifier visit can tell a call from a value reference.
+	callFuns := map[ast.Expr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fun := ast.Unparen(n.Fun)
+			callFuns[fun] = true
+			if sel, ok := fun.(*ast.SelectorExpr); ok {
+				// The Sel ident is part of the call operator, not a
+				// separate function-value reference.
+				callFuns[sel.Sel] = true
+			}
+			g.recordCall(fn, pkg, n, fun, concrete)
+		case *ast.SelectStmt:
+			comm := 0
+			for _, cl := range n.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
+					comm++
+				}
+			}
+			if comm >= 2 {
+				g.selects[fn] = append(g.selects[fn], SelectFact{Pos: n.Pos(), Cases: comm})
+			}
+		case *ast.Ident:
+			if callFuns[n] {
+				return true
+			}
+			if ref, ok := pkg.Info.Uses[n].(*types.Func); ok {
+				g.addEdge(CallEdge{Caller: fn, Callee: normFunc(ref), Pos: n.Pos(), Kind: EdgeFuncRef})
+			}
+		case *ast.SelectorExpr:
+			// The Sel ident never stands alone — whatever this selector
+			// means, the ident visit below must not double-count it.
+			callFuns[n.Sel] = true
+			if callFuns[n] {
+				return true
+			}
+			// A method value (x.M) or package-qualified function
+			// reference; field selections resolve to *types.Var and are
+			// skipped. The inner X is still visited for nested calls.
+			if ref, ok := pkg.Info.Uses[n.Sel].(*types.Func); ok {
+				if sig, ok := ref.Type().(*types.Signature); !ok || sig.Recv() == nil || !isInterfaceRecv(sig) {
+					g.addEdge(CallEdge{Caller: fn, Callee: normFunc(ref), Pos: n.Pos(), Kind: EdgeFuncRef})
+				}
+			}
+		}
+		return true
+	})
+}
+
+// recordCall resolves one call expression into edges (or a dynamic-call
+// fact when nothing can be resolved).
+func (g *CallGraph) recordCall(fn *types.Func, pkg *Package, call *ast.CallExpr, fun ast.Expr, concrete []types.Type) {
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		switch ref := pkg.Info.Uses[fun].(type) {
+		case *types.Func:
+			g.addEdge(CallEdge{Caller: fn, Callee: normFunc(ref), Pos: call.Pos(), Kind: EdgeStatic})
+		case *types.Builtin, *types.TypeName:
+			// Builtins and conversions are not graph edges.
+		default:
+			// A called variable (func-typed local or parameter), or an
+			// identifier the type info cannot attribute: dynamic.
+			if tv, ok := pkg.Info.Types[fun]; ok && tv.IsType() {
+				return
+			}
+			g.dynCalls[fn] = append(g.dynCalls[fn], DynamicCall{Pos: call.Pos()})
+		}
+	case *ast.SelectorExpr:
+		ref, ok := pkg.Info.Uses[fun.Sel].(*types.Func)
+		if !ok {
+			if tv, isType := pkg.Info.Types[fun]; isType && tv.IsType() {
+				return // conversion to a qualified named type
+			}
+			// Calling a func-typed field or variable through a selector.
+			g.dynCalls[fn] = append(g.dynCalls[fn], DynamicCall{Pos: call.Pos()})
+			return
+		}
+		ref = normFunc(ref)
+		sig, _ := ref.Type().(*types.Signature)
+		if sig != nil && sig.Recv() != nil && isInterfaceRecv(sig) {
+			// Interface dispatch: expand over the module's concrete
+			// types by class-hierarchy analysis.
+			g.resolveInterfaceCall(fn, call, ref, concrete)
+			return
+		}
+		g.addEdge(CallEdge{Caller: fn, Callee: ref, Pos: call.Pos(), Kind: EdgeStatic})
+	default:
+		// Called function literal: its body is already attributed to
+		// the enclosing function, so the call adds no information.
+		if _, ok := fun.(*ast.FuncLit); ok {
+			return
+		}
+		if tv, isType := pkg.Info.Types[fun]; isType && tv.IsType() {
+			return
+		}
+		g.dynCalls[fn] = append(g.dynCalls[fn], DynamicCall{Pos: call.Pos()})
+	}
+}
+
+// isInterfaceRecv reports whether a method signature's receiver is an
+// interface type (i.e. the *types.Func is an abstract interface
+// method, not a concrete implementation).
+func isInterfaceRecv(sig *types.Signature) bool {
+	return types.IsInterface(sig.Recv().Type())
+}
+
+// resolveInterfaceCall adds one EdgeInterface edge per concrete module
+// type implementing the called interface method. The abstract method's
+// own interface is recovered from the receiver; embedded satisfying
+// methods resolve to whatever concrete function the method set selects
+// (possibly an external one, which then appears as a leaf).
+func (g *CallGraph) resolveInterfaceCall(fn *types.Func, call *ast.CallExpr, abstract *types.Func, concrete []types.Type) {
+	sig, ok := abstract.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return
+	}
+	iface, ok := sig.Recv().Type().Underlying().(*types.Interface)
+	if !ok {
+		return
+	}
+	seen := map[*types.Func]bool{}
+	for _, t := range concrete {
+		impl := (*types.Func)(nil)
+		if types.Implements(t, iface) {
+			impl = methodOf(t, abstract.Name())
+		} else if pt := types.NewPointer(t); types.Implements(pt, iface) {
+			impl = methodOf(pt, abstract.Name())
+		}
+		if impl == nil {
+			continue
+		}
+		impl = normFunc(impl)
+		if !seen[impl] {
+			seen[impl] = true
+			g.addEdge(CallEdge{Caller: fn, Callee: impl, Pos: call.Pos(), Kind: EdgeInterface})
+		}
+	}
+}
+
+// methodOf selects the concrete method named name from t's method set.
+func methodOf(t types.Type, name string) *types.Func {
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		if m := ms.At(i); m.Obj().Name() == name {
+			fn, _ := m.Obj().(*types.Func)
+			return fn
+		}
+	}
+	return nil
+}
+
+func (g *CallGraph) addEdge(e CallEdge) {
+	if e.Callee == nil {
+		return
+	}
+	g.edges[e.Caller] = append(g.edges[e.Caller], e)
+}

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"go/types"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadGraph builds the call graph of the callgraph fixture module.
+func loadGraph(t *testing.T) *CallGraph {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src", "callgraph"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return BuildCallGraph(pkgs)
+}
+
+// findFunc locates a declared function by its funcLabel form
+// (pkg.Func or pkg.Recv.Method).
+func findFunc(t *testing.T, g *CallGraph, label string) *types.Func {
+	t.Helper()
+	for _, fn := range g.Funcs() {
+		if funcLabel(fn) == label {
+			return fn
+		}
+	}
+	t.Fatalf("no declared function labeled %s", label)
+	return nil
+}
+
+// edgeTo reports whether fn has an out-edge of the given kind to a
+// callee with the given label.
+func edgeTo(g *CallGraph, fn *types.Func, kind EdgeKind, callee string) bool {
+	for _, e := range g.Edges(fn) {
+		if e.Kind == kind && funcLabel(e.Callee) == callee {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCallGraphStaticMethodEdge(t *testing.T) {
+	g := loadGraph(t)
+	direct := findFunc(t, g, "app.Direct")
+	if !edgeTo(g, direct, EdgeStatic, "app.Dog.Greet") {
+		t.Errorf("app.Direct lacks a static edge to app.Dog.Greet; edges: %v", labels(g, direct))
+	}
+}
+
+func TestCallGraphInterfaceCHA(t *testing.T) {
+	g := loadGraph(t)
+	hello := findFunc(t, g, "app.Hello")
+	for _, impl := range []string{"app.Dog.Greet", "app.Cat.Greet"} {
+		if !edgeTo(g, hello, EdgeInterface, impl) {
+			t.Errorf("app.Hello lacks a may-target edge to %s; edges: %v", impl, labels(g, hello))
+		}
+	}
+}
+
+func TestCallGraphFuncRefEdge(t *testing.T) {
+	g := loadGraph(t)
+	ref := findFunc(t, g, "app.Ref")
+	if !edgeTo(g, ref, EdgeFuncRef, "app.Direct") {
+		t.Errorf("app.Ref lacks a function-value edge to app.Direct; edges: %v", labels(g, ref))
+	}
+}
+
+func TestCallGraphCycleAndReverseIndex(t *testing.T) {
+	g := loadGraph(t)
+	even := findFunc(t, g, "app.Even")
+	odd := findFunc(t, g, "app.Odd")
+	if !edgeTo(g, even, EdgeStatic, "app.Odd") || !edgeTo(g, odd, EdgeStatic, "app.Even") {
+		t.Fatal("the Even↔Odd recursion cycle is missing an edge")
+	}
+	found := false
+	for _, e := range g.Callers(even) {
+		if e.Caller == odd {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Callers(app.Even) does not list the edge from app.Odd")
+	}
+}
+
+func TestCallGraphDynamicCallAndSelectFacts(t *testing.T) {
+	g := loadGraph(t)
+	dyn := findFunc(t, g, "app.Dyn")
+	if len(g.Edges(dyn)) != 0 || len(g.DynamicCalls(dyn)) != 1 {
+		t.Errorf("app.Dyn: edges %v, dynamic calls %d; want no edges and one dynamic-call fact",
+			labels(g, dyn), len(g.DynamicCalls(dyn)))
+	}
+	waits := findFunc(t, g, "app.Waits")
+	sel := g.Selects(waits)
+	if len(sel) != 1 || sel[0].Cases != 2 {
+		t.Errorf("app.Waits selects = %+v, want one fact with 2 cases", sel)
+	}
+}
+
+// TestReachTerminatesThroughCycle taints app.Dog.Greet-calls and checks
+// the backward propagation crosses the Even↔Odd cycle exactly once,
+// with a finite witness chain.
+func TestReachTerminatesThroughCycle(t *testing.T) {
+	g := loadGraph(t)
+	cfg := ReachConfig{
+		SinkCall: func(e CallEdge) (string, bool) {
+			if e.Callee != nil && e.Callee.Name() == "Greet" {
+				return "greet", true
+			}
+			return "", false
+		},
+	}
+	taint := Reach(g, cfg)
+	even := findFunc(t, g, "app.Even")
+	odd := findFunc(t, g, "app.Odd")
+	if taint[odd] == nil || taint[odd].Depth != 2 {
+		t.Fatalf("taint[app.Odd] = %+v, want depth-2 taint via app.Direct", taint[odd])
+	}
+	if taint[even] == nil || taint[even].Depth != 3 {
+		t.Fatalf("taint[app.Even] = %+v, want depth-3 taint through the cycle", taint[even])
+	}
+	chain := Chain(g, cfg, taint, even, taint[even].Via)
+	if !strings.Contains(chain, "app.Odd") || !strings.Contains(chain, "(greet at ") {
+		t.Errorf("witness chain %q does not route through app.Odd to the sink", chain)
+	}
+}
+
+func labels(g *CallGraph, fn *types.Func) []string {
+	var out []string
+	for _, e := range g.Edges(fn) {
+		out = append(out, e.Kind.String()+"→"+funcLabel(e.Callee))
+	}
+	return out
+}

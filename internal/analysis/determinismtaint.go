@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"fmt"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// decisionPathRE matches the packages whose outputs must replay
+// byte-identically: the MPC optimizer core, the random-forest learner,
+// the policies, the predictors and the simulator. (internal/par is the
+// one place nondeterministic scheduling is allowed, precisely because
+// its callers reduce to deterministic results.)
+var decisionPathRE = regexp.MustCompile(`(^|/)internal/(core|rf|policy|predict|sim)(/|$)`)
+
+// sanctionedRE matches the packages allowed to touch the wall clock on
+// behalf of decision-path code: the telemetry spans and the observation
+// streams. Both are instrumentation — their outputs never feed back
+// into a decision, and the golden replay tests prove enabling or
+// disabling them does not perturb a single decision byte. Taint stops
+// at this boundary; moving clock reads out of it re-opens the check.
+var sanctionedRE = regexp.MustCompile(`(^|/)internal/(telemetry|obs)(/|$)`)
+
+func init() {
+	Register(&Check{
+		Name:      "determinism-taint",
+		Doc:       "no call chain from decision-path packages reaches the wall clock, global randomness or racing selects",
+		RunModule: runDeterminismTaint,
+	})
+}
+
+// runDeterminismTaint is the interprocedural successor of PR 3's
+// direct-call determinism check. A walled function is flagged not only
+// when it calls time.Now itself but when any call chain out of it —
+// through helpers in non-walled packages, interface dispatch or
+// function values — can reach a nondeterminism sink. Findings anchor at
+// the offending call edge inside the walled package (where the
+// suppression, if any, belongs) and print the full witness chain.
+//
+// Each tainted out-edge of a walled function is reported separately:
+// suppressing one edge must not hide a sibling chain. Edges into other
+// walled functions are skipped — the callee is reported at its own
+// offending edges — as are edges into the sanctioned instrumentation
+// packages (see sanctionedRE).
+func runDeterminismTaint(p *ModulePass) {
+	g := p.Graph
+	cfg := ReachConfig{
+		SinkCall: taintSinkCall,
+		SinkNode: func(fn *types.Func, g *CallGraph) (string, bool) {
+			if sel := g.Selects(fn); len(sel) > 0 {
+				return fmt.Sprintf("select with %d channel cases at %s", sel[0].Cases, shortPos(g, sel[0].Pos)), true
+			}
+			return "", false
+		},
+		Stop: func(fn *types.Func, g *CallGraph) bool { return sanctioned(fn, g) },
+	}
+	taint := Reach(g, cfg)
+
+	for _, fn := range g.Funcs() {
+		pkg := g.PackageOf(fn)
+		if pkg == nil || !decisionPathRE.MatchString(pkg.Path) {
+			continue
+		}
+		// Node-level sinks in the walled function's own body.
+		for _, s := range g.Selects(fn) {
+			p.Reportf(s.Pos, "select with %d channel cases chooses pseudo-randomly when several are ready; decision paths must not branch on scheduler nondeterminism", s.Cases)
+		}
+		// Tainted out-edges.
+		for _, e := range g.Edges(fn) {
+			if _, direct := taintSinkCall(e); !direct {
+				t := taint[e.Callee]
+				if t == nil || g.PackageOf(e.Callee) == nil {
+					continue // untainted, or an external non-sink leaf
+				}
+				if cpkg := g.PackageOf(e.Callee); decisionPathRE.MatchString(cpkg.Path) {
+					continue // walled callee is reported at its own edges
+				}
+				if sanctioned(e.Callee, g) {
+					continue
+				}
+			}
+			desc := sinkDescOf(cfg, taint, e)
+			if desc == "" {
+				continue
+			}
+			p.Reportf(e.Pos, "%s reaches %s: %s; %s",
+				edgeNoun(e.Kind), sinkNoun(desc), Chain(g, cfg, taint, fn, e), remedyFor(desc))
+		}
+	}
+}
+
+// taintSinkCall classifies an edge whose callee is itself a
+// nondeterminism sink.
+func taintSinkCall(e CallEdge) (string, bool) {
+	if e.Callee == nil {
+		return "", false
+	}
+	switch e.Callee.FullName() {
+	case "time.Now", "time.Since", "time.Until":
+		return "wall-clock read", true
+	}
+	if globalRandFunc(e.Callee) {
+		return "global random draw", true
+	}
+	return "", false
+}
+
+// sinkDescOf follows the witness chain from edge e to its terminal sink
+// and returns that sink's description ("" if e does not lead to one).
+func sinkDescOf(cfg ReachConfig, taint map[*types.Func]*Taint, e CallEdge) string {
+	for hops := 0; hops < 64; hops++ {
+		if desc, ok := cfg.SinkCall(e); ok {
+			return desc
+		}
+		t := taint[e.Callee]
+		if t == nil {
+			return ""
+		}
+		if t.SelfDesc != "" {
+			return t.SelfDesc
+		}
+		e = t.Via
+	}
+	return ""
+}
+
+// sanctioned reports whether fn is declared in an instrumentation
+// package allowed to read the clock (see sanctionedRE).
+func sanctioned(fn *types.Func, g *CallGraph) bool {
+	pkg := g.PackageOf(fn)
+	return pkg != nil && sanctionedRE.MatchString(pkg.Path)
+}
+
+// edgeNoun renders the edge kind as the subject of a finding message.
+func edgeNoun(k EdgeKind) string {
+	switch k {
+	case EdgeInterface:
+		return "interface call (may-target)"
+	case EdgeFuncRef:
+		return "function-value reference"
+	}
+	return "call chain"
+}
+
+// sinkNoun compresses a sink description to its category for the
+// finding's headline.
+func sinkNoun(desc string) string {
+	switch {
+	case strings.HasPrefix(desc, "wall-clock"):
+		return "the wall clock"
+	case strings.HasPrefix(desc, "global random"):
+		return "the process-global random source"
+	default:
+		return "scheduler nondeterminism"
+	}
+}
+
+// remedyFor maps a sink description to the repository's standing fix.
+func remedyFor(desc string) string {
+	switch {
+	case strings.HasPrefix(desc, "wall-clock"):
+		return "decisions must depend only on replayable inputs (plumb measured times in as data)"
+	case strings.HasPrefix(desc, "global random"):
+		return "use an explicitly seeded *rand.Rand threaded through the call (see rf.Config.Seed)"
+	default:
+		return "decision paths must not branch on scheduler nondeterminism"
+	}
+}
+
+// globalRandFunc reports whether fn is a package-level math/rand (or
+// math/rand/v2) function drawing from the shared global source.
+// Constructors (New, NewSource, ...) are deterministic given their seed
+// and stay allowed.
+func globalRandFunc(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil || (pkg.Path() != "math/rand" && pkg.Path() != "math/rand/v2") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return false // a method on an explicitly seeded *rand.Rand / Source
+	}
+	return !strings.HasPrefix(fn.Name(), "New")
+}

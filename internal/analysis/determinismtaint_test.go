@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDeterminismTaint(t *testing.T) { testCheck(t, "determinism-taint") }
+
+// TestDeterminismTaintIsTransitive pins the reason the interprocedural
+// engine exists: the findings fixture's walled package contains no
+// direct sink whatsoever — no time or math/rand import and no select
+// statement, which is everything PR 3's direct-call determinism check
+// looked for — yet every function in it is flagged through a helper
+// package, an interface, or a function value.
+func TestDeterminismTaintIsTransitive(t *testing.T) {
+	core := filepath.Join("testdata", "src", "determinism-taint", "findings", "internal", "core")
+	entries, err := os.ReadDir(core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(core, e.Name()), nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, imp := range f.Imports {
+			switch p := strings.Trim(imp.Path.Value, `"`); p {
+			case "time", "math/rand", "math/rand/v2":
+				t.Fatalf("%s imports %q: the fixture must hold no direct sink, or the transitivity proof is void", e.Name(), p)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectStmt); ok {
+				t.Fatalf("%s holds a select statement at %s: the fixture must leak only transitively", e.Name(), fset.Position(sel.Pos()))
+			}
+			return true
+		})
+	}
+
+	diags := lintFixture(t, "determinism-taint", filepath.Join("determinism-taint", "findings"))
+	inCore := 0
+	for _, d := range diags {
+		if strings.Contains(d.File, filepath.Join("internal", "core")) {
+			inCore++
+		}
+	}
+	if inCore < 5 {
+		t.Errorf("the sink-free walled package drew %d findings, want at least 5 (one per leaked chain)", inCore)
+	}
+}

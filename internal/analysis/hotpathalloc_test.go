@@ -1,0 +1,5 @@
+package analysis
+
+import "testing"
+
+func TestHotpathAlloc(t *testing.T) { testCheck(t, "hotpath-alloc") }

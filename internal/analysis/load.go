@@ -230,10 +230,20 @@ func (li *loaderImporter) Import(path string) (*types.Package, error) {
 	return l.std.Import(path)
 }
 
-// LintModule is the one-call entry the driver and the fixture tests
-// share: load every package of the module rooted at dir, run the given
-// checks, return the suppressed-and-sorted diagnostics.
+// LintModule is the one-call entry the fixture tests share: load every
+// package of the module rooted at dir, run the given checks serially,
+// return the suppressed-and-sorted diagnostics.
 func LintModule(dir string, checks []*Check) ([]Diagnostic, error) {
+	return LintModuleWorkers(dir, checks, 1)
+}
+
+// LintModuleWorkers is LintModule with a worker count for the check
+// fan-out: loading and type-checking stay single-pass (the loader's
+// cache is not concurrency-safe and is dominated by the stdlib source
+// importer anyway), while the checks themselves fan out through
+// RunWorkers. The diagnostics are byte-identical for every worker
+// count.
+func LintModuleWorkers(dir string, checks []*Check, workers int) ([]Diagnostic, error) {
 	l, err := NewLoader(dir)
 	if err != nil {
 		return nil, err
@@ -242,5 +252,5 @@ func LintModule(dir string, checks []*Check) ([]Diagnostic, error) {
 	if err != nil {
 		return nil, err
 	}
-	return Run(pkgs, checks), nil
+	return RunWorkers(pkgs, checks, workers), nil
 }

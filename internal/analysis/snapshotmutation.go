@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+func init() {
+	Register(&Check{
+		Name:      "snapshot-mutation",
+		Doc:       "types published through atomic.Pointer (and //mpclint:immutable types) are never written after construction",
+		RunModule: runSnapshotMutation,
+	})
+}
+
+// runSnapshotMutation enforces immutable-after-publish. The serving
+// stack shares state lock-free by publishing pointers through
+// atomic.Pointer[T]: readers hold a *T with no synchronization, so any
+// write to a published value is a data race the type system cannot see.
+// Every named module type that appears as an atomic.Pointer type
+// argument anywhere in the module is therefore a sealed root, as is any
+// type annotated //mpclint:immutable (the derived read-only pools, e.g.
+// a compiled forest's node arrays, which are shared the same way but
+// published indirectly). A field, element or slice write through a
+// sealed type is flagged unless the enclosing function is one of the
+// type's constructors — a function whose results include T or *T, which
+// is exactly the builder that owns the value before publication.
+//
+// Writes through aliases (copy a field slice into a local, write the
+// local) are out of scope; the golden replay and -race walls stay as
+// the dynamic backstop for those.
+func runSnapshotMutation(p *ModulePass) {
+	roots := sealedRoots(p)
+	if len(roots) == 0 {
+		return
+	}
+	g := p.Graph
+	for _, fn := range g.Funcs() {
+		decl := g.Decl(fn)
+		if decl == nil || decl.Body == nil {
+			continue
+		}
+		info := g.PackageOf(fn).Info
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					checkSealedWrite(p, info, fn, roots, lhs)
+				}
+			case *ast.IncDecStmt:
+				checkSealedWrite(p, info, fn, roots, n.X)
+			}
+			return true
+		})
+	}
+}
+
+// sealedRoots collects the module's immutable-after-publish type set:
+// every named module type used as an atomic.Pointer type argument plus
+// the //mpclint:immutable annotated ones. The map value records why the
+// type is sealed, for the finding message.
+func sealedRoots(p *ModulePass) map[*types.TypeName]string {
+	roots := map[*types.TypeName]string{}
+	modulePkgs := map[*types.Package]bool{}
+	for _, pkg := range p.Pkgs {
+		modulePkgs[pkg.Types] = true
+	}
+	for _, pkg := range p.Pkgs {
+		for _, tv := range pkg.Info.Types {
+			named, ok := tv.Type.(*types.Named)
+			if !ok {
+				continue
+			}
+			obj := named.Obj()
+			if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" || obj.Name() != "Pointer" {
+				continue
+			}
+			args := named.TypeArgs()
+			if args.Len() != 1 {
+				continue
+			}
+			if arg, ok := args.At(0).(*types.Named); ok {
+				if tn := arg.Obj(); modulePkgs[tn.Pkg()] {
+					roots[tn] = "published through atomic.Pointer"
+				}
+			}
+		}
+	}
+	for tn, reason := range p.Ann.Immutable {
+		roots[tn] = "annotated //mpclint:immutable (" + reason + ")"
+	}
+	return roots
+}
+
+// checkSealedWrite climbs a write's access path (selectors, indexing,
+// dereferences) looking for a base value of a sealed type; one finding
+// is reported at the outermost sealed hop.
+func checkSealedWrite(p *ModulePass, info *types.Info, fn *types.Func, roots map[*types.TypeName]string, lhs ast.Expr) {
+	for {
+		lhs = ast.Unparen(lhs)
+		var base ast.Expr
+		switch x := lhs.(type) {
+		case *ast.SelectorExpr:
+			base = x.X
+		case *ast.IndexExpr:
+			base = x.X
+		case *ast.StarExpr:
+			base = x.X
+		default:
+			return
+		}
+		if tn := sealedTypeOf(info.TypeOf(base), roots); tn != nil {
+			if !isConstructorOf(fn, tn) {
+				p.Reportf(lhs.Pos(), "write to %s value outside its constructor: %s is immutable after publish (%s); build a new value and publish that instead",
+					tn.Name(), tn.Name(), roots[tn])
+			}
+			return
+		}
+		lhs = base
+	}
+}
+
+// sealedTypeOf unwraps t (one pointer level, named chains) to a sealed
+// root type, or nil.
+func sealedTypeOf(t types.Type, roots map[*types.TypeName]string) *types.TypeName {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	if _, sealed := roots[named.Obj()]; sealed {
+		return named.Obj()
+	}
+	return nil
+}
+
+// isConstructorOf reports whether fn's results include tn or *tn — the
+// exemption that lets builders populate a value before it is published.
+func isConstructorOf(fn *types.Func, tn *types.TypeName) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		t := res.At(i).Type()
+		if ptr, ok := t.Underlying().(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj() == tn {
+			return true
+		}
+	}
+	return false
+}

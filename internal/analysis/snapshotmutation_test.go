@@ -1,0 +1,5 @@
+package analysis
+
+import "testing"
+
+func TestSnapshotMutation(t *testing.T) { testCheck(t, "snapshot-mutation") }

@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Taint records why one function is considered tainted: either the
+// function itself contains a sink (SelfDesc set, Via zero), or one of
+// its call edges leads — possibly through many hops — to a sink (Via
+// set to the witness edge, chosen as a shortest path for readable
+// messages).
+type Taint struct {
+	Via      CallEdge // witness edge toward the sink; zero for self-sinks
+	SelfDesc string   // description when the function itself is the sink
+	Depth    int      // hops to the sink (0 for self-sinks)
+}
+
+// ReachConfig parameterizes one backward taint propagation over a call
+// graph.
+type ReachConfig struct {
+	// SinkCall classifies an edge whose callee is itself a sink (e.g. a
+	// call to time.Now). It returns a human-readable description of the
+	// sink and true, or false for a harmless edge.
+	SinkCall func(e CallEdge) (string, bool)
+	// SinkNode classifies a module function that is a sink by its own
+	// body (e.g. it contains a multi-case select), independent of what
+	// it calls. Optional.
+	SinkNode func(fn *types.Func, g *CallGraph) (string, bool)
+	// Stop, when it returns true for a module function, prevents that
+	// function's taint from flowing into its callers — a sanctioned
+	// boundary (e.g. the telemetry package, which owns the clock by
+	// design). Optional.
+	Stop func(fn *types.Func, g *CallGraph) bool
+}
+
+// Reach computes the set of module functions from which a sink is
+// reachable, with a shortest witness chain per function. Propagation is
+// breadth-first from the sinks over reverse edges, so Via chains are
+// minimal; ties are broken deterministically by source position.
+func Reach(g *CallGraph, cfg ReachConfig) map[*types.Func]*Taint {
+	taint := map[*types.Func]*Taint{}
+	var frontier []*types.Func
+
+	// Seed: self-sinks first, then functions with a direct sink edge.
+	for _, fn := range g.Funcs() {
+		if cfg.SinkNode != nil {
+			if desc, ok := cfg.SinkNode(fn, g); ok {
+				taint[fn] = &Taint{SelfDesc: desc}
+				frontier = append(frontier, fn)
+				continue
+			}
+		}
+		if cfg.SinkCall == nil {
+			continue
+		}
+		for _, e := range g.Edges(fn) {
+			if _, ok := cfg.SinkCall(e); ok {
+				taint[fn] = &Taint{Via: e, Depth: 1}
+				frontier = append(frontier, fn)
+				break
+			}
+		}
+	}
+
+	// BFS over reverse edges. Each layer is expanded in deterministic
+	// (callee position, edge position) order so the first witness a
+	// caller receives is stable run to run.
+	for depth := 2; len(frontier) > 0; depth++ {
+		sort.Slice(frontier, func(i, j int) bool { return frontier[i].Pos() < frontier[j].Pos() })
+		var next []*types.Func
+		for _, callee := range frontier {
+			if cfg.Stop != nil && cfg.Stop(callee, g) {
+				continue
+			}
+			callers := append([]CallEdge(nil), g.Callers(callee)...)
+			sort.Slice(callers, func(i, j int) bool { return callers[i].Pos < callers[j].Pos })
+			for _, e := range callers {
+				if _, seen := taint[e.Caller]; seen {
+					continue
+				}
+				taint[e.Caller] = &Taint{Via: e, Depth: depth}
+				next = append(next, e.Caller)
+			}
+		}
+		frontier = next
+	}
+	return taint
+}
+
+// Chain renders the witness call chain from fn to its sink as a
+// human-readable arrow sequence ending in the sink description, e.g.
+//
+//	core.Decide → util.Stamp → time.Now (wall-clock read)
+//
+// Positions of intermediate hops come from the graph's file set; the
+// final sink position is included so the offending call is one click
+// away even when the chain crosses packages.
+func Chain(g *CallGraph, cfg ReachConfig, taint map[*types.Func]*Taint, fn *types.Func, via CallEdge) string {
+	var b strings.Builder
+	b.WriteString(funcLabel(fn))
+	e := via
+	for hops := 0; hops < 64; hops++ {
+		if cfg.SinkCall != nil {
+			if desc, ok := cfg.SinkCall(e); ok {
+				fmt.Fprintf(&b, " → %s (%s at %s)", funcLabel(e.Callee), desc, shortPos(g, e.Pos))
+				return b.String()
+			}
+		}
+		t := taint[e.Callee]
+		if t == nil {
+			fmt.Fprintf(&b, " → %s", funcLabel(e.Callee))
+			return b.String()
+		}
+		fmt.Fprintf(&b, " → %s", funcLabel(e.Callee))
+		if t.SelfDesc != "" {
+			fmt.Fprintf(&b, " (%s)", t.SelfDesc)
+			return b.String()
+		}
+		e = t.Via
+	}
+	b.WriteString(" → …")
+	return b.String()
+}
+
+// funcLabel renders a function name compactly: package base name plus
+// receiver-qualified method name.
+func funcLabel(fn *types.Func) string {
+	if fn == nil {
+		return "?"
+	}
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return fn.Name()
+	}
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			name = n.Obj().Name() + "." + name
+		}
+	}
+	return pkg.Name() + "." + name
+}
+
+// shortPos renders a position as file:line with the directory stripped:
+// chains already identify packages by name, and full absolute paths
+// would bloat every message.
+func shortPos(g *CallGraph, pos token.Pos) string {
+	p := g.Position(pos)
+	file := p.Filename
+	if i := strings.LastIndexByte(file, '/'); i >= 0 {
+		file = file[i+1:]
+	}
+	return fmt.Sprintf("%s:%d", file, p.Line)
+}

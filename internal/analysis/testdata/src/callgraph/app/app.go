@@ -1,0 +1,60 @@
+// Package app exercises every call-graph edge kind: static calls,
+// concrete-receiver methods, interface dispatch expanded by CHA,
+// function-value references, dynamic calls, a recursion cycle, and a
+// multi-case select fact.
+package app
+
+type Greeter interface {
+	Greet() string
+}
+
+type Dog struct{}
+
+func (Dog) Greet() string { return "woof" }
+
+type Cat struct{}
+
+func (*Cat) Greet() string { return "meow" }
+
+// Hello dispatches through the interface: CHA expands it to every
+// concrete implementation in the module.
+func Hello(g Greeter) string { return g.Greet() }
+
+// Direct calls a method through a concrete receiver: exact.
+func Direct() string {
+	var d Dog
+	return d.Greet()
+}
+
+// Ref takes a reference to Direct without calling it.
+func Ref() func() string {
+	return Direct
+}
+
+// Even and Odd form a recursion cycle; Odd also reaches Direct.
+func Even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return Odd(n - 1)
+}
+
+func Odd(n int) bool {
+	if n == 0 {
+		return Direct() == "woof"
+	}
+	return Even(n - 1)
+}
+
+// Dyn calls a function value: unresolvable, a dynamic-call fact.
+func Dyn(f func() int) int { return f() }
+
+// Waits contains a two-case select: a node-level fact.
+func Waits(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}

@@ -1,0 +1,15 @@
+// Package app is outside the decision-path set: harness code may read
+// the clock and the global random source directly or through helpers.
+package app
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Elapsed measures wall time — fine outside the wall.
+func Elapsed() time.Duration {
+	start := time.Now()
+	_ = rand.Int()
+	return time.Since(start)
+}

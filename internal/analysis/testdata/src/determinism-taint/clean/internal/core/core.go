@@ -1,0 +1,25 @@
+// Package core shows the allowed decision-path forms: explicitly
+// seeded randomness, a single-case select (no scheduler race), and
+// instrumentation through the sanctioned telemetry boundary.
+package core
+
+import (
+	"math/rand"
+
+	"fix/internal/telemetry"
+)
+
+// Decide draws from a caller-seeded generator and times itself only
+// through the sanctioned instrumentation package.
+func Decide(seed int64, ch chan int) float64 {
+	start := telemetry.Start()
+	rng := rand.New(rand.NewSource(seed)) // constructors are deterministic given the seed
+	x := rng.Float64()                    // method on a seeded *rand.Rand, not the global source
+	select {
+	case v := <-ch: // a single communication case cannot race
+		x += float64(v)
+	default:
+	}
+	telemetry.Observe(start)
+	return x
+}

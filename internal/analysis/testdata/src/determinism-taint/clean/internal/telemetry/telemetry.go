@@ -1,0 +1,16 @@
+// Package telemetry matches the sanctioned instrumentation set: it may
+// read the wall clock, and taint stops at its boundary — callers in
+// decision paths are not flagged for calling in.
+package telemetry
+
+import "time"
+
+var totalNS int64
+
+// Start marks the beginning of a measured region.
+func Start() time.Time { return time.Now() }
+
+// Observe accumulates the wall-clock duration of a measured region.
+func Observe(start time.Time) {
+	totalNS += int64(time.Since(start))
+}

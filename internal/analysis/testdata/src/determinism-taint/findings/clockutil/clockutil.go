@@ -1,0 +1,11 @@
+// Package clockutil wraps the wall clock — legitimate on its own, a
+// determinism leak the moment a decision path can reach it.
+package clockutil
+
+import "time"
+
+// ElapsedMS measures a wall-clock interval.
+func ElapsedMS() float64 {
+	start := time.Now()
+	return float64(time.Since(start)) / 1e6
+}

@@ -1,0 +1,14 @@
+// Package hwclock is the module's only implementation of the core
+// Clock interface — and it reads the machine clock, so every interface
+// call site in a decision path is a may-target leak.
+package hwclock
+
+import "time"
+
+// WallClock reads the machine clock.
+type WallClock struct{}
+
+// NowMS returns the current wall-clock time in milliseconds.
+func (WallClock) NowMS() float64 {
+	return float64(time.Now().UnixNano()) / 1e6
+}

@@ -1,0 +1,43 @@
+// Package core is a decision-path package (import path matches
+// internal/core) that contains no direct sink at all: no time or
+// math/rand import and no select statement. Every leak below is
+// transitive — routed through a helper package, an interface, or a
+// function value — which is exactly what a direct-call check misses.
+package core
+
+import (
+	"fix/clockutil"
+	"fix/randutil"
+	"fix/waiter"
+)
+
+// Clock abstracts a time source; the module's only implementation
+// (hwclock.WallClock) reads the wall clock.
+type Clock interface {
+	NowMS() float64
+}
+
+// Decide leaks the wall clock through a helper package.
+func Decide(budget float64) float64 {
+	return budget - clockutil.ElapsedMS() // want `call chain reaches the wall clock: core\.Decide → clockutil\.ElapsedMS → time\.Now \(wall-clock read at clockutil\.go:\d+\)`
+}
+
+// Jitter leaks the global random source through a helper package.
+func Jitter(x float64) float64 {
+	return x * randutil.Draw() // want `call chain reaches the process-global random source: core\.Jitter → randutil\.Draw → rand\.Float64 \(global random draw at randutil\.go:\d+\)`
+}
+
+// Elapsed leaks the wall clock through interface dispatch.
+func Elapsed(c Clock, start float64) float64 {
+	return c.NowMS() - start // want `interface call \(may-target\) reaches the wall clock: core\.Elapsed → hwclock\.WallClock\.NowMS → time\.Now`
+}
+
+// Sampler leaks the global random source as a function value.
+func Sampler() func() float64 {
+	return randutil.Draw // want `function-value reference reaches the process-global random source: core\.Sampler → randutil\.Draw → rand\.Float64`
+}
+
+// Pick leaks scheduler nondeterminism through a helper's select.
+func Pick(a, b chan int) int {
+	return waiter.First(a, b) // want `call chain reaches scheduler nondeterminism: core\.Pick → waiter\.First \(select with 2 channel cases at waiter\.go:\d+\); decision paths must not branch on scheduler nondeterminism`
+}

@@ -1,0 +1,9 @@
+// Package randutil wraps the process-global random source.
+package randutil
+
+import "math/rand"
+
+// Draw returns one draw from the shared global generator.
+func Draw() float64 {
+	return rand.Float64()
+}

@@ -1,0 +1,13 @@
+// Package waiter multiplexes two channels; with both ready, its select
+// chooses pseudo-randomly.
+package waiter
+
+// First returns whichever channel delivers first.
+func First(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}

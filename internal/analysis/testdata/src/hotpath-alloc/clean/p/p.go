@@ -1,0 +1,64 @@
+// Package p shows the forms a //mpclint:hotpath function may use:
+// stack values, allowlisted stdlib calls, clean module helpers, other
+// annotated functions, and panic messages (the failure path may
+// allocate).
+package p
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+type state struct {
+	mu   sync.Mutex
+	hits atomic.Uint64
+	pool sync.Pool
+}
+
+// scale is a clean module helper: hot paths may call it freely because
+// the proof follows static calls into the module.
+func scale(x float64) float64 {
+	return math.Sqrt(x) * 2
+}
+
+// NewState is not annotated, so it allocates freely.
+func NewState() *state {
+	return &state{}
+}
+
+//mpclint:hotpath proven by the fixture's AllocsPerRun pin
+func Inner(s *state, x float64) float64 {
+	var buf [8]float64 // an array value lives on the stack
+	for i := range buf {
+		buf[i] = scale(x)
+	}
+	s.hits.Add(1)
+	return buf[0]
+}
+
+// Outer calls another annotated function: trusted, since Inner is
+// proven under its own annotation. The panic argument subtree is
+// exempt — the failure path is allowed to build its message.
+//
+//mpclint:hotpath proven by the fixture's AllocsPerRun pin
+func Outer(s *state, x float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if x < 0 {
+		panic(fmt.Sprintf("p: negative input %v", x))
+	}
+	return Inner(s, x)
+}
+
+//mpclint:hotpath proven by the fixture's AllocsPerRun pin
+func Pooled(s *state) float64 {
+	v, _ := s.pool.Get().(*[16]float64)
+	if v == nil {
+		panic("p: empty pool")
+	}
+	x := v[0]
+	s.pool.Put(v)
+	return x
+}

@@ -1,0 +1,76 @@
+// Package p exercises every allocation-site class hotpath-alloc proves
+// absent from //mpclint:hotpath functions: intrinsic sites, boxing,
+// unprovable callees, and transitive chains through module helpers.
+package p
+
+import "strings"
+
+type pair struct{ a, b int }
+
+type boxer interface{}
+
+type writer interface {
+	Write(p []byte) (int, error)
+}
+
+// sum is variadic: calling it without a spread builds the argument
+// slice.
+func sum(xs ...int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// sink boxes its concrete arguments into an interface parameter.
+func sink(v boxer) boxer { return v }
+
+// leaf allocates; mid is locally clean but calls it, so a hot path
+// calling mid inherits the allocation transitively.
+func leaf(n int) []int {
+	return make([]int, n)
+}
+
+func mid(n int) []int {
+	return leaf(n)
+}
+
+// spin is allocation-free; only the go statement launching it is a
+// site.
+func spin() {}
+
+//mpclint:hotpath exercised under a findings-fixture pin
+func Intrinsics(n int, m map[string]int, s string) int {
+	buf := make([]float64, n) // want `make allocates in //mpclint:hotpath function p\.Intrinsics; the zero-alloc pin forbids allocation sites`
+	pr := new(pair)           // want `new allocates in //mpclint:hotpath function p\.Intrinsics`
+	xs := []int{1, 2, 3}      // want `slice literal allocates its backing array`
+	xs = append(xs, n)        // want `append may grow its backing array`
+	q := &pair{a: n}          // want `composite literal escapes to the heap \(&T\{\.\.\.\}\)`
+	m[s] = n                  // want `map assignment may grow the map`
+	s2 := s + "!"             // want `string concatenation allocates`
+	_ = len(buf) + pr.a + q.a + len(s2) + len(xs)
+	return sum(1, 2, 3) // want `variadic call allocates its argument slice`
+}
+
+//mpclint:hotpath exercised under a findings-fixture pin
+func Spawn(n int) int {
+	f := func() int { return n } // want `closure captures variables and allocates`
+	go spin()                    // want `go statement spawns a goroutine`
+	return f()                   // want `dynamic call through a function value cannot be proven allocation-free`
+}
+
+//mpclint:hotpath exercised under a findings-fixture pin
+func Boxes(n int, w writer, b []byte, s string) int {
+	_ = boxer(n)                         // want `conversion boxes a non-pointer value into an interface`
+	_ = sink(pair{a: n})                 // want `argument boxed into interface parameter`
+	_ = []byte(s)                        // want `string-to-slice conversion allocates`
+	_ = string(b)                        // want `slice-to-string conversion allocates`
+	k, _ := w.Write(b)                   // want `interface call p\.writer\.Write dispatches dynamically and cannot be proven allocation-free`
+	return k + len(strings.TrimSpace(s)) // want `call to strings\.TrimSpace is outside the module and not on the allocation-free allowlist`
+}
+
+//mpclint:hotpath exercised under a findings-fixture pin
+func Transitive(n int) int {
+	return len(mid(n)) // want `call may allocate in //mpclint:hotpath function p\.Transitive: p\.Transitive → p\.mid → p\.leaf \(make allocates at p\.go:\d+\); the zero-alloc pin extends to everything the hot path calls`
+}

@@ -13,7 +13,7 @@ func spawn(f func()) {
 
 	go f() // want `raw go statement outside internal/par`
 
-	//mpclint:ignore determinism wrong check, must not suppress pooled-concurrency
+	//mpclint:ignore float-eq wrong check, must not suppress pooled-concurrency
 	go f() // want `raw go statement outside internal/par`
 }
 

@@ -1,0 +1,52 @@
+// Package p shows the approved copy-on-write discipline around an
+// atomic.Pointer publication: values are only written inside
+// constructors; evolution builds a new value and publishes that.
+package p
+
+import "sync/atomic"
+
+// Snapshot is published lock-free.
+type Snapshot struct {
+	Gen int
+	Xs  []float64
+}
+
+var current atomic.Pointer[Snapshot]
+
+// NewSnapshot builds and populates a fresh value.
+func NewSnapshot(gen, n int) *Snapshot {
+	s := &Snapshot{Gen: gen, Xs: make([]float64, n)}
+	for i := range s.Xs {
+		s.Xs[i] = float64(gen)
+	}
+	return s
+}
+
+// Evolve derives the next generation without touching the published
+// value: it returns *Snapshot, so it is itself a constructor of the
+// value it builds.
+func Evolve() *Snapshot {
+	old := current.Load()
+	next := &Snapshot{Gen: old.Gen, Xs: make([]float64, len(old.Xs))}
+	copy(next.Xs, old.Xs)
+	next.Gen++
+	return next
+}
+
+// Publish installs a snapshot.
+func Publish(s *Snapshot) { current.Store(s) }
+
+// Reader consumes the published value without writing it.
+func Reader() float64 {
+	s := current.Load()
+	if s == nil || len(s.Xs) == 0 {
+		return 0
+	}
+	return s.Xs[0] * float64(s.Gen)
+}
+
+// scratch is never published and carries no annotation: it is mutated
+// freely.
+type scratch struct{ n int }
+
+func bump(s *scratch) { s.n++ }

@@ -1,0 +1,69 @@
+// Package p publishes Snapshot through atomic.Pointer and marks Table
+// //mpclint:immutable: any write outside a constructor is a data race
+// against lock-free readers, and a finding.
+package p
+
+import "sync/atomic"
+
+// Snapshot is published lock-free: readers hold a *Snapshot with no
+// synchronization.
+type Snapshot struct {
+	Gen int
+	Xs  []float64
+}
+
+var current atomic.Pointer[Snapshot]
+
+// NewSnapshot is a constructor — it returns *Snapshot — so it may
+// populate the value before publication.
+func NewSnapshot(gen, n int) *Snapshot {
+	s := &Snapshot{Gen: gen}
+	s.Xs = make([]float64, n)
+	for i := range s.Xs {
+		s.Xs[i] = float64(gen)
+	}
+	return s
+}
+
+// Publish installs a snapshot.
+func Publish(s *Snapshot) {
+	current.Store(s)
+}
+
+// Bump mutates the published snapshot in place.
+func Bump() {
+	s := current.Load()
+	s.Gen++ // want `write to Snapshot value outside its constructor: Snapshot is immutable after publish \(published through atomic\.Pointer\); build a new value and publish that instead`
+}
+
+// Patch writes through a field of the published snapshot.
+func Patch(v float64) {
+	current.Load().Xs[0] = v // want `write to Snapshot value outside its constructor`
+}
+
+// Retag takes a snapshot that may already be published and writes it.
+func Retag(s *Snapshot, gen int) {
+	s.Gen = gen // want `write to Snapshot value outside its constructor`
+}
+
+// Table is a derived read-only pool shared by concurrent readers, but
+// published indirectly — only the annotation seals it.
+//
+//mpclint:immutable shared read-only by concurrent readers after Build
+type Table struct {
+	Vals []float64
+}
+
+// Build is Table's constructor.
+func Build(n int) *Table {
+	t := &Table{Vals: make([]float64, n)}
+	for i := range t.Vals {
+		t.Vals[i] = 1
+	}
+	return t
+}
+
+// Poke mutates a built table.
+func Poke(t *Table, v float64) {
+	t.Vals[0] = v // want `write to Table value outside its constructor: Table is immutable after publish \(annotated //mpclint:immutable \(shared read-only by concurrent readers after Build\)\)`
+}

@@ -62,9 +62,12 @@ func NewReservoir(capacity int, seed int64) *Reservoir {
 // the reservoir (appended while filling, or replacing a prior sample
 // once full), false if the stream position was passed over. Steady
 // state is allocation-free: once full, Add only overwrites in place.
+//
+//mpclint:hotpath steady state pinned at 0 allocs/op by TestReservoirAddZeroAlloc
 func (r *Reservoir) Add(s predict.Sample) bool {
 	r.seen++
 	if len(r.samples) < r.max {
+		//mpclint:ignore hotpath-alloc fill-phase append stays within the capacity NewReservoir preallocated; the pinned steady state (full reservoir) overwrites in place
 		r.samples = append(r.samples, s)
 		return true
 	}

@@ -112,21 +112,28 @@ func (s *Slog) enabled(level slog.Level) bool {
 }
 
 // OnDecision implements Observer.
+//
+//mpclint:hotpath suppressed levels pinned at 0 allocs/op by TestSlogDisabledLevelZeroAlloc; the enabled() gate precedes every attribute build
 func (s *Slog) OnDecision(e DecisionEvent) {
 	if !s.enabled(slog.LevelDebug) {
 		return
 	}
+	//mpclint:ignore hotpath-alloc attribute build runs only past the enabled() gate; suppressed levels return first, pinned by TestSlogDisabledLevelZeroAlloc
 	s.l.Debug("decision",
 		"policy", e.Policy, "app", e.App, "index", e.Index,
+		//mpclint:ignore hotpath-alloc Config.String renders attributes past the enabled() gate only
 		"config", e.Config.String(), "evals", e.Evals,
 		"horizon", e.Horizon, "overhead_ms", e.OverheadMS)
 }
 
 // OnKernelDone implements Observer.
+//
+//mpclint:hotpath suppressed levels pinned at 0 allocs/op by TestSlogDisabledLevelZeroAlloc; the enabled() gate precedes every attribute build
 func (s *Slog) OnKernelDone(e KernelEvent) {
 	if !s.enabled(slog.LevelDebug) {
 		return
 	}
+	//mpclint:ignore hotpath-alloc attribute build runs only past the enabled() gate; suppressed levels return first, pinned by TestSlogDisabledLevelZeroAlloc
 	s.l.Debug("kernel done",
 		"policy", e.Policy, "app", e.App, "index", e.Index,
 		"kernel", e.Kernel, "time_ms", e.TimeMS,
@@ -134,30 +141,39 @@ func (s *Slog) OnKernelDone(e KernelEvent) {
 }
 
 // OnHorizonChange implements Observer.
+//
+//mpclint:hotpath suppressed levels pinned at 0 allocs/op by TestSlogDisabledLevelZeroAlloc; the enabled() gate precedes every attribute build
 func (s *Slog) OnHorizonChange(e HorizonEvent) {
 	if !s.enabled(slog.LevelInfo) {
 		return
 	}
+	//mpclint:ignore hotpath-alloc attribute build runs only past the enabled() gate; suppressed levels return first, pinned by TestSlogDisabledLevelZeroAlloc
 	s.l.Info("horizon change",
 		"policy", e.Policy, "app", e.App, "index", e.Index,
 		"horizon", e.Horizon, "prev", e.Prev, "full", e.Full)
 }
 
 // OnModelError implements Observer.
+//
+//mpclint:hotpath suppressed levels pinned at 0 allocs/op by TestSlogDisabledLevelZeroAlloc; the enabled() gate precedes every attribute build
 func (s *Slog) OnModelError(e ModelErrorEvent) {
 	if !s.enabled(slog.LevelDebug) {
 		return
 	}
+	//mpclint:ignore hotpath-alloc attribute build runs only past the enabled() gate; suppressed levels return first, pinned by TestSlogDisabledLevelZeroAlloc
 	s.l.Debug("model error",
 		"policy", e.Policy, "app", e.App, "index", e.Index,
 		"time_error", e.TimeError(), "power_error", e.PowerError())
 }
 
 // OnFallback implements Observer.
+//
+//mpclint:hotpath suppressed levels pinned at 0 allocs/op by TestSlogDisabledLevelZeroAlloc; the enabled() gate precedes every attribute build
 func (s *Slog) OnFallback(e FallbackEvent) {
 	if !s.enabled(slog.LevelInfo) {
 		return
 	}
+	//mpclint:ignore hotpath-alloc attribute build runs only past the enabled() gate; suppressed levels return first, pinned by TestSlogDisabledLevelZeroAlloc
 	s.l.Info("fallback",
 		"policy", e.Policy, "app", e.App, "index", e.Index,
 		"reason", e.Reason)

@@ -46,6 +46,8 @@ func patchConfig(x []float64, c hw.Config) {
 // featurizeInto assembles the full feature vector into the caller-owned
 // x (len numRFFeatures): counter prefix plus config suffix. The hot
 // paths pass a stack buffer here so a prediction allocates nothing.
+//
+//mpclint:hotpath pinned at 0 allocs/op by TestFeaturizeZeroAlloc
 func featurizeInto(x []float64, cs counters.Set, c hw.Config) {
 	counterPrefix(x, cs)
 	patchConfig(x, c)
@@ -107,6 +109,8 @@ func (m *RandomForest) Name() string { return "random-forest" }
 // buffer and the default path walks the compiled forests, so one
 // prediction allocates nothing in steady state (pinned by
 // TestPredictKernelZeroAlloc).
+//
+//mpclint:hotpath pinned at 0 allocs/op by TestPredictKernelZeroAlloc
 func (m *RandomForest) PredictKernel(cs counters.Set, c hw.Config) Estimate {
 	var buf [numRFFeatures]float64
 	featurizeInto(buf[:], cs, c)

@@ -170,12 +170,16 @@ func (m *RandomForest) countArena(hit bool) {
 // session) proceed without serializing on any lock. Per-sweep results
 // are bit-identical regardless of which arena serves them — arenas
 // differ only in identity, never in contents.
+//
+//mpclint:hotpath warm sweep pinned at 0 allocs/op by TestPredictSpaceZeroAllocSteadyState
 func (m *RandomForest) PredictSpace(cs counters.Set, space hw.Space, dst []Estimate) bool {
 	return m.predictSpace(cs, space, dst, nil)
 }
 
 // PredictSpaceTraced implements TracedSpaceEvaluator: the same sweep
 // with featurize and forest-eval child spans attached to tc.
+//
+//mpclint:hotpath warm sweep pinned at 0 allocs/op by TestPredictSpaceZeroAllocSteadyState; spans add nothing when unsampled
 func (m *RandomForest) PredictSpaceTraced(cs counters.Set, space hw.Space, dst []Estimate, tc *telemetry.Context) bool {
 	return m.predictSpace(cs, space, dst, tc)
 }
@@ -183,6 +187,8 @@ func (m *RandomForest) PredictSpaceTraced(cs counters.Set, space hw.Space, dst [
 // predictSpace is the shared batched sweep: the traced and untraced
 // entry points differ only in whether span bookkeeping runs — every
 // value written to dst is computed identically.
+//
+//mpclint:hotpath warm sweep pinned at 0 allocs/op by TestPredictSpaceZeroAllocSteadyState; arena-miss slow paths carry reasoned suppressions
 func (m *RandomForest) predictSpace(cs counters.Set, space hw.Space, dst []Estimate, tc *telemetry.Context) bool {
 	if m.treeWalk || m.timeCompiled == nil {
 		return false
@@ -198,10 +204,13 @@ func (m *RandomForest) predictSpace(cs counters.Set, space hw.Space, dst []Estim
 	var prefix [counters.NumCounters]float64
 	counterPrefix(prefix[:], cs)
 
+	//mpclint:ignore hotpath-alloc pool install is a once-per-space slow path; warm sweeps load the existing pool, pinned by TestPredictSpaceZeroAllocSteadyState
 	ap := m.arenaFor(space)
+	//mpclint:ignore hotpath-alloc arena build is the pool-miss slow path; warm sweeps reuse a pooled arena, pinned by TestPredictSpaceZeroAllocSteadyState
 	a, pooled := ap.get()
 	if !a.space.Equal(space) {
 		// Defensive: never trust a foreign arena's suffix columns.
+		//mpclint:ignore hotpath-alloc defensive rebuild only runs if a foreign arena leaks into the pool, which the space-keyed install forbids
 		a, pooled = newSpaceArena(space), false
 	}
 	m.countArena(pooled)

@@ -32,6 +32,8 @@ import (
 // A CompiledForest is safe for concurrent use: all fields are
 // immutable after Compile, and the Into variants write only into
 // caller-owned buffers.
+//
+//mpclint:immutable SoA node pool is shared lock-free by concurrent predictors; any post-Compile write is a data race and breaks bit-exactness
 type CompiledForest struct {
 	feature []int16   // split feature per node; -1 marks a leaf
 	thresh  []float64 // split threshold, or the leaf's mean target
@@ -105,6 +107,8 @@ func (c *CompiledForest) NumNodes() int { return len(c.feature) }
 // Predict returns the forest's estimate for feature vector x,
 // bit-identical to the tree-walking (*Forest).Predict. It panics if x
 // has the wrong dimensionality.
+//
+//mpclint:hotpath pinned at 0 allocs/op by TestCompiledZeroAlloc
 func (c *CompiledForest) Predict(x []float64) float64 {
 	if len(x) != c.nFeat {
 		panic(fmt.Sprintf("rf: Predict with %d features, compiled for %d", len(x), c.nFeat))
@@ -142,6 +146,8 @@ func (c *CompiledForest) PredictBatch(X []float64) []float64 {
 // all rows, but every row accumulates tree values in tree order and
 // divides once — bit-identical to calling Predict row by row. It panics
 // on a dimensionality or size mismatch, checked up front.
+//
+//mpclint:hotpath pinned at 0 allocs/op by TestCompiledZeroAlloc
 func (c *CompiledForest) PredictBatchInto(dst []float64, X []float64) []float64 {
 	d := c.nFeat
 	if len(X)%d != 0 {

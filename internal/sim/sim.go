@@ -388,6 +388,7 @@ func (e *Engine) Run(app *workload.App, p Policy, target Target, firstRun bool) 
 	}
 	for i, k := range app.Kernels {
 		root := e.Trace.StartRoot(telemetry.SpanDecide, i)
+		//mpclint:ignore determinism-taint CHA may-target: serve.Client.Decide only times the RPC for latency callbacks; decisions are computed server-side from replayable inputs
 		d := p.Decide(i)
 		root.End()
 		if !d.Config.Valid() {

@@ -240,6 +240,8 @@ func (c *Context) Active() bool { return c != nil && c.depth > 0 }
 // index, applying the tracer's sampling decision. The returned span
 // must be ended by the same goroutine; ending it publishes the whole
 // trace to the ring.
+//
+//mpclint:hotpath disabled and steady-state paths pinned at 0 allocs/op by TestDisabledPathZeroAlloc and TestActiveTraceSteadyStateZeroAlloc
 func (c *Context) StartRoot(name string, index int) Span {
 	if c == nil || c.t == nil || c.depth != 0 || !c.t.sampleRoot() {
 		return Span{}
@@ -247,6 +249,7 @@ func (c *Context) StartRoot(name string, index int) Span {
 	c.traceID = c.t.ids.Add(1)
 	c.index = index
 	if c.buf == nil {
+		//mpclint:ignore hotpath-alloc one-time buffer build on a context's first sampled trace; steady state reuses it, pinned by TestActiveTraceSteadyStateZeroAlloc
 		c.buf = make([]SpanRecord, 0, maxSpanDepth*(maxAggPhases+2))
 	}
 	c.frames[0] = frame{name: name, id: c.t.ids.Add(1), start: time.Now()}
@@ -256,6 +259,8 @@ func (c *Context) StartRoot(name string, index int) Span {
 
 // Start opens a child span under the innermost open span. Outside a
 // sampled trace (or past the depth bound) it returns an inert span.
+//
+//mpclint:hotpath pinned at 0 allocs/op by TestDisabledPathZeroAlloc and TestActiveTraceSteadyStateZeroAlloc
 func (c *Context) Start(name string) Span {
 	if c == nil || c.depth == 0 || c.depth >= maxSpanDepth {
 		return Span{}
@@ -290,6 +295,8 @@ func (c *Context) RecordSince(name string, start time.Time) {
 // StartPhase returns a timestamp for EndPhase, or the zero time when
 // the context is not inside a sampled trace — so hot paths pay the
 // clock read only while a trace is active.
+//
+//mpclint:hotpath pinned at 0 allocs/op by TestDisabledPathZeroAlloc and TestActiveTraceSteadyStateZeroAlloc
 func (c *Context) StartPhase() time.Time {
 	if !c.Active() {
 		return time.Time{}
@@ -301,6 +308,8 @@ func (c *Context) StartPhase() time.Time {
 // span's aggregate phase named name (see SpanRecord.Agg). A zero t0 is
 // a no-op, pairing with StartPhase's disabled path. Each frame holds
 // at most maxAggPhases distinct phase names; excess names are dropped.
+//
+//mpclint:hotpath pinned at 0 allocs/op by TestDisabledPathZeroAlloc and TestActiveTraceSteadyStateZeroAlloc
 func (c *Context) EndPhase(name string, t0 time.Time) {
 	if t0.IsZero() || c == nil || c.depth == 0 {
 		return
@@ -323,6 +332,8 @@ func (c *Context) EndPhase(name string, t0 time.Time) {
 // join the trace buffer, and closing the root publishes the whole
 // trace to the tracer's ring. Ending an inert or out-of-order span is
 // a no-op.
+//
+//mpclint:hotpath pinned at 0 allocs/op by TestDisabledPathZeroAlloc and TestActiveTraceSteadyStateZeroAlloc
 func (s Span) End() {
 	c := s.c
 	if c == nil || c.depth != int(s.idx)+1 {
@@ -331,6 +342,7 @@ func (s Span) End() {
 	f := &c.frames[c.depth-1]
 	dur := time.Since(f.start)
 	for i := 0; i < f.nagg; i++ {
+		//mpclint:ignore hotpath-alloc bounded by maxSpanDepth*(maxAggPhases+2), the capacity StartRoot reserves; steady state pinned by TestActiveTraceSteadyStateZeroAlloc
 		c.buf = append(c.buf, SpanRecord{
 			TraceID:  c.traceID,
 			SpanID:   c.t.ids.Add(1),
@@ -343,6 +355,7 @@ func (s Span) End() {
 			Agg:      true,
 		})
 	}
+	//mpclint:ignore hotpath-alloc bounded by maxSpanDepth*(maxAggPhases+2), the capacity StartRoot reserves; steady state pinned by TestActiveTraceSteadyStateZeroAlloc
 	c.buf = append(c.buf, SpanRecord{
 		TraceID:  c.traceID,
 		SpanID:   f.id,

@@ -9,9 +9,10 @@
 // replay stays byte-identical to an untraced one (pinned by the golden
 // parity tests). This is also why telemetry is the one place on the
 // decision path allowed to read the wall clock — the mpclint
-// determinism check bans time.Now from internal/{core,rf,policy,
-// predict,sim}, and those packages only ever time anything through the
-// nil-safe Context API here.
+// determinism-taint check bans reaching time.Now from internal/{core,
+// rf,policy,predict,sim} but sanctions chains that stop here, and
+// those packages only ever time anything through the nil-safe Context
+// API in this package.
 //
 // # The three surfaces
 //
