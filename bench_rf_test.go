@@ -1,20 +1,33 @@
 // Paired benchmarks of the Random Forest inference engines: the
-// reference tree-walking path versus the compiled flat-node path, at
-// the three granularities the MPC runtime exercises — one scalar
+// reference tree-walking path versus the compiled branchless engine
+// (clustered level-order node layout, key-transformed predicated
+// descent, interleaved batch evaluation — see DESIGN.md §10), at the
+// three granularities the MPC runtime exercises: one scalar
 // prediction, one batched space evaluation, and one full 336-config
 // exhaustive sweep (the per-decision inner loop). Both engines are
 // bit-identical by contract, so every pair measures the same work.
 //
+// The scalar pair runs twice: with one fixed kernel (every
+// data-dependent branch of the tree walk repeats, so its predictor is
+// perfect — the branchy engine's best case) and cycling over 64
+// distinct counter snapshots (the serving regime: every decision
+// carries fresh counters, branchy descent mispredicts, predicated
+// descent is input-oblivious). The Parallel variant fans the batched
+// sweep across GOMAXPROCS goroutines for the -cpu scaling curve.
+//
 // Regenerate BENCH_rf.json with:
 //
-//	go test -run '^$' -bench '^BenchmarkRF' -benchmem
+//	go test -run '^$' -bench '^BenchmarkRF' -benchmem -cpu 1,2,4
+//	go test ./internal/rf -run '^$' -bench '^BenchmarkCompiled' -benchmem
 package mpcdvfs_test
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"mpcdvfs/internal/core"
+	"mpcdvfs/internal/counters"
 	"mpcdvfs/internal/experiments"
 	"mpcdvfs/internal/hw"
 	"mpcdvfs/internal/kernel"
@@ -51,6 +64,33 @@ func benchRFPredictKernel(b *testing.B, compiled bool) {
 func BenchmarkRFPredictKernelTreeWalk(b *testing.B) { benchRFPredictKernel(b, false) }
 func BenchmarkRFPredictKernelCompiled(b *testing.B) { benchRFPredictKernel(b, true) }
 
+// benchRFPredictKernelVaried measures the same scalar prediction
+// cycling over 64 distinct counter snapshots — deterministic
+// perturbations of the balanced kernel, spanning the counter ranges
+// serving traffic actually produces — so the engines are compared
+// under realistic input variation rather than a perfectly predictable
+// fixed row.
+func benchRFPredictKernelVaried(b *testing.B, compiled bool) {
+	m := benchRF(b, compiled)
+	base := kernel.NewBalanced("bench", 1).Counters()
+	cfg := hw.FailSafe()
+	rng := rand.New(rand.NewSource(77))
+	var css [64]counters.Set
+	for i := range css {
+		for j := range base {
+			css[i][j] = base[j] * (0.25 + 1.5*rng.Float64())
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.PredictKernel(css[i&63], cfg)
+	}
+}
+
+func BenchmarkRFPredictKernelTreeWalkVaried(b *testing.B) { benchRFPredictKernelVaried(b, false) }
+func BenchmarkRFPredictKernelCompiledVaried(b *testing.B) { benchRFPredictKernelVaried(b, true) }
+
 // benchRFSpace measures evaluating one kernel at every configuration of
 // the default 336-point space: the compiled engine's batched
 // PredictSpace against the equivalent scalar PredictKernel loop.
@@ -77,6 +117,28 @@ func benchRFSpace(b *testing.B, compiled bool) {
 
 func BenchmarkRFSpaceEvalTreeWalk(b *testing.B) { benchRFSpace(b, false) }
 func BenchmarkRFSpaceEvalCompiled(b *testing.B) { benchRFSpace(b, true) }
+
+// BenchmarkRFSpaceEvalParallel fans concurrent batched sweeps across
+// GOMAXPROCS goroutines — each with its own kernels and dst, sharing
+// one model and its arena pool, the decision batcher's sharing
+// pattern. Run with -cpu 1,2,4 for the multi-core scaling curve
+// (ns/op should fall roughly linearly with cores; on a single-CPU
+// host every -cpu level measures the same serialized work).
+func BenchmarkRFSpaceEvalParallel(b *testing.B) {
+	m := benchRF(b, true)
+	space := hw.DefaultSpace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		cs := kernel.NewBalanced("bench", 1).Counters()
+		dst := make([]predict.Estimate, space.Size())
+		for pb.Next() {
+			if !m.PredictSpace(cs, space, dst) {
+				b.Fatal("PredictSpace declined on a compiled model")
+			}
+		}
+	})
+}
 
 // benchRFExhaustiveSweep measures the full per-decision inner loop —
 // Optimizer.ExhaustiveSearch over the 336-configuration space,

@@ -72,17 +72,28 @@ type levelReport struct {
 	Phases        map[string]phaseStat `json:"phase_breakdown,omitempty"`
 }
 
+// cpuSweepEntry is one GOMAXPROCS setting's full session-level sweep:
+// the scaling curve is read across entries at a fixed session count.
+// SpeedupVs1 is the throughput of this entry's highest session level
+// over the 1-core entry's (present only when the sweep includes 1).
+type cpuSweepEntry struct {
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Levels     []levelReport `json:"levels"`
+	SpeedupVs1 float64       `json:"throughput_speedup_vs_1core,omitempty"`
+}
+
 // report is the BENCH_serve.json schema.
 type report struct {
-	App        string        `json:"app"`
-	Policy     string        `json:"policy"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	NumCPU     int           `json:"num_cpu"`
-	SelfHosted bool          `json:"self_hosted"`
-	DriftMode  bool          `json:"drift_mode,omitempty"`
-	Note       string        `json:"note"`
-	Levels     []levelReport `json:"levels"`
-	Learn      *learn.Status `json:"learn,omitempty"` // -drift only: trainer state after the sweep
+	App        string          `json:"app"`
+	Policy     string          `json:"policy"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	NumCPU     int             `json:"num_cpu"`
+	SelfHosted bool            `json:"self_hosted"`
+	DriftMode  bool            `json:"drift_mode,omitempty"`
+	Note       string          `json:"note"`
+	Levels     []levelReport   `json:"levels"`
+	CPUSweep   []cpuSweepEntry `json:"cpu_sweep,omitempty"` // -cpus sweep: one entry per GOMAXPROCS setting
+	Learn      *learn.Status   `json:"learn,omitempty"`     // -drift only: trainer state after the sweep
 }
 
 func main() {
@@ -97,6 +108,7 @@ func main() {
 	traceSample := flag.Int("trace-sample", 0, "trace 1 in N decisions as spans and report per-phase latency breakdowns from /debug/trace (0 = off; tracing never changes decisions)")
 	drift := flag.Bool("drift", false, "self-host only: swap in an error-injected model after the first level, run the continuous trainer, and report the learning loop's recovery")
 	driftErr := flag.Float64("drift-error", 0.8, "mean absolute relative error injected into the degraded model under -drift")
+	cpusFlag := flag.String("cpus", "auto", "comma-separated GOMAXPROCS settings to sweep the whole run across (\"auto\": 1,2,4,8 capped at NumCPU; the top-level levels are recorded at the highest setting)")
 	out := flag.String("out", "", "write the JSON report to this file (default: stdout summary only)")
 	logLevel := flag.String("log-level", "warn", "log level: debug | info | warn | error")
 	flag.Parse()
@@ -105,16 +117,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	if err := run(*addr, *appName, *levelsFlag, *replays, *polName, *seed, *cacheSize, *queueDepth, *traceSample, *drift, *driftErr, *out); err != nil {
+	if err := run(*addr, *appName, *levelsFlag, *cpusFlag, *replays, *polName, *seed, *cacheSize, *queueDepth, *traceSample, *drift, *driftErr, *out); err != nil {
 		slog.Error("loadgen failed", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, appName, levelsFlag string, replays int, polName string, seed int64, cacheSize, queueDepth, traceSample int, drift bool, driftErr float64, out string) error {
+func run(addr, appName, levelsFlag, cpusFlag string, replays int, polName string, seed int64, cacheSize, queueDepth, traceSample int, drift bool, driftErr float64, out string) error {
 	levels, err := parseLevels(levelsFlag)
 	if err != nil {
 		return err
+	}
+	cpus, err := parseCPUs(cpusFlag)
+	if err != nil {
+		return err
+	}
+	if drift && len(cpus) > 1 {
+		return fmt.Errorf("-drift sweeps one GOMAXPROCS setting only (its levels are a before/after story, not a scaling curve); pass -cpus with a single value")
 	}
 	app, err := mpcdvfs.BenchmarkByName(appName)
 	if err != nil {
@@ -161,7 +180,38 @@ func run(addr, appName, levelsFlag string, replays int, polName string, seed int
 		DriftMode:  drift,
 		Note: "closed-loop: one in-flight decision per session; latencies include 429 retry waits. " +
 			"Throughput scaling with session count requires spare cores — on a single-CPU host the " +
-			"sessions time-share one core and aggregate throughput stays flat by construction.",
+			"sessions time-share one core and aggregate throughput stays flat by construction. " +
+			"cpu_sweep (when present) re-runs the whole grid at each GOMAXPROCS setting; read the " +
+			"scaling curve across entries at a fixed session count.",
+	}
+
+	// GOMAXPROCS scaling sweep: every setting below the primary runs the
+	// full session grid first; the primary (highest) setting runs last,
+	// and its sweep doubles as the report's top-level levels. On a
+	// single-CPU host -cpus auto detects one setting and no sweep
+	// happens — the curve needs cores, not goroutines.
+	prevProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prevProcs)
+	for _, c := range cpus[:len(cpus)-1] {
+		runtime.GOMAXPROCS(c)
+		fmt.Printf("gomaxprocs=%d\n", c)
+		var lrs []levelReport
+		for _, n := range levels {
+			lr, err := runLevel(sys, &app, target, base, n, replays)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("sessions=%d decisions=%d wall=%.2fs throughput=%.1f dec/s p50=%.3fms p99=%.3fms p999=%.3fms\n",
+				lr.Sessions, lr.Decisions, lr.WallS, lr.ThroughputDPS, lr.P50MS, lr.P99MS, lr.P999MS)
+			lrs = append(lrs, lr)
+		}
+		rep.CPUSweep = append(rep.CPUSweep, cpuSweepEntry{GOMAXPROCS: c, Levels: lrs})
+	}
+	primary := cpus[len(cpus)-1]
+	runtime.GOMAXPROCS(primary)
+	rep.GOMAXPROCS = primary
+	if len(cpus) > 1 {
+		fmt.Printf("gomaxprocs=%d\n", primary)
 	}
 
 	var lastSpanID uint64
@@ -187,6 +237,20 @@ func run(addr, appName, levelsFlag string, replays int, polName string, seed int
 		printPhases(lr.Phases)
 		if drift && li == 0 {
 			injectDrift(h, app.Name, seed, driftErr)
+		}
+	}
+
+	if len(cpus) > 1 {
+		rep.CPUSweep = append(rep.CPUSweep, cpuSweepEntry{GOMAXPROCS: primary, Levels: rep.Levels})
+		if rep.CPUSweep[0].GOMAXPROCS == 1 {
+			if base1 := lastThroughput(rep.CPUSweep[0].Levels); base1 > 0 {
+				for i := range rep.CPUSweep {
+					rep.CPUSweep[i].SpeedupVs1 = lastThroughput(rep.CPUSweep[i].Levels) / base1
+				}
+				top := rep.CPUSweep[len(rep.CPUSweep)-1]
+				fmt.Printf("cpu sweep: %d-core throughput %.2fx the 1-core run at %d sessions\n",
+					top.GOMAXPROCS, top.SpeedupVs1, levels[len(levels)-1])
+			}
 		}
 	}
 
@@ -452,6 +516,35 @@ func quantileMS(sorted []time.Duration, q float64) float64 {
 	}
 	idx := int(q * float64(len(sorted)-1))
 	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+// lastThroughput returns the highest-session-level throughput of one
+// sweep, the point the cross-GOMAXPROCS speedups are computed at.
+func lastThroughput(levels []levelReport) float64 {
+	if len(levels) == 0 {
+		return 0
+	}
+	return levels[len(levels)-1].ThroughputDPS
+}
+
+// parseCPUs parses the -cpus flag: "auto" detects the host — powers of
+// two up to min(NumCPU, 8), so a single-CPU host degenerates to one
+// setting and the sweep disappears — otherwise an explicit
+// comma-separated list, sorted ascending.
+func parseCPUs(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "auto" {
+		var out []int
+		for c := 1; c <= runtime.NumCPU() && c <= 8; c *= 2 {
+			out = append(out, c)
+		}
+		return out, nil
+	}
+	out, err := parseLevels(s)
+	if err != nil {
+		return nil, fmt.Errorf("-cpus: want \"auto\" or positive integers: %w", err)
+	}
+	sort.Ints(out)
+	return out, nil
 }
 
 // parseLevels parses the -levels flag.

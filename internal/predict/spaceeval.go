@@ -8,6 +8,7 @@ import (
 	"mpcdvfs/internal/counters"
 	"mpcdvfs/internal/hw"
 	"mpcdvfs/internal/metrics"
+	"mpcdvfs/internal/rf"
 	"mpcdvfs/internal/telemetry"
 )
 
@@ -40,38 +41,46 @@ type TracedSpaceEvaluator interface {
 	PredictSpaceTraced(cs counters.Set, space hw.Space, dst []Estimate, tc *telemetry.Context) bool
 }
 
-// spaceArena is one batched-sweep workspace: a row-major feature matrix
-// with the per-configuration suffix columns precomputed for every
-// configuration of one space, plus the two forest output vectors. Only
-// the counter-prefix columns change between sweeps, so a steady-state
-// sweep writes the prefix into each row, runs two batched forest
-// evaluations, and allocates nothing.
+// spaceArena is one batched-sweep workspace: a row-major matrix of
+// key-transformed features (rf.KeyOf order-preserving integer keys, the
+// form the branchless compiled kernels compare in) with the
+// per-configuration suffix columns pre-keyed for every configuration of
+// one space, plus the two forest output vectors. Only the
+// counter-prefix columns change between sweeps, so a steady-state sweep
+// keys the eight counter features once, patches those keys into each
+// row, runs two batched forest evaluations over the keyed matrix, and
+// allocates nothing.
 //
 // Arenas are space-specific: every arena in a pool was built by
 // newSpaceArena for the pool's space, and PredictSpace revalidates with
 // hw.Space.Equal before trusting the precomputed suffix columns.
 type spaceArena struct {
-	space hw.Space  // the space rows was built for
-	rows  []float64 // space.Size() × numRFFeatures, config suffix pre-filled
+	space hw.Space  // the space keys was built for
+	keys  []uint64  // space.Size() × numRFFeatures feature keys, config suffix pre-keyed
 	tOut  []float64 // time-forest outputs, one per configuration
 	pOut  []float64 // power-forest outputs, one per configuration
 }
 
-// newSpaceArena lays out an arena for a space: one feature row per
+// newSpaceArena lays out an arena for a space: one key row per
 // configuration in At order, with the six config-derived columns filled
 // by the same patchConfig the scalar path uses (identical expressions,
-// identical values).
+// identical values) and then key-transformed. The transform is exact —
+// keyed comparisons decide identically to the float comparisons the
+// tree walk performs — so pre-keying changes no prediction bit.
 func newSpaceArena(space hw.Space) *spaceArena {
 	n := space.Size()
 	a := &spaceArena{
 		space: space,
-		rows:  make([]float64, n*numRFFeatures),
+		keys:  make([]uint64, n*numRFFeatures),
 		tOut:  make([]float64, n),
 		pOut:  make([]float64, n),
 	}
+	var row [numRFFeatures]float64
 	i := 0
 	space.ForEach(func(c hw.Config) {
-		patchConfig(a.rows[i*numRFFeatures:(i+1)*numRFFeatures], c)
+		patchConfig(row[:], c)
+		rf.KeysInto(a.keys[i*numRFFeatures+counters.NumCounters:(i+1)*numRFFeatures],
+			row[counters.NumCounters:])
 		i++
 	})
 	return a
@@ -203,6 +212,8 @@ func (m *RandomForest) predictSpace(cs counters.Set, space hw.Space, dst []Estim
 	sp := tc.Start(telemetry.SpanFeaturize)
 	var prefix [counters.NumCounters]float64
 	counterPrefix(prefix[:], cs)
+	var kprefix [counters.NumCounters]uint64
+	rf.KeysInto(kprefix[:], prefix[:])
 
 	//mpclint:ignore hotpath-alloc pool install is a once-per-space slow path; warm sweeps load the existing pool, pinned by TestPredictSpaceZeroAllocSteadyState
 	ap := m.arenaFor(space)
@@ -215,12 +226,12 @@ func (m *RandomForest) predictSpace(cs counters.Set, space hw.Space, dst []Estim
 	}
 	m.countArena(pooled)
 	for r := 0; r < n; r++ {
-		copy(a.rows[r*numRFFeatures:r*numRFFeatures+counters.NumCounters], prefix[:])
+		copy(a.keys[r*numRFFeatures:r*numRFFeatures+counters.NumCounters], kprefix[:])
 	}
 	sp.End()
 	sp = tc.Start(telemetry.SpanForestEval)
-	m.timeCompiled.PredictBatchInto(a.tOut, a.rows)
-	m.powerCompiled.PredictBatchInto(a.pOut, a.rows)
+	m.timeCompiled.PredictBatchKeysInto(a.tOut, a.keys)
+	m.powerCompiled.PredictBatchKeysInto(a.pOut, a.keys)
 	insts := instsOf(cs)
 	for r := 0; r < n; r++ {
 		dst[r] = Estimate{TimeMS: math.Exp(a.tOut[r]) * insts, GPUPowerW: a.pOut[r]}

@@ -116,12 +116,18 @@ func TestExtendPrefixTreePredictionsBitIdentical(t *testing.T) {
 	if ce.NumNodes() < n {
 		t.Fatalf("compiled extension pool shrank: %d < %d", ce.NumNodes(), n)
 	}
-	if !reflect.DeepEqual(cb.feature, ce.feature[:n]) ||
-		!reflect.DeepEqual(cb.thresh, ce.thresh[:n]) ||
-		!reflect.DeepEqual(cb.left, ce.left[:n]) ||
-		!reflect.DeepEqual(cb.right, ce.right[:n]) ||
-		!reflect.DeepEqual(cb.roots, ce.roots[:cb.NumTrees()]) {
+	if !reflect.DeepEqual(cb.nodes, ce.nodes[:n]) ||
+		!reflect.DeepEqual(cb.leafVal, ce.leafVal[:n]) ||
+		!reflect.DeepEqual(cb.roots, ce.roots[:cb.NumTrees()]) ||
+		!reflect.DeepEqual(cb.depths, ce.depths[:cb.NumTrees()]) {
 		t.Fatal("compiled extension's node-pool prefix differs from the base compilation")
+	}
+	if !reflect.DeepEqual(cb.legacy.feature, ce.legacy.feature[:n]) ||
+		!reflect.DeepEqual(cb.legacy.thresh, ce.legacy.thresh[:n]) ||
+		!reflect.DeepEqual(cb.legacy.left, ce.legacy.left[:n]) ||
+		!reflect.DeepEqual(cb.legacy.right, ce.legacy.right[:n]) ||
+		!reflect.DeepEqual(cb.legacy.roots, ce.legacy.roots[:cb.NumTrees()]) {
+		t.Fatal("compiled extension's legacy-pool prefix differs from the base compilation")
 	}
 	// And the compiled whole agrees with tree walking on the probes —
 	// the PR 4 contract carried over to extended forests.
