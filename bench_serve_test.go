@@ -6,7 +6,7 @@
 // Regenerate the numbers behind BENCH_serve.json with:
 //
 //	go test . -run '^$' -bench '^BenchmarkArenaPool|^BenchmarkServe' -benchmem
-//	go run ./cmd/loadgen -out BENCH_serve.json
+//	go run ./cmd/loadgen -levels 1,2,4,8,16 -replays 3 -batch -zipf 1.2 -cpus 1,2 -out BENCH_serve.json
 //
 // On a single-CPU host the parallel variants measure coordination
 // overhead, not speedup — concurrent sessions time-share one core, so

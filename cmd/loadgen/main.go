@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -37,9 +38,11 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"mpcdvfs"
+	"mpcdvfs/internal/batch"
 	"mpcdvfs/internal/cli"
 	"mpcdvfs/internal/learn"
 	"mpcdvfs/internal/par"
@@ -68,6 +71,7 @@ type levelReport struct {
 	P99MS         float64              `json:"p99_ms"`
 	P999MS        float64              `json:"p999_ms"`
 	Retries429    int                  `json:"retries_429"`
+	Batched       bool                 `json:"batched,omitempty"`      // -batch A/B: this run had the epoch coordinator fusing sweeps
 	SnapshotGen   uint64               `json:"snapshot_gen,omitempty"` // -drift only: generation serving new sessions at level end
 	Phases        map[string]phaseStat `json:"phase_breakdown,omitempty"`
 }
@@ -90,26 +94,56 @@ type report struct {
 	NumCPU     int             `json:"num_cpu"`
 	SelfHosted bool            `json:"self_hosted"`
 	DriftMode  bool            `json:"drift_mode,omitempty"`
+	BatchMode  bool            `json:"batch_mode,omitempty"` // -batch: every level ran direct then batched
+	ZipfS      float64         `json:"zipf_s,omitempty"`     // -zipf: skew exponent of the app-popularity draw
+	AppMix     map[string]int  `json:"app_mix,omitempty"`    // -zipf: sessions assigned per app across the run
 	Note       string          `json:"note"`
 	Levels     []levelReport   `json:"levels"`
 	CPUSweep   []cpuSweepEntry `json:"cpu_sweep,omitempty"` // -cpus sweep: one entry per GOMAXPROCS setting
+	Batch      *batch.Stats    `json:"batch,omitempty"`     // -batch: coordinator totals across the whole run
 	Learn      *learn.Status   `json:"learn,omitempty"`     // -drift only: trainer state after the sweep
 }
 
+// options carries the parsed flags.
+type options struct {
+	addr        string
+	appName     string
+	levelsFlag  string
+	cpusFlag    string
+	replays     int
+	polName     string
+	seed        int64
+	cacheSize   int
+	queueDepth  int
+	traceSample int
+	drift       bool
+	driftErr    float64
+	batch       bool
+	batchWindow time.Duration
+	batchMax    int
+	zipfS       float64
+	out         string
+}
+
 func main() {
-	addr := flag.String("addr", "", "base URL of a running mpcserve (empty: self-host an in-process server)")
-	appName := flag.String("app", "Spmv", "benchmark application each session replays")
-	levelsFlag := flag.String("levels", "1,2,4,8", "comma-separated concurrent session counts to sweep")
-	replays := flag.Int("replays", 2, "replays per session at each level (each replay is one full session)")
-	polName := flag.String("policy", "mpc", "self-host policy: ppk | mpc")
-	seed := flag.Int64("seed", 1, "self-host Random Forest training seed")
-	cacheSize := flag.Int("predict-cache", 0, "self-host per-session LRU prediction cache capacity (0 = off)")
-	queueDepth := flag.Int("queue-depth", serve.DefaultQueueDepth, "self-host per-session queue depth")
-	traceSample := flag.Int("trace-sample", 0, "trace 1 in N decisions as spans and report per-phase latency breakdowns from /debug/trace (0 = off; tracing never changes decisions)")
-	drift := flag.Bool("drift", false, "self-host only: swap in an error-injected model after the first level, run the continuous trainer, and report the learning loop's recovery")
-	driftErr := flag.Float64("drift-error", 0.8, "mean absolute relative error injected into the degraded model under -drift")
-	cpusFlag := flag.String("cpus", "auto", "comma-separated GOMAXPROCS settings to sweep the whole run across (\"auto\": 1,2,4,8 capped at NumCPU; the top-level levels are recorded at the highest setting)")
-	out := flag.String("out", "", "write the JSON report to this file (default: stdout summary only)")
+	var o options
+	flag.StringVar(&o.addr, "addr", "", "base URL of a running mpcserve (empty: self-host an in-process server)")
+	flag.StringVar(&o.appName, "app", "Spmv", "benchmark application each session replays (ignored under -zipf)")
+	flag.StringVar(&o.levelsFlag, "levels", "1,2,4,8", "comma-separated concurrent session counts to sweep")
+	flag.IntVar(&o.replays, "replays", 2, "replays per session at each level (each replay is one full session)")
+	flag.StringVar(&o.polName, "policy", "mpc", "self-host policy: ppk | mpc")
+	flag.Int64Var(&o.seed, "seed", 1, "self-host Random Forest training seed (also seeds the -zipf app draw)")
+	flag.IntVar(&o.cacheSize, "predict-cache", 0, "self-host per-session LRU prediction cache capacity (0 = off, the recommended default: the cache forces the scalar per-configuration path, which loses to the batched compiled sweep)")
+	flag.IntVar(&o.queueDepth, "queue-depth", serve.DefaultQueueDepth, "self-host per-session queue depth")
+	flag.IntVar(&o.traceSample, "trace-sample", 0, "trace 1 in N decisions as spans and report per-phase latency breakdowns from /debug/trace (0 = off; tracing never changes decisions)")
+	flag.BoolVar(&o.drift, "drift", false, "self-host only: swap in an error-injected model after the first level, run the continuous trainer, and report the learning loop's recovery")
+	flag.Float64Var(&o.driftErr, "drift-error", 0.8, "mean absolute relative error injected into the degraded model under -drift")
+	flag.BoolVar(&o.batch, "batch", false, "self-host only: run every level twice — direct, then with the epoch coordinator fusing concurrent sweeps — and report both (decisions are bit-identical either way)")
+	flag.DurationVar(&o.batchWindow, "batch-window", 0, "batch epoch collect window (0 = 150µs default)")
+	flag.IntVar(&o.batchMax, "batch-max", 0, "max sweeps fused per epoch (0 = 16 default)")
+	flag.Float64Var(&o.zipfS, "zipf", 0, "Zipf-skew the per-session app draw over the whole benchmark suite with this exponent (> 1; 0 = every session replays -app); seeded and deterministic, recorded in the report header")
+	flag.StringVar(&o.cpusFlag, "cpus", "auto", "comma-separated GOMAXPROCS settings to sweep the whole run across (\"auto\": 1,2,4,8 capped at NumCPU; the top-level levels are recorded at the highest setting)")
+	flag.StringVar(&o.out, "out", "", "write the JSON report to this file (default: stdout summary only)")
 	logLevel := flag.String("log-level", "warn", "log level: debug | info | warn | error")
 	flag.Parse()
 
@@ -117,46 +151,65 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	if err := run(*addr, *appName, *levelsFlag, *cpusFlag, *replays, *polName, *seed, *cacheSize, *queueDepth, *traceSample, *drift, *driftErr, *out); err != nil {
+	if err := run(o); err != nil {
 		slog.Error("loadgen failed", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, appName, levelsFlag, cpusFlag string, replays int, polName string, seed int64, cacheSize, queueDepth, traceSample int, drift bool, driftErr float64, out string) error {
-	levels, err := parseLevels(levelsFlag)
+// sessApp is one session's assigned workload: the app it replays and
+// the Turbo Core baseline target its tracker holds to.
+type sessApp struct {
+	app    *mpcdvfs.App
+	target mpcdvfs.Target
+}
+
+func run(o options) error {
+	levels, err := parseLevels(o.levelsFlag)
 	if err != nil {
 		return err
 	}
-	cpus, err := parseCPUs(cpusFlag)
+	cpus, err := parseCPUs(o.cpusFlag)
 	if err != nil {
 		return err
 	}
-	if drift && len(cpus) > 1 {
+	if o.drift && len(cpus) > 1 {
 		return fmt.Errorf("-drift sweeps one GOMAXPROCS setting only (its levels are a before/after story, not a scaling curve); pass -cpus with a single value")
 	}
-	app, err := mpcdvfs.BenchmarkByName(appName)
-	if err != nil {
-		return err
+	if o.drift && o.batch {
+		return fmt.Errorf("-batch and -drift don't compose: the batched A/B doubles every level while the drift story needs each level to advance the learning loop exactly once")
+	}
+	if o.drift && o.zipfS != 0 {
+		return fmt.Errorf("-zipf and -drift don't compose: the drift scoreboard baseline is anchored on one app's error")
+	}
+	if o.zipfS != 0 && o.zipfS <= 1 {
+		return fmt.Errorf("-zipf wants an exponent > 1 (got %g)", o.zipfS)
 	}
 
 	// The harness needs a local simulator either way: self-hosting shares
 	// it with the server's policies, and every session's closed loop runs
 	// kernels through it.
 	sys := mpcdvfs.NewSystem()
-	_, target, err := sys.Baseline(&app)
+
+	// Workload catalogue: uniform mode pins every session to -app; Zipf
+	// mode draws each session's app from the full suite with skewed
+	// popularity. Baselines are computed once per distinct app.
+	catalog, mix, err := buildCatalog(sys, o)
 	if err != nil {
 		return err
 	}
 
-	base := addr
-	selfHosted := addr == ""
-	if drift && !selfHosted {
+	base := o.addr
+	selfHosted := o.addr == ""
+	if o.drift && !selfHosted {
 		return fmt.Errorf("-drift needs the self-hosted server (it degrades the in-process model)")
+	}
+	if o.batch && !selfHosted {
+		return fmt.Errorf("-batch needs the self-hosted server (the coordinator lives in-process; start mpcserve with -batch to batch a remote server)")
 	}
 	var h *hosted
 	if selfHosted {
-		h, err = selfHost(sys, polName, seed, cacheSize, queueDepth, traceSample, drift)
+		h, err = selfHost(sys, o)
 		if err != nil {
 			return err
 		}
@@ -168,21 +221,64 @@ func run(addr, appName, levelsFlag, cpusFlag string, replays int, polName string
 			h.ts.Close()
 		}()
 		base = h.ts.URL
-		fmt.Printf("self-hosted decision server at %s (policy %s)\n", base, polName)
+		fmt.Printf("self-hosted decision server at %s (policy %s)\n", base, o.polName)
 	}
 
 	rep := report{
-		App:        app.Name,
-		Policy:     polName,
+		App:        o.appName,
+		Policy:     o.polName,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		SelfHosted: selfHosted,
-		DriftMode:  drift,
+		DriftMode:  o.drift,
+		BatchMode:  o.batch,
+		ZipfS:      o.zipfS,
+		AppMix:     mix,
 		Note: "closed-loop: one in-flight decision per session; latencies include 429 retry waits. " +
 			"Throughput scaling with session count requires spare cores — on a single-CPU host the " +
 			"sessions time-share one core and aggregate throughput stays flat by construction. " +
 			"cpu_sweep (when present) re-runs the whole grid at each GOMAXPROCS setting; read the " +
-			"scaling curve across entries at a fixed session count.",
+			"scaling curve across entries at a fixed session count. With batch_mode, every level " +
+			"appears twice — direct then batched (fused epoch sweeps) — with bit-identical decisions; " +
+			"fusing pays off once concurrent sessions queue sweeps faster than one epoch evaluates " +
+			"(≥2 cores or ≥16 queued requests), and is flat-at-worst on one CPU.",
+	}
+	if o.zipfS != 0 {
+		rep.App = "zipf-mix"
+	}
+
+	// runModes runs one concurrency level once (direct) or twice
+	// (direct + batched) depending on -batch, flipping the coordinator
+	// gate around the batched run.
+	runModes := func(n int) ([]levelReport, error) {
+		assign, err := catalog.assign(n, o)
+		if err != nil {
+			return nil, err
+		}
+		lr, err := runLevel(sys, assign, base, o.replays)
+		if err != nil {
+			return nil, err
+		}
+		out := []levelReport{lr}
+		if o.batch {
+			h.batchOn.Store(true)
+			blr, err := runLevel(sys, assign, base, o.replays)
+			h.batchOn.Store(false)
+			if err != nil {
+				return nil, err
+			}
+			blr.Batched = true
+			out = append(out, blr)
+		}
+		return out, nil
+	}
+	printLevel := func(lr levelReport) {
+		mode := ""
+		if lr.Batched {
+			mode = " batched"
+		}
+		fmt.Printf("sessions=%d%s decisions=%d wall=%.2fs throughput=%.1f dec/s p50=%.3fms p99=%.3fms p999=%.3fms\n",
+			lr.Sessions, mode, lr.Decisions, lr.WallS, lr.ThroughputDPS, lr.P50MS, lr.P99MS, lr.P999MS)
 	}
 
 	// GOMAXPROCS scaling sweep: every setting below the primary runs the
@@ -197,13 +293,14 @@ func run(addr, appName, levelsFlag, cpusFlag string, replays int, polName string
 		fmt.Printf("gomaxprocs=%d\n", c)
 		var lrs []levelReport
 		for _, n := range levels {
-			lr, err := runLevel(sys, &app, target, base, n, replays)
+			got, err := runModes(n)
 			if err != nil {
 				return err
 			}
-			fmt.Printf("sessions=%d decisions=%d wall=%.2fs throughput=%.1f dec/s p50=%.3fms p99=%.3fms p999=%.3fms\n",
-				lr.Sessions, lr.Decisions, lr.WallS, lr.ThroughputDPS, lr.P50MS, lr.P99MS, lr.P999MS)
-			lrs = append(lrs, lr)
+			for _, lr := range got {
+				printLevel(lr)
+			}
+			lrs = append(lrs, got...)
 		}
 		rep.CPUSweep = append(rep.CPUSweep, cpuSweepEntry{GOMAXPROCS: c, Levels: lrs})
 	}
@@ -216,27 +313,38 @@ func run(addr, appName, levelsFlag, cpusFlag string, replays int, polName string
 
 	var lastSpanID uint64
 	for li, n := range levels {
-		lr, err := runLevel(sys, &app, target, base, n, replays)
+		got, err := runModes(n)
 		if err != nil {
 			return err
 		}
-		if traceSample > 0 {
-			phases, maxID, err := phaseBreakdown(base, lastSpanID)
-			if err != nil {
-				slog.Warn("phase breakdown unavailable", "err", err)
-			} else {
-				lr.Phases, lastSpanID = phases, maxID
+		for i := range got {
+			lr := &got[i]
+			if o.traceSample > 0 {
+				phases, maxID, err := phaseBreakdown(base, lastSpanID)
+				if err != nil {
+					slog.Warn("phase breakdown unavailable", "err", err)
+				} else {
+					lr.Phases, lastSpanID = phases, maxID
+				}
 			}
+			if o.drift {
+				lr.SnapshotGen = h.decider.CurrentSnapshot().Gen
+			}
+			rep.Levels = append(rep.Levels, *lr)
+			printLevel(*lr)
+			printPhases(lr.Phases)
 		}
-		if drift {
-			lr.SnapshotGen = h.decider.CurrentSnapshot().Gen
+		if o.drift && li == 0 {
+			injectDrift(h, o.appName, o.seed, o.driftErr)
 		}
-		rep.Levels = append(rep.Levels, lr)
-		fmt.Printf("sessions=%d decisions=%d wall=%.2fs throughput=%.1f dec/s p50=%.3fms p99=%.3fms p999=%.3fms\n",
-			lr.Sessions, lr.Decisions, lr.WallS, lr.ThroughputDPS, lr.P50MS, lr.P99MS, lr.P999MS)
-		printPhases(lr.Phases)
-		if drift && li == 0 {
-			injectDrift(h, app.Name, seed, driftErr)
+	}
+	if o.batch {
+		printBatchDeltas(rep.Levels)
+		if h.coord != nil {
+			st := h.coord.Stats()
+			rep.Batch = &st
+			fmt.Printf("batch: epochs=%d fused=%d declined=%d rejected=%d (window=%dµs max_fuse=%d)\n",
+				st.Epochs, st.Fused, st.Declined, st.Rejected, st.WindowUS, st.MaxFuse)
 		}
 	}
 
@@ -254,7 +362,7 @@ func run(addr, appName, levelsFlag, cpusFlag string, replays int, polName string
 		}
 	}
 
-	if drift {
+	if o.drift {
 		// Every post-injection level replayed against the degraded
 		// generation; make sure at least one training round ran on what
 		// the sweep observed before reporting.
@@ -270,22 +378,107 @@ func run(addr, appName, levelsFlag, cpusFlag string, replays int, polName string
 			st.LastTimeMAPE, h.decider.CurrentSnapshot().Gen)
 	}
 
-	if out != "" {
+	if o.out != "" {
 		buf, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		if err := os.WriteFile(o.out, append(buf, '\n'), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("report written to %s\n", out)
+		fmt.Printf("report written to %s\n", o.out)
 	}
 	return nil
 }
 
-// runLevel sweeps one concurrency level: n sessions run their replays
-// concurrently, each through its own serve.Client.
-func runLevel(sys *mpcdvfs.System, app *mpcdvfs.App, target mpcdvfs.Target, base string, n, replays int) (levelReport, error) {
+// workloadCatalog owns the candidate app set and the lazily computed
+// per-app baseline targets. Uniform mode has one candidate (-app); Zipf
+// mode draws from the whole benchmark suite.
+type workloadCatalog struct {
+	sys     *mpcdvfs.System
+	apps    []mpcdvfs.App
+	targets map[string]mpcdvfs.Target
+	uniform bool
+	mix     map[string]int
+}
+
+// buildCatalog resolves the candidate app set for the run. The returned
+// mix map (Zipf mode only) is shared with the report and accumulates
+// session counts per app as levels are assigned.
+func buildCatalog(sys *mpcdvfs.System, o options) (*workloadCatalog, map[string]int, error) {
+	c := &workloadCatalog{sys: sys, targets: make(map[string]mpcdvfs.Target)}
+	if o.zipfS == 0 {
+		app, err := mpcdvfs.BenchmarkByName(o.appName)
+		if err != nil {
+			return nil, nil, err
+		}
+		c.apps = []mpcdvfs.App{app}
+		c.uniform = true
+		return c, nil, nil
+	}
+	c.apps = mpcdvfs.Benchmarks()
+	c.mix = make(map[string]int)
+	return c, c.mix, nil
+}
+
+// assign draws one (app, target) per session for a level. The Zipf draw
+// is seeded from (-seed, level) so a level's assignment is identical
+// across repeat runs — the batched A/B replays the exact same workload.
+// Baselines are computed once per distinct app and cached.
+func (c *workloadCatalog) assign(n int, o options) ([]sessApp, error) {
+	idx := make([]int, n)
+	if !c.uniform {
+		z := rand.NewZipf(rand.New(rand.NewSource(o.seed<<16^int64(n))), o.zipfS, 1, uint64(len(c.apps)-1))
+		for i := range idx {
+			idx[i] = int(z.Uint64())
+		}
+	}
+	out := make([]sessApp, n)
+	for i, k := range idx {
+		app := &c.apps[k]
+		t, ok := c.targets[app.Name]
+		if !ok {
+			_, tgt, err := c.sys.Baseline(app)
+			if err != nil {
+				return nil, err
+			}
+			c.targets[app.Name] = tgt
+			t = tgt
+		}
+		out[i] = sessApp{app: app, target: t}
+		if c.mix != nil {
+			c.mix[app.Name]++
+		}
+	}
+	return out, nil
+}
+
+// printBatchDeltas prints, per session count, the batched run's
+// throughput and p99 change versus the direct run at the same level.
+func printBatchDeltas(levels []levelReport) {
+	direct := make(map[int]levelReport)
+	for _, lr := range levels {
+		if !lr.Batched {
+			direct[lr.Sessions] = lr
+		}
+	}
+	for _, lr := range levels {
+		if !lr.Batched {
+			continue
+		}
+		d, ok := direct[lr.Sessions]
+		if !ok || d.ThroughputDPS == 0 || d.P99MS == 0 {
+			continue
+		}
+		fmt.Printf("batch delta sessions=%d throughput %+.1f%% p99 %+.1f%%\n",
+			lr.Sessions, (lr.ThroughputDPS/d.ThroughputDPS-1)*100, (lr.P99MS/d.P99MS-1)*100)
+	}
+}
+
+// runLevel sweeps one concurrency level: each assigned session runs its
+// replays concurrently, through its own serve.Client.
+func runLevel(sys *mpcdvfs.System, assign []sessApp, base string, replays int) (levelReport, error) {
+	n := len(assign)
 	lats := make([][]time.Duration, n)
 	errs := make([]error, n)
 	retries := make([]int, n)
@@ -294,7 +487,7 @@ func runLevel(sys *mpcdvfs.System, app *mpcdvfs.App, target mpcdvfs.Target, base
 		c := serve.NewClient(base)
 		c.OnDecideLatency = func(d time.Duration) { lats[i] = append(lats[i], d) }
 		for r := 0; r < replays; r++ {
-			if _, err := sys.Run(app, c, target, r == 0); err != nil {
+			if _, err := sys.Run(assign[i].app, c, assign[i].target, r == 0); err != nil {
 				errs[i] = err
 				return
 			}
@@ -334,40 +527,47 @@ func runLevel(sys *mpcdvfs.System, app *mpcdvfs.App, target mpcdvfs.Target, base
 }
 
 // hosted is the self-hosted server bundle: the HTTP front, the decision
-// server, the model it was built around, and — under -drift — the hub
-// and trainer closing the learning loop.
+// server, the model it was built around, and — depending on flags — the
+// hub and trainer closing the learning loop, plus the epoch coordinator
+// and the gate the batched A/B flips around each level.
 type hosted struct {
 	ts      *httptest.Server
 	decider *serve.Server
 	model   predict.Model
 	hub     *telemetry.Hub
 	trainer *learn.Trainer
+	coord   *batch.Coordinator
+	batchOn *atomic.Bool
 }
 
 // selfHost builds an in-process decision server over httptest, with the
 // same per-session policy stack mpcserve serves. Under drift it also
 // wires the continuous trainer the way mpcserve -learn does, so the
 // sweep exercises the full observe → reservoir → retrain → promote loop.
-func selfHost(sys *mpcdvfs.System, polName string, seed int64, cacheSize, queueDepth, traceSample int, drift bool) (*hosted, error) {
-	slog.Info("training Random Forest predictor for the self-hosted server", "seed", seed)
-	model, err := mpcdvfs.TrainRandomForest(mpcdvfs.DefaultTrainOptions(seed))
+// Under -batch it wires the epoch coordinator behind an atomic gate:
+// sessions always hold a submitter, but sweeps only reach the
+// coordinator while the gate is up, so the same server A/Bs direct
+// versus batched levels without rebuilding its sessions.
+func selfHost(sys *mpcdvfs.System, o options) (*hosted, error) {
+	slog.Info("training Random Forest predictor for the self-hosted server", "seed", o.seed)
+	model, err := mpcdvfs.TrainRandomForest(mpcdvfs.DefaultTrainOptions(o.seed))
 	if err != nil {
 		return nil, err
 	}
 	var hub *telemetry.Hub
-	if traceSample > 0 {
+	if o.traceSample > 0 {
 		// A deep ring so a whole concurrency level's spans survive until
 		// the post-level /debug/trace fetch.
-		hub = telemetry.NewHub(telemetry.Options{Sample: traceSample, RingSize: 1 << 16})
-	} else if drift {
+		hub = telemetry.NewHub(telemetry.Options{Sample: o.traceSample, RingSize: 1 << 16})
+	} else if o.drift {
 		// Drift detection needs the scoreboard even with tracing off.
 		hub = telemetry.NewHub(telemetry.Options{Sample: 0})
 	}
 	var trainer *learn.Trainer
-	if drift {
+	if o.drift {
 		trainer = learn.New(learn.Config{
-			Seed:        seed,
-			Forest:      predict.OnlineForestConfig(seed),
+			Seed:        o.seed,
+			Forest:      predict.OnlineForestConfig(o.seed),
 			HoldoutFrac: 0.25,
 			Gate:        learn.Gate{MaxTimeMAPE: 0.25, MaxPowerMAPE: 0.25},
 			// Promotion baselines come from holdout MAPE, which understates
@@ -376,22 +576,41 @@ func selfHost(sys *mpcdvfs.System, polName string, seed int64, cacheSize, queueD
 			BaselineSlack: 3,
 		})
 	}
+	var coord *batch.Coordinator
+	gate := new(atomic.Bool)
+	var submit predict.SweepSubmit
+	if o.batch {
+		if o.cacheSize > 0 {
+			return nil, fmt.Errorf("-batch needs the batched sweep path; drop -predict-cache (the cache forces the scalar per-configuration path)")
+		}
+		coord = batch.New(batch.Config{Window: o.batchWindow, MaxFuse: o.batchMax})
+		submit = func(req *predict.SweepRequest) bool {
+			if !gate.Load() {
+				return false
+			}
+			return coord.Submit(req)
+		}
+	}
 	decider, err := serve.New(serve.Config{
 		Model: model,
-		Tag:   "loadgen seed=" + strconv.FormatInt(seed, 10),
+		Tag:   "loadgen seed=" + strconv.FormatInt(o.seed, 10),
 		NewPolicy: func(m predict.Model) sim.Policy {
-			if polName == "ppk" {
-				return sys.NewPPK(m)
+			if o.polName == "ppk" {
+				return sys.NewPPK(m).SetSweepSubmitter(m, submit)
 			}
 			var opts []mpcdvfs.MPCOption
-			if cacheSize > 0 {
-				opts = append(opts, mpcdvfs.WithPredictionCache(cacheSize))
+			if o.cacheSize > 0 {
+				opts = append(opts, mpcdvfs.WithPredictionCache(o.cacheSize))
+			}
+			if submit != nil {
+				opts = append(opts, mpcdvfs.WithSweepSubmitter(submit))
 			}
 			return sys.NewMPC(m, opts...)
 		},
-		QueueDepth: queueDepth,
+		QueueDepth: o.queueDepth,
 		Telemetry:  hub,
 		Learn:      trainer,
+		Batch:      coord,
 	})
 	if err != nil {
 		return nil, err
@@ -417,6 +636,8 @@ func selfHost(sys *mpcdvfs.System, polName string, seed int64, cacheSize, queueD
 		model:   model,
 		hub:     hub,
 		trainer: trainer,
+		coord:   coord,
+		batchOn: gate,
 	}, nil
 }
 

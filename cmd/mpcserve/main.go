@@ -49,6 +49,7 @@ import (
 	"time"
 
 	"mpcdvfs"
+	"mpcdvfs/internal/batch"
 	"mpcdvfs/internal/cli"
 	"mpcdvfs/internal/learn"
 	"mpcdvfs/internal/metrics"
@@ -75,6 +76,9 @@ type options struct {
 	queueDepth   int
 	traceSample  int
 	traceRing    int
+	batch        bool
+	batchWindow  time.Duration
+	batchMax     int
 
 	learn          bool
 	learnInterval  time.Duration
@@ -95,12 +99,15 @@ func main() {
 	flag.DurationVar(&o.interval, "interval", 100*time.Millisecond, "pause between workload replays")
 	flag.StringVar(&o.traceOut, "trace-out", "", "stream runtime events as JSONL to this file (tailable)")
 	workers := flag.Int("workers", 0, "worker goroutines for RF training and sharded config search (0 = all CPUs, 1 = serial; decisions are identical either way)")
-	flag.IntVar(&o.cacheSize, "predict-cache", 0, "LRU prediction cache capacity for MPC policies (0 = off; decisions are identical either way)")
+	flag.IntVar(&o.cacheSize, "predict-cache", 0, "LRU prediction cache capacity for MPC policies (0 = off, the recommended default: the cache forces the scalar per-configuration path, which loses to the batched compiled sweep; decisions are identical either way)")
 	flag.BoolVar(&o.noCompiledRF, "no-compiled-rf", false, "disable the compiled-forest inference fast path and walk the trees (decisions are bit-identical either way; escape hatch for A/B timing)")
 	flag.BoolVar(&o.replay, "replay", true, "run the continuous benchmark replay loop (false: serve the decision API only)")
 	flag.IntVar(&o.queueDepth, "queue-depth", serve.DefaultQueueDepth, "per-session decision queue depth (full queues answer 429)")
 	flag.IntVar(&o.traceSample, "trace-sample", 0, "trace 1 in N decisions as spans on /debug/trace (0 = off, 1 = every decision; tracing never changes decisions)")
 	flag.IntVar(&o.traceRing, "trace-ring", 0, "span ring capacity (0 = default)")
+	flag.BoolVar(&o.batch, "batch", false, "fuse concurrent sessions' exhaustive sweeps into epoch mega-batches (internal/batch; decisions are bit-identical either way)")
+	flag.DurationVar(&o.batchWindow, "batch-window", 0, "batch epoch collect window (0 = 150µs default)")
+	flag.IntVar(&o.batchMax, "batch-max", 0, "max sweeps fused per epoch (0 = 16 default)")
 	flag.BoolVar(&o.learn, "learn", false, "continuously retrain from /v1/observe traffic and promote candidates that pass the holdout gate (needs the decision API)")
 	flag.DurationVar(&o.learnInterval, "learn-interval", time.Minute, "periodic retraining cadence; scoreboard drift triggers a round early")
 	flag.Float64Var(&o.learnHoldout, "learn-holdout", 0.25, "fraction of the reservoir held out for candidate validation")
@@ -294,14 +301,34 @@ func newTrainer(o options) *learn.Trainer {
 }
 
 func newDecider(o options, sys *mpcdvfs.System, sharedModel mpcdvfs.Model, reg *mpcdvfs.MetricsRegistry, hub *mpcdvfs.TelemetryHub, trainer *learn.Trainer) (*serve.Server, error) {
+	var coord *batch.Coordinator
+	if o.batch {
+		if o.cacheSize > 0 {
+			slog.Warn("-batch is ignored with -predict-cache: a fused sweep would bypass the per-configuration cache; sessions use the direct path")
+		} else {
+			coord = batch.New(batch.Config{
+				Window:  o.batchWindow,
+				MaxFuse: o.batchMax,
+				Metrics: reg,
+			})
+			slog.Info("decision batching enabled", "window", o.batchWindow, "max_fuse", o.batchMax)
+		}
+	}
 	newPolicy := func(m predict.Model) sim.Policy {
 		switch o.policy {
 		case "ppk":
-			return sys.NewPPK(m)
+			p := sys.NewPPK(m)
+			if coord != nil {
+				p.SetSweepSubmitter(m, coord.Submit)
+			}
+			return p
 		default:
 			var opts []mpcdvfs.MPCOption
 			if o.cacheSize > 0 {
 				opts = append(opts, mpcdvfs.WithPredictionCache(o.cacheSize))
+			}
+			if coord != nil {
+				opts = append(opts, mpcdvfs.WithSweepSubmitter(coord.Submit))
 			}
 			mp := sys.NewMPC(m, opts...)
 			if c := mp.PredictionCache(); c != nil {
@@ -324,6 +351,7 @@ func newDecider(o options, sys *mpcdvfs.System, sharedModel mpcdvfs.Model, reg *
 		QueueDepth: o.queueDepth,
 		Telemetry:  hub,
 		Learn:      trainer,
+		Batch:      coord,
 	})
 	if err != nil {
 		return nil, err

@@ -38,6 +38,15 @@ type Optimizer struct {
 	// same bytes with Trace nil, unsampled, or active (pinned by the
 	// traced-replay golden test).
 	Trace *telemetry.Context
+	// Sweep, when non-nil, is an injected space evaluator tried before
+	// the model's own batched path — the hook the serving layer uses to
+	// route exhaustive sweeps through the cross-session batch
+	// coordinator (predict.RemoteSweep). It obeys the SpaceEvaluator
+	// bit-exactness contract, so a successful fused sweep returns
+	// exactly the direct path's bytes; when it returns false (batching
+	// off, coordinator saturated, or the request declined) the search
+	// falls through to the model path unchanged.
+	Sweep predict.SpaceEvaluator
 	// failSafe is the guard configuration, clamped into Space.
 	failSafe hw.Config
 
@@ -294,7 +303,7 @@ func (o *Optimizer) exhaustive(cache *evalCache, headroomMS float64) climbResult
 // caller falls through to the sharded or serial sweep.
 func (o *Optimizer) exhaustiveBatched(cache *evalCache, headroomMS float64) (res climbResult, ok bool) {
 	se, sok := o.Model.(predict.SpaceEvaluator)
-	if !sok {
+	if !sok && o.Sweep == nil {
 		return climbResult{}, false
 	}
 	if o.sweepCfgs == nil || !o.sweepSpace.Equal(o.Space) {
@@ -302,15 +311,32 @@ func (o *Optimizer) exhaustiveBatched(cache *evalCache, headroomMS float64) (res
 		o.sweepCfgs = o.Space.Configs()
 		o.sweepEsts = make([]predict.Estimate, len(o.sweepCfgs))
 	}
-	// Prefer the trace-aware batched path so the sweep's featurize and
-	// forest-eval time lands in the active trace; both paths fill
-	// sweepEsts with identical bytes.
-	if tse, tok := o.Model.(predict.TracedSpaceEvaluator); tok {
-		if !tse.PredictSpaceTraced(cache.cs, o.Space, o.sweepEsts, o.Trace) {
+	// An injected sweep executor (the batch coordinator's remote path)
+	// takes precedence; its bit-exactness contract means a fused sweep
+	// and a direct one fill sweepEsts with identical bytes, so falling
+	// through on failure changes nothing but the execution venue.
+	swept := false
+	if o.Sweep != nil {
+		if tse, tok := o.Sweep.(predict.TracedSpaceEvaluator); tok {
+			swept = tse.PredictSpaceTraced(cache.cs, o.Space, o.sweepEsts, o.Trace)
+		} else {
+			swept = o.Sweep.PredictSpace(cache.cs, o.Space, o.sweepEsts)
+		}
+	}
+	if !swept {
+		if !sok {
 			return climbResult{}, false
 		}
-	} else if !se.PredictSpace(cache.cs, o.Space, o.sweepEsts) {
-		return climbResult{}, false
+		// Prefer the trace-aware batched path so the sweep's featurize and
+		// forest-eval time lands in the active trace; both paths fill
+		// sweepEsts with identical bytes.
+		if tse, tok := o.Model.(predict.TracedSpaceEvaluator); tok {
+			if !tse.PredictSpaceTraced(cache.cs, o.Space, o.sweepEsts, o.Trace) {
+				return climbResult{}, false
+			}
+		} else if !se.PredictSpace(cache.cs, o.Space, o.sweepEsts) {
+			return climbResult{}, false
+		}
 	}
 	best := climbResult{Config: o.failSafe, Feasible: false}
 	bestE := 0.0

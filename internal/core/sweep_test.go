@@ -1,0 +1,63 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mpcdvfs/internal/counters"
+	"mpcdvfs/internal/hw"
+	"mpcdvfs/internal/kernel"
+	"mpcdvfs/internal/predict"
+)
+
+// fakeSweep is an injected evaluator that either proxies the model's
+// own batched path (the bit-exactness stand-in for a batch coordinator)
+// or refuses, counting calls either way.
+type fakeSweep struct {
+	m     *predict.RandomForest
+	serve bool
+	calls int
+}
+
+func (f *fakeSweep) PredictSpace(cs counters.Set, space hw.Space, dst []predict.Estimate) bool {
+	f.calls++
+	if !f.serve {
+		return false
+	}
+	return f.m.PredictSpace(cs, space, dst)
+}
+
+// TestExhaustiveInjectedSweep checks the Optimizer.Sweep seam: a
+// serving evaluator is consulted first and its results decide the
+// search identically to the model path; a refusing evaluator falls
+// through to the model path with no behavioral change.
+func TestExhaustiveInjectedSweep(t *testing.T) {
+	m := batchedModel(t)
+	space := hw.DefaultSpace()
+	kernels := []kernel.Kernel{
+		kernel.NewComputeBound("c", 1), kernel.NewMemoryBound("m", 1), kernel.NewPeak("p", 1),
+	}
+	for _, k := range kernels {
+		cs := k.Counters()
+		fsTime := m.PredictKernel(cs, space.Clamp(hw.FailSafe())).TimeMS
+		for _, head := range []float64{math.Inf(1), fsTime * 1.05, -1} {
+			want := NewOptimizer(m, space).ExhaustiveSearch(cs, head)
+
+			injected := NewOptimizer(m, space)
+			fs := &fakeSweep{m: m, serve: true}
+			injected.Sweep = fs
+			sameClimbResult(t, k.Name()+"/served", injected.ExhaustiveSearch(cs, head), want)
+			if fs.calls == 0 {
+				t.Fatalf("%s: injected evaluator never consulted", k.Name())
+			}
+
+			refused := NewOptimizer(m, space)
+			fr := &fakeSweep{m: m, serve: false}
+			refused.Sweep = fr
+			sameClimbResult(t, k.Name()+"/refused", refused.ExhaustiveSearch(cs, head), want)
+			if fr.calls == 0 {
+				t.Fatalf("%s: refusing evaluator never consulted", k.Name())
+			}
+		}
+	}
+}

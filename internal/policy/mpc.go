@@ -31,6 +31,10 @@ type MPC struct {
 	// cacheCap is the requested cache capacity; consumed by NewMPC
 	// after options are applied (0 = no cache).
 	cacheCap int
+	// sweepSubmit, when non-nil, routes exhaustive sweeps through a
+	// cross-session batch coordinator (WithSweepSubmitter); consumed by
+	// NewMPC after options are applied.
+	sweepSubmit predict.SweepSubmit
 
 	// Alpha is the total performance-loss bound for the adaptive horizon
 	// (default core.DefaultAlpha = 5%).
@@ -127,6 +131,20 @@ func WithPredictionCache(capacity int) MPCOption {
 	}
 }
 
+// WithSweepSubmitter routes the policy's exhaustive configuration
+// sweeps through a cross-session batch coordinator (internal/batch):
+// instead of evaluating the space in-process, each sweep is submitted
+// and the session parks until the coordinator's epoch fuses it into one
+// mega-batch forest evaluation. Decisions are byte-identical with the
+// submitter installed or not — the fused path obeys the SpaceEvaluator
+// bit-exactness contract and every failure falls back to the direct
+// path. Requires a *predict.RandomForest model; combined with
+// WithPredictionCache the submitter is ignored (a fused sweep would
+// bypass the per-configuration cache the option asks for).
+func WithSweepSubmitter(submit predict.SweepSubmit) MPCOption {
+	return func(m *MPC) { m.sweepSubmit = submit }
+}
+
 // NewMPC returns an MPC policy using the given predictor and
 // configuration space. Optimization overhead is measured, not assumed:
 // the engine reports the wall time it charged for each decision (after
@@ -156,6 +174,11 @@ func NewMPC(model predict.Model, space hw.Space, opts ...MPCOption) *MPC {
 		m.opt = core.NewOptimizer(m.calib, space)
 		m.opt.UseExhaustive = old.UseExhaustive
 		m.opt.Workers = old.Workers
+	}
+	if m.sweepSubmit != nil && m.cacheCap <= 0 {
+		if rfm, ok := model.(*predict.RandomForest); ok {
+			m.opt.Sweep = predict.NewRemoteSweep(m.calib, rfm, m.sweepSubmit)
+		}
 	}
 	return m
 }

@@ -1,0 +1,74 @@
+package rf
+
+import "fmt"
+
+// FusedKeys is the coordinator-owned key matrix for cross-request
+// batched sweeps: maxReq slots, each a pre-allocated rows×features
+// key-transformed block, laid out contiguously so any prefix of staged
+// slots forms one valid row-major matrix for PredictBatchKeysInto.
+// A slot's stable columns (the per-config suffix of a sweep space) can
+// be pre-keyed once at plan build; per-request columns are patched into
+// Slot(i) before each fused evaluation.
+type FusedKeys struct {
+	features int
+	rows     int
+	maxReq   int
+	keys     []uint64
+}
+
+// NewFusedKeys allocates a fused key matrix for up to maxRequests
+// sweeps of rows rows each over the given feature dimensionality.
+func NewFusedKeys(features, rows, maxRequests int) *FusedKeys {
+	if features <= 0 || features > maxCompiledFeatures {
+		panic(fmt.Sprintf("rf: NewFusedKeys with %d features (want 1..%d)", features, maxCompiledFeatures))
+	}
+	if rows <= 0 || maxRequests <= 0 {
+		panic(fmt.Sprintf("rf: NewFusedKeys rows=%d maxRequests=%d (want positive)", rows, maxRequests))
+	}
+	return &FusedKeys{
+		features: features,
+		rows:     rows,
+		maxReq:   maxRequests,
+		keys:     make([]uint64, maxRequests*rows*features),
+	}
+}
+
+// Rows is the per-slot row count (one sweep's space size).
+func (fk *FusedKeys) Rows() int { return fk.rows }
+
+// MaxRequests is the slot capacity.
+func (fk *FusedKeys) MaxRequests() int { return fk.maxReq }
+
+// Slot returns slot i's rows×features key block, full-slice-capped so a
+// stray append cannot bleed into the next slot.
+//
+//mpclint:hotpath pinned at 0 allocs/op by TestFusedZeroAlloc
+func (fk *FusedKeys) Slot(i int) []uint64 {
+	if i < 0 || i >= fk.maxReq {
+		panic(fmt.Sprintf("rf: FusedKeys slot %d of %d", i, fk.maxReq))
+	}
+	n := fk.rows * fk.features
+	return fk.keys[i*n : (i+1)*n : (i+1)*n]
+}
+
+// PredictFusedInto evaluates the first nreq staged slots of fk as one
+// contiguous mega-batch: dst must hold nreq*Rows() values, and on
+// return dst[i*Rows():(i+1)*Rows()] is slot i's sweep result. Because
+// PredictBatchKeysInto accumulates each row's leaf values independently
+// — trees outermost, one accumulator per row, one division at the end —
+// fusing never changes any row's summation order, so each slot's result
+// is bit-identical to evaluating that slot alone. Returns dst.
+//
+//mpclint:hotpath pinned at 0 allocs/op by TestFusedZeroAlloc
+func (c *CompiledForest) PredictFusedInto(dst []float64, fk *FusedKeys, nreq int) []float64 {
+	if fk.features != c.nFeat {
+		panic(fmt.Sprintf("rf: PredictFusedInto keys have %d features, compiled for %d", fk.features, c.nFeat))
+	}
+	if nreq <= 0 || nreq > fk.maxReq {
+		panic(fmt.Sprintf("rf: PredictFusedInto with %d requests (staged capacity %d)", nreq, fk.maxReq))
+	}
+	if len(dst) != nreq*fk.rows {
+		panic(fmt.Sprintf("rf: PredictFusedInto dst holds %d rows, %d requests need %d", len(dst), nreq, nreq*fk.rows))
+	}
+	return c.PredictBatchKeysInto(dst, fk.keys[:nreq*fk.rows*fk.features])
+}

@@ -1,0 +1,96 @@
+package rf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFusedMatchesPerSlot proves the fusing contract at the rf layer:
+// evaluating any prefix of staged slots as one mega-batch returns, for
+// every slot, exactly the result of evaluating that slot's key block
+// alone through PredictBatchKeysInto.
+func TestFusedMatchesPerSlot(t *testing.T) {
+	const d, rows, maxReq = 5, 21, 8
+	X, y := makeDataset(300, d, 0.05, 11, func(x []float64) float64 { return x[0]*x[2] - x[4] })
+	f, err := Train(X, y, Config{NumTrees: 7, MaxDepth: 7, MinLeaf: 1,
+		NumThresh: 8, SampleFrac: 1.0, Seed: 11, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := compileOrFatal(t, f)
+
+	fk := NewFusedKeys(d, rows, maxReq)
+	if fk.Rows() != rows || fk.MaxRequests() != maxReq {
+		t.Fatalf("FusedKeys shape %d×%d, want %d×%d", fk.Rows(), fk.MaxRequests(), rows, maxReq)
+	}
+	rng := rand.New(rand.NewSource(12))
+	flat := make([]float64, rows*d)
+	for i := 0; i < maxReq; i++ {
+		for j := range flat {
+			flat[j] = (rng.Float64() - 0.5) * 3
+		}
+		KeysInto(fk.Slot(i), flat)
+	}
+
+	for _, nreq := range []int{1, 2, 3, maxReq} {
+		fused := c.PredictFusedInto(make([]float64, nreq*rows), fk, nreq)
+		for i := 0; i < nreq; i++ {
+			want := c.PredictBatchKeysInto(make([]float64, rows), fk.Slot(i))
+			for r := 0; r < rows; r++ {
+				if !bitsEqual(fused[i*rows+r], want[r]) {
+					t.Fatalf("nreq=%d slot=%d row=%d: fused %v != solo %v",
+						nreq, i, r, fused[i*rows+r], want[r])
+				}
+			}
+		}
+	}
+}
+
+// TestFusedZeroAlloc pins the fused entry point at zero allocations in
+// the steady state — the coordinator's epoch inner loop runs this once
+// per epoch and must not allocate (matching the hotpath annotation).
+func TestFusedZeroAlloc(t *testing.T) {
+	f := fuzzForest(t)
+	c := compileOrFatal(t, f)
+	const rows, maxReq = 21, 4
+	fk := NewFusedKeys(c.NumFeatures(), rows, maxReq)
+	flat := make([]float64, rows*c.NumFeatures())
+	for i := range flat {
+		flat[i] = float64(i%7) * 0.2
+	}
+	for i := 0; i < maxReq; i++ {
+		KeysInto(fk.Slot(i), flat)
+	}
+	dst := make([]float64, maxReq*rows)
+	if allocs := testing.AllocsPerRun(200, func() { _ = fk.Slot(2) }); allocs != 0 {
+		t.Fatalf("FusedKeys.Slot allocates %v times per call, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(200, func() { c.PredictFusedInto(dst, fk, maxReq) }); allocs != 0 {
+		t.Fatalf("CompiledForest.PredictFusedInto allocates %v times per call, want 0", allocs)
+	}
+}
+
+// TestFusedValidation checks the panic guards on shape mismatches.
+func TestFusedValidation(t *testing.T) {
+	f := fuzzForest(t)
+	c := compileOrFatal(t, f)
+	fk := NewFusedKeys(c.NumFeatures(), 4, 2)
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("zero features", func() { NewFusedKeys(0, 4, 2) })
+	mustPanic("oversized features", func() { NewFusedKeys(maxCompiledFeatures+1, 4, 2) })
+	mustPanic("zero rows", func() { NewFusedKeys(3, 0, 2) })
+	mustPanic("slot out of range", func() { fk.Slot(2) })
+	mustPanic("nreq over capacity", func() { c.PredictFusedInto(make([]float64, 12), fk, 3) })
+	mustPanic("nreq zero", func() { c.PredictFusedInto(nil, fk, 0) })
+	mustPanic("short dst", func() { c.PredictFusedInto(make([]float64, 3), fk, 1) })
+	wrong := NewFusedKeys(c.NumFeatures()+1, 4, 1)
+	mustPanic("feature mismatch", func() { c.PredictFusedInto(make([]float64, 4), wrong, 1) })
+}

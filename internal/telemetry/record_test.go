@@ -1,0 +1,64 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRecordEmitsChildSpan covers Context.Record — the duration-taking
+// sibling of RecordSince the batch wait/eval decomposition uses: it
+// must attach a child of the active frame with exactly the start and
+// duration it was handed, reading no clock of its own.
+func TestRecordEmitsChildSpan(t *testing.T) {
+	tr := NewTracer(64, 1)
+	c := tr.NewContext("s1")
+
+	root := c.StartRoot(SpanDecide, 3)
+	start := time.Unix(100, 500)
+	c.Record(SpanBatchWait, start, 42*time.Microsecond)
+	c.Record(SpanBatchEval, start.Add(42*time.Microsecond), 7*time.Millisecond)
+	root.End()
+
+	recs := tr.Snapshot(nil)
+	waits := findByName(recs, SpanBatchWait)
+	if len(waits) != 1 {
+		t.Fatalf("got %d %s spans, want 1", len(waits), SpanBatchWait)
+	}
+	w := waits[0]
+	if w.StartUNS != start.UnixNano() || w.DurNS != 42*time.Microsecond.Nanoseconds() {
+		t.Fatalf("wait span carries (%d, %d), want the handed-in (%d, %d)",
+			w.StartUNS, w.DurNS, start.UnixNano(), 42*time.Microsecond.Nanoseconds())
+	}
+	roots := findByName(recs, SpanDecide)
+	if len(roots) != 1 || w.ParentID != roots[0].SpanID {
+		t.Fatalf("wait span parent %d, want root %d", w.ParentID, roots[0].SpanID)
+	}
+	evals := findByName(recs, SpanBatchEval)
+	if len(evals) != 1 || evals[0].DurNS != (7*time.Millisecond).Nanoseconds() {
+		t.Fatalf("eval span wrong: %+v", evals)
+	}
+}
+
+// TestRecordInactiveNoOps: a nil context, an unsampled trace, and a
+// zero start (the StartPhase sentinel for "not tracing") must all
+// record nothing — the decision path calls Record unconditionally.
+func TestRecordInactiveNoOps(t *testing.T) {
+	var nilC *Context
+	nilC.Record(SpanBatchWait, time.Now(), time.Microsecond)
+
+	tr := NewTracer(8, 1)
+	c := tr.NewContext("s")
+	c.Record(SpanBatchWait, time.Now(), time.Microsecond) // no active root
+	root := c.StartRoot(SpanDecide, 0)
+	c.Record(SpanBatchWait, time.Time{}, time.Microsecond) // zero start
+	root.End()
+	recs := tr.Snapshot(nil)
+	if got := len(findByName(recs, SpanBatchWait)); got != 0 {
+		t.Fatalf("inactive Record emitted %d spans, want 0", got)
+	}
+
+	off := NewTracer(8, 0).NewContext("s")
+	r := off.StartRoot(SpanDecide, 0)
+	off.Record(SpanBatchWait, time.Now(), time.Microsecond)
+	r.End()
+}
